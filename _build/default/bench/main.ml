@@ -1,0 +1,167 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (Tables I-III, Figs 7-10, the Section I/VI experiments) from this
+   repository's implementation, then runs Bechamel microbenchmarks of the
+   framework itself.
+
+   Scale with COBRA_INSNS (default 100_000 instructions per run). Pass
+   section names as arguments to run a subset, e.g.
+   [dune exec bench/main.exe -- table_1 figure_10]. *)
+
+open Cobra_eval
+
+let section_enabled =
+  let requested = List.tl (Array.to_list Sys.argv) in
+  fun name -> requested = [] || List.mem name requested
+
+let banner name =
+  Printf.printf "\n================ %s ================\n%!" name
+
+let section name f = if section_enabled name then begin banner name; f () end
+
+let timed label f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.printf "[%s took %.1f s]\n%!" label (Unix.gettimeofday () -. t0);
+  r
+
+(* --- tables -------------------------------------------------------------- *)
+
+let table_1 () = print_string (Tables.table_1 ())
+let table_2 () = print_string (Tables.table_2 ())
+let table_3 () = print_string (Tables.table_3 ())
+
+(* --- figures ------------------------------------------------------------- *)
+
+let figure_7 () = print_string (Figures.figure_7 ())
+let figure_8 () = print_string (Figures.figure_8 ())
+let figure_9 () = print_string (Figures.figure_9 ())
+
+let figure_10 () =
+  let results =
+    timed "figure_10 runs" (fun () ->
+        Experiment.run_matrix Designs.all Cobra_workloads.Suite.specint)
+  in
+  print_string (Figures.figure_10 results);
+  Printf.printf "\npaper shape check: %s\n" (List.assoc "Fig10" Reference.paper_claims)
+
+(* --- ablations ------------------------------------------------------------ *)
+
+let ablation o =
+  let { Ablations.id; paper_claim; measured; report } = o in
+  Printf.printf "%s\n" report;
+  Printf.printf "paper [%s]: %s\n" id paper_claim;
+  Printf.printf "measured:   %s\n" measured
+
+let ablation_serialized_fetch () =
+  ablation (timed "serialized_fetch" (fun () -> Ablations.serialized_fetch ()))
+
+let ablation_tage_latency () =
+  ablation (timed "tage_latency" (fun () -> Ablations.tage_latency ()))
+
+let ablation_history_repair () =
+  ablation (timed "history_repair" (fun () -> Ablations.history_repair ()))
+
+let ablation_sfb () =
+  ablation (timed "sfb" (fun () -> Ablations.short_forward_branch ()))
+
+(* --- design-space sweeps (extensions) ----------------------------------------- *)
+
+let sweep name f () = print_string (timed name f)
+
+let sweep_storage = sweep "tage_storage_sweep" (fun () -> Sweeps.tage_storage_sweep ())
+let sweep_ubtb = sweep "ubtb_value" (fun () -> Sweeps.ubtb_value ())
+let sweep_fetch_width = sweep "fetch_width_sweep" (fun () -> Sweeps.fetch_width_sweep ())
+let sweep_indexing = sweep "indexing_ablation" (fun () -> Sweeps.indexing_ablation ())
+let sweep_ittage = sweep "indirect_predictor" (fun () -> Sweeps.indirect_predictor ())
+let sweep_ras = sweep "ras_repair" (fun () -> Sweeps.ras_repair ())
+let sweep_sc = sweep "sc_value" (fun () -> Sweeps.statistical_corrector_value ())
+let sweep_core_size = sweep "core_size" (fun () -> Sweeps.core_size ())
+let sweep_families = sweep "cbp_families" (fun () -> Sweeps.gehl_vs_tage ())
+
+let software_vs_hardware () =
+  print_string (timed "software_vs_hardware" (fun () -> Software_model.comparison_report ()))
+
+(* --- energy (extension) ----------------------------------------------------- *)
+
+let energy () =
+  List.iter
+    (fun (d : Designs.t) ->
+      let pl = Designs.pipeline d in
+      let e = Cobra_synth.Energy.of_pipeline pl in
+      Printf.printf "%-8s predict %.1f pJ, update %.1f pJ, ~%.2f nJ/kilo-instruction\n"
+        d.Designs.name e.Cobra_synth.Energy.predict_pj e.Cobra_synth.Energy.update_pj
+        (Cobra_synth.Energy.per_kilo_instruction pl ~packets_per_ki:400.0))
+    Designs.all
+
+(* --- bechamel microbenchmarks ------------------------------------------------ *)
+
+let bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let predict_test (d : Designs.t) =
+    let pl = Designs.pipeline d in
+    let pc = ref 0x1000 in
+    Test.make ~name:(Printf.sprintf "predict/%s" d.Designs.name)
+      (Staged.stage (fun () ->
+           let tok = Cobra.Pipeline.predict pl ~pc:!pc ~max_len:4 in
+           pc := (!pc + 16) land 0xFFFFF;
+           Cobra.Pipeline.squash_from pl tok))
+  in
+  let elaborate_test (d : Designs.t) =
+    Test.make ~name:(Printf.sprintf "elaborate/%s" d.Designs.name)
+      (Staged.stage (fun () -> ignore (Designs.pipeline d)))
+  in
+  let tests =
+    List.map predict_test Designs.all @ List.map elaborate_test Designs.all
+  in
+  let test = Test.make_grouped ~name:"cobra" ~fmt:"%s %s" tests in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+    in
+    let raw = Benchmark.all cfg instances test in
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = benchmark () in
+  List.iter
+    (fun tbl ->
+      let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl [] in
+      List.iter
+        (fun (name, ols) ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-28s %12.0f ns/run\n" name est
+          | Some _ | None -> Printf.printf "%-28s (no estimate)\n" name)
+        (List.sort (fun (a, _) (b, _) -> String.compare a b) rows))
+    results
+
+(* --- main ---------------------------------------------------------------------- *)
+
+let () =
+  Printf.printf "COBRA benchmark harness (insns per run: %d)\n" Experiment.default_insns;
+  section "table_1" table_1;
+  section "table_2" table_2;
+  section "table_3" table_3;
+  section "figure_7" figure_7;
+  section "figure_8" figure_8;
+  section "figure_9" figure_9;
+  section "figure_10" figure_10;
+  section "ablation_serialized_fetch" ablation_serialized_fetch;
+  section "ablation_tage_latency" ablation_tage_latency;
+  section "ablation_history_repair" ablation_history_repair;
+  section "ablation_sfb" ablation_sfb;
+  section "sweep_storage" sweep_storage;
+  section "sweep_ubtb" sweep_ubtb;
+  section "sweep_fetch_width" sweep_fetch_width;
+  section "sweep_indexing" sweep_indexing;
+  section "sweep_ittage" sweep_ittage;
+  section "sweep_ras" sweep_ras;
+  section "sweep_sc" sweep_sc;
+  section "sweep_core_size" sweep_core_size;
+  section "sweep_families" sweep_families;
+  section "software_vs_hardware" software_vs_hardware;
+  section "energy" energy;
+  section "bechamel" bechamel

@@ -1,0 +1,214 @@
+(* Command-line driver for the COBRA framework. *)
+
+open Cmdliner
+open Cobra_eval
+
+let design_names = List.map (fun (d : Designs.t) -> d.Designs.name) Designs.all
+
+let design_arg =
+  let doc =
+    Printf.sprintf "Predictor design (%s)." (String.concat ", " design_names)
+  in
+  Arg.(value & opt string "TAGE-L" & info [ "d"; "design" ] ~docv:"DESIGN" ~doc)
+
+let workload_arg =
+  let doc = "Workload name (see $(b,cobra list workloads))." in
+  Arg.(value & opt string "dhrystone" & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc)
+
+let insns_arg =
+  let doc = "Instructions to simulate." in
+  Arg.(value & opt int 100_000 & info [ "n"; "insns" ] ~docv:"N" ~doc)
+
+let lookup_design name =
+  try Ok (Designs.find name)
+  with Not_found ->
+    Error (`Msg (Printf.sprintf "unknown design %S (have: %s)" name
+                   (String.concat ", " design_names)))
+
+let lookup_workload name =
+  try Ok (Cobra_workloads.Suite.find name)
+  with Not_found -> Error (`Msg (Printf.sprintf "unknown workload %S" name))
+
+(* --- list ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let what =
+    Arg.(value & pos 0 string "all"
+         & info [] ~docv:"WHAT" ~doc:"designs | workloads | components | all")
+  in
+  let run what =
+    let show_designs () =
+      Printf.printf "designs:\n";
+      List.iter
+        (fun (d : Designs.t) ->
+          Printf.printf "  %-8s %s\n" d.Designs.name
+            (Cobra.Topology.to_expression (d.Designs.make ())))
+        Designs.all
+    in
+    let show_workloads () =
+      Printf.printf "workloads:\n";
+      List.iter
+        (fun (e : Cobra_workloads.Suite.entry) ->
+          Printf.printf "  %-12s %s\n" e.Cobra_workloads.Suite.name
+            e.Cobra_workloads.Suite.description)
+        Cobra_workloads.Suite.all
+    in
+    let show_components () =
+      Printf.printf "sub-component library:\n";
+      List.iter
+        (fun (name, desc) -> Printf.printf "  %-10s %s\n" name desc)
+        [
+          ("HBIM", "bimodal counter table, parameterised indexing (PC/ghist/lhist/hash)");
+          ("BTB", "set-associative branch target buffer, 2-cycle");
+          ("UBTB", "small fully-associative micro-BTB, 1-cycle");
+          ("GTAG", "partially-tagged global-history counter table");
+          ("TAGE", "multi-table tagged geometric-history predictor");
+          ("LOOP", "loop trip-count predictor with speculative counting + repair");
+          ("TOURNEY", "tournament selector over two predict_in inputs");
+          ("GSHARE", "global-history xor-indexed counter table (extension)");
+          ("YAGS", "taken/not-taken exception caches (extension)");
+          ("PERCEPTRON", "history-dot-weights predictor (extension)");
+          ("ITTAGE", "tagged indirect-target predictor (extension)");
+          ("SC", "statistical corrector (extension)");
+          ("STATIC", "always-taken / BTFN static predictors");
+        ]
+    in
+    (match what with
+    | "designs" -> show_designs ()
+    | "workloads" -> show_workloads ()
+    | "components" -> show_components ()
+    | _ ->
+      show_designs ();
+      show_workloads ();
+      show_components ());
+    Ok ()
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List designs, workloads and library components")
+    Term.(term_result (const run $ what))
+
+(* --- run ------------------------------------------------------------------- *)
+
+let run_cmd =
+  let serialize =
+    Arg.(value & flag & info [ "serialize-fetch" ] ~doc:"End fetch packets at branches.")
+  in
+  let no_replay =
+    Arg.(value & flag
+         & info [ "no-replay" ] ~doc:"Do not replay fetch on history divergences.")
+  in
+  let sfb =
+    Arg.(value & flag & info [ "sfb" ] ~doc:"Predicate short forward branches at decode.")
+  in
+  let run design workload insns serialize no_replay sfb =
+    let ( let* ) = Result.bind in
+    let* d = lookup_design design in
+    let* w = lookup_workload workload in
+    let config =
+      {
+        Cobra_uarch.Config.default with
+        Cobra_uarch.Config.serialize_fetch = serialize;
+        replay_on_history_divergence = not no_replay;
+        sfb_optimization = sfb;
+      }
+    in
+    let transform =
+      if sfb then
+        Cobra_uarch.Sfb.transform
+          ~max_offset:Cobra_uarch.Config.default.Cobra_uarch.Config.sfb_max_offset
+      else Fun.id
+    in
+    let r = Experiment.run ~insns ~config ~transform d w in
+    Format.printf "%s on %s:@.  %a@." design workload Cobra_uarch.Perf.pp
+      r.Experiment.perf;
+    Ok ()
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a design on a workload and report counters")
+    Term.(
+      term_result
+        (const run $ design_arg $ workload_arg $ insns_arg $ serialize $ no_replay $ sfb))
+
+(* --- topology / storage ------------------------------------------------------ *)
+
+let topology_cmd =
+  let run design =
+    let ( let* ) = Result.bind in
+    let* d = lookup_design design in
+    Format.printf "%a" Cobra.Topology.pp_pipeline (d.Designs.make ());
+    Ok ()
+  in
+  Cmd.v (Cmd.info "topology" ~doc:"Print a design's topology and pipeline diagram")
+    Term.(term_result (const run $ design_arg))
+
+let storage_cmd =
+  let run design =
+    let ( let* ) = Result.bind in
+    let* d = lookup_design design in
+    let pl = Designs.pipeline d in
+    Array.iter
+      (fun (c : Cobra.Component.t) ->
+        Format.printf "  %-10s %a@." c.Cobra.Component.name Cobra.Storage.pp
+          c.Cobra.Component.storage)
+      (Cobra.Pipeline.components pl);
+    Format.printf "  %-10s %a@." "management" Cobra.Storage.pp
+      (Cobra.Pipeline.management_storage pl);
+    Format.printf "  %-10s %a@." "TOTAL" Cobra.Storage.pp (Cobra.Pipeline.storage pl);
+    Format.printf "  area: %.0f um^2@." (Cobra_synth.Area.pipeline_total pl);
+    Ok ()
+  in
+  Cmd.v (Cmd.info "storage" ~doc:"Print a design's storage and area accounting")
+    Term.(term_result (const run $ design_arg))
+
+let trace_cmd =
+  let path_arg =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Trace file path.")
+  in
+  let dump workload insns path =
+    let ( let* ) = Result.bind in
+    let* w = lookup_workload workload in
+    let events = Cobra_isa.Trace.take (w.Cobra_workloads.Suite.make ()) insns in
+    Cobra_isa.Trace_file.save ~path events;
+    Printf.printf "wrote %d events to %s\n" (List.length events) path;
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Dump a workload's retired-path trace to a file (replayable with run --trace)")
+    Term.(term_result (const dump $ workload_arg $ insns_arg $ path_arg))
+
+let replay_cmd =
+  let path_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
+  in
+  let replay design path insns =
+    let ( let* ) = Result.bind in
+    let* d = lookup_design design in
+    let pl = Designs.pipeline d in
+    let core =
+      Cobra_uarch.Core.create Cobra_uarch.Config.default pl
+        (Cobra_isa.Trace_file.load_stream ~path)
+    in
+    let perf = Cobra_uarch.Core.run core ~max_insns:insns in
+    Format.printf "%s on %s:@.  %a@." design path Cobra_uarch.Perf.pp perf;
+    Ok ()
+  in
+  Cmd.v (Cmd.info "replay" ~doc:"Run a design over a saved trace file")
+    Term.(term_result (const replay $ design_arg $ path_arg $ insns_arg))
+
+let tables_cmd =
+  let run () =
+    print_string (Tables.table_1 ());
+    print_string (Tables.table_2 ());
+    print_string (Tables.table_3 ());
+    Ok ()
+  in
+  Cmd.v (Cmd.info "tables" ~doc:"Print the paper's Tables I-III")
+    Term.(term_result (const run $ const ()))
+
+let main =
+  Cmd.group
+    (Cmd.info "cobra" ~version:"1.0.0"
+       ~doc:"COBRA: composition of hardware branch predictors (cycle-level model)")
+    [ list_cmd; run_cmd; topology_cmd; storage_cmd; tables_cmd; trace_cmd; replay_cmd ]
+
+let () = exit (Cmd.eval main)

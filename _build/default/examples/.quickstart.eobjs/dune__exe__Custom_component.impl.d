@@ -1,0 +1,1 @@
+examples/custom_component.ml: Array Btb Cobra Cobra_components Cobra_uarch Cobra_util Cobra_workloads Component Context Format Hbim Indexing List Pipeline Storage Topology Types

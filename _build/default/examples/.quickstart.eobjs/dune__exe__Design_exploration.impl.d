@@ -1,0 +1,1 @@
+examples/design_exploration.ml: Cobra Cobra_eval Cobra_synth Cobra_uarch Cobra_workloads Designs Experiment Format List

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Btb Cobra Cobra_components Cobra_uarch Cobra_workloads Format Hbim Indexing Pipeline Storage Tage Topology

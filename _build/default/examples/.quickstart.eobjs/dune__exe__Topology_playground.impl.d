@@ -1,0 +1,1 @@
+examples/topology_playground.ml: Cobra Cobra_components Cobra_uarch Cobra_workloads Format Hbim Indexing Loop_pred Pipeline Topology Ubtb

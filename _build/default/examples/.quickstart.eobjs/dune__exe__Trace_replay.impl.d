@@ -1,0 +1,1 @@
+examples/trace_replay.ml: Cobra_eval Cobra_isa Cobra_uarch Cobra_workloads Filename Format Fun List Sys Unix

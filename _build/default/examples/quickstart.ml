@@ -1,0 +1,34 @@
+(* Quickstart: compose a predictor from library sub-components, attach it to
+   the core model, run a workload and read the counters.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Cobra
+open Cobra_components
+
+let () =
+  (* 1. Pick sub-components from the library. The paper's notation
+        "TAGE_3 > BTB_2 > BIM_2" is written with [Topology.over]. *)
+  let tage = Tage.make (Tage.default ~name:"TAGE") in
+  let btb = Btb.make (Btb.default ~name:"BTB") in
+  let bim = Hbim.make (Hbim.default ~name:"BIM" ~indexing:Indexing.Pc) in
+  let topology = Topology.(over tage (over btb (node bim))) in
+  Format.printf "topology: %s@." (Topology.to_expression topology);
+
+  (* 2. The composer elaborates the pipeline: management structures
+        (history file, global/local history providers, repair logic) are
+        generated automatically. *)
+  let pipeline = Pipeline.create Pipeline.default_config topology in
+  Format.printf "pipeline depth: %d stages@." (Pipeline.depth pipeline);
+  Format.printf "total storage: %a@." Storage.pp (Pipeline.storage pipeline);
+
+  (* 3. Drop the pipeline into the host core and run a workload. *)
+  let core =
+    Cobra_uarch.Core.create Cobra_uarch.Config.default pipeline
+      (Cobra_workloads.Dhrystone.stream ())
+  in
+  let perf = Cobra_uarch.Core.run core ~max_insns:100_000 in
+  Format.printf "@.dhrystone results:@.  %a@." Cobra_uarch.Perf.pp perf;
+  Format.printf "branch accuracy: %.2f%%, IPC: %.3f@."
+    (100.0 *. Cobra_uarch.Perf.branch_accuracy perf)
+    (Cobra_uarch.Perf.ipc perf)

@@ -1,0 +1,1 @@
+lib/components/btb.ml: Array Cobra Cobra_util Component Context Fun List Storage Types

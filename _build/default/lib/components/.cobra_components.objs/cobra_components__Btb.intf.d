@@ -1,0 +1,1 @@
+lib/components/btb.mli: Cobra

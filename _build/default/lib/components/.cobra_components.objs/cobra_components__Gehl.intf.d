@@ -1,0 +1,1 @@
+lib/components/gehl.mli: Cobra

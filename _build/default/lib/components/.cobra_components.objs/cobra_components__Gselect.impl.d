@@ -1,0 +1,1 @@
+lib/components/gselect.ml: Array Cobra Cobra_util Component Context List Storage Types

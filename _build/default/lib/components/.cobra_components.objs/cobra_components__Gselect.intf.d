@@ -1,0 +1,1 @@
+lib/components/gselect.mli: Cobra

@@ -1,0 +1,1 @@
+lib/components/gshare.ml: Array Cobra Cobra_util Component Context List Storage Types

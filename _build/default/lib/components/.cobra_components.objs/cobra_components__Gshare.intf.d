@@ -1,0 +1,1 @@
+lib/components/gshare.mli: Cobra

@@ -1,0 +1,1 @@
+lib/components/gtag.ml: Array Cobra Cobra_util Component Context Fun List Storage Types

@@ -1,0 +1,1 @@
+lib/components/gtag.mli: Cobra

@@ -1,0 +1,1 @@
+lib/components/hbim.ml: Array Cobra Cobra_util Component Indexing List Storage Types

@@ -1,0 +1,1 @@
+lib/components/hbim.mli: Cobra Indexing

@@ -1,0 +1,1 @@
+lib/components/indexing.ml: Array Cobra Cobra_util List Printf String

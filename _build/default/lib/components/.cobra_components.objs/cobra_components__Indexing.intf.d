@@ -1,0 +1,1 @@
+lib/components/indexing.mli: Cobra

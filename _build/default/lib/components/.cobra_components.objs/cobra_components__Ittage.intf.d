@@ -1,0 +1,1 @@
+lib/components/ittage.mli: Cobra

@@ -1,0 +1,1 @@
+lib/components/loop_pred.mli: Cobra

@@ -1,0 +1,1 @@
+lib/components/perceptron.mli: Cobra

@@ -1,0 +1,1 @@
+lib/components/static_pred.ml: Array Cobra Cobra_util Component Context Storage Types

@@ -1,0 +1,1 @@
+lib/components/static_pred.mli: Cobra

@@ -1,0 +1,1 @@
+lib/components/statistical_corrector.ml: Array Cobra Cobra_util Component Context Fun List Storage Types

@@ -1,0 +1,1 @@
+lib/components/statistical_corrector.mli: Cobra

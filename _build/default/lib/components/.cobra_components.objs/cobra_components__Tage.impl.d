@@ -1,0 +1,1 @@
+lib/components/tage.ml: Array Cobra Cobra_util Component Context Fun Lazy List Option Storage Types

@@ -1,0 +1,1 @@
+lib/components/tage.mli: Cobra

@@ -1,0 +1,1 @@
+lib/components/tourney.ml: Array Cobra Cobra_util Component Context Fun List Printf Storage Types

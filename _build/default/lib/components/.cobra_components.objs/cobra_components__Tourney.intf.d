@@ -1,0 +1,1 @@
+lib/components/tourney.mli: Cobra

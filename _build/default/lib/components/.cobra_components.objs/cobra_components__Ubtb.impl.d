@@ -1,0 +1,1 @@
+lib/components/ubtb.ml: Array Cobra Cobra_util Component Context Fun Hashtbl List Storage Types

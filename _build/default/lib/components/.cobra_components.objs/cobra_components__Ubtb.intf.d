@@ -1,0 +1,1 @@
+lib/components/ubtb.mli: Cobra

@@ -1,0 +1,1 @@
+lib/components/yags.mli: Cobra

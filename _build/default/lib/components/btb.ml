@@ -1,0 +1,121 @@
+module Bitpack = Cobra_util.Bitpack
+module Bitops = Cobra_util.Bitops
+module Hashing = Cobra_util.Hashing
+open Cobra
+
+type config = {
+  name : string;
+  latency : int;
+  sets : int;
+  ways : int;
+  tag_bits : int;
+  fetch_width : int;
+}
+
+let default ~name =
+  { name; latency = 2; sets = 512; ways = 4; tag_bits = 14; fetch_width = 4 }
+
+let entries cfg = cfg.sets * cfg.ways
+
+type entry = { mutable valid : bool; mutable tag : int; mutable target : int;
+               mutable kind : Types.branch_kind }
+
+(* Metadata layout: per slot, hit flag + hit way. *)
+let way_bits cfg = max 1 (Bitops.bits_needed cfg.ways)
+let meta_layout cfg = List.concat_map (fun _ -> [ 1; way_bits cfg ]) (List.init cfg.fetch_width Fun.id)
+
+let target_bits = 48
+
+let make cfg =
+  if not (Bitops.is_power_of_two cfg.sets) then
+    invalid_arg (cfg.name ^ ": sets must be a power of two");
+  if cfg.ways < 1 then invalid_arg (cfg.name ^ ": ways < 1");
+  let set_bits = Bitops.log2_exact cfg.sets in
+  let table =
+    Array.init cfg.sets (fun _ ->
+        Array.init cfg.ways (fun _ -> { valid = false; tag = 0; target = 0; kind = Types.Cond }))
+  in
+  (* Round-robin replacement pointer per set. *)
+  let replace = Array.make cfg.sets 0 in
+  let set_of pc = Hashing.pc_index ~pc ~bits:set_bits in
+  let tag_of pc = Hashing.fold_int (Hashing.mix2 (Hashing.pc_bits pc) 0) ~width:62 ~bits:cfg.tag_bits in
+  let lookup pc =
+    let set = table.(set_of pc) and tag = tag_of pc in
+    let rec find w =
+      if w >= cfg.ways then None
+      else if set.(w).valid && set.(w).tag = tag then Some w
+      else find (w + 1)
+    in
+    find 0
+  in
+  let meta_bits = Bitpack.width_of (meta_layout cfg) in
+  let predict (ctx : Context.t) ~pred_in:_ =
+    let fields = ref [] in
+    let pred =
+      Array.init cfg.fetch_width (fun slot ->
+          let pc = Context.slot_pc ctx slot in
+          match lookup pc with
+          | Some w ->
+            fields := (w, way_bits cfg) :: (1, 1) :: !fields;
+            let e = table.(set_of pc).(w) in
+            {
+              Types.o_branch = Some true;
+              o_kind = Some e.kind;
+              o_taken = (if Types.is_unconditional e.kind then Some true else None);
+              o_target = Some e.target;
+            }
+          | None ->
+            fields := (0, way_bits cfg) :: (0, 1) :: !fields;
+            Types.empty_opinion)
+    in
+    (pred, Bitpack.pack ~width:meta_bits (List.rev !fields))
+  in
+  let update (ev : Component.event) =
+    let fields = Bitpack.unpack ev.meta (meta_layout cfg) in
+    let rec per_slot slot = function
+      | hit :: way :: rest ->
+        let (r : Types.resolved) = ev.slots.(slot) in
+        (* Allocate/refresh entries for branches observed taken; a branch the
+           BTB has never seen taken cannot redirect fetch and need not
+           occupy a way. *)
+        if r.r_is_branch && r.r_taken then begin
+          let pc = Context.slot_pc ev.ctx slot in
+          let set_idx = set_of pc in
+          let set = table.(set_idx) in
+          let w =
+            if hit = 1 then way
+            else begin
+              (* Prefer an invalid way, else round-robin replacement. *)
+              let rec find_invalid i =
+                if i >= cfg.ways then None else if not set.(i).valid then Some i else find_invalid (i + 1)
+              in
+              match find_invalid 0 with
+              | Some i -> i
+              | None ->
+                let i = replace.(set_idx) in
+                replace.(set_idx) <- (i + 1) mod cfg.ways;
+                i
+            end
+          in
+          let e = set.(w) in
+          e.valid <- true;
+          e.tag <- tag_of pc;
+          e.target <- r.r_target;
+          e.kind <- r.r_kind
+        end;
+        per_slot (slot + 1) rest
+      | [] -> ()
+      | _ -> assert false
+    in
+    per_slot 0 fields
+  in
+  let entry_bits = 1 + cfg.tag_bits + target_bits + 3 in
+  let storage =
+    Storage.make
+      ~sram_bits:(entries cfg * entry_bits)
+      ~flop_bits:(cfg.sets * Bitops.bits_needed (max 2 cfg.ways))
+      ~logic_gates:(cfg.fetch_width * cfg.ways * 60)
+      ()
+  in
+  Component.make ~name:cfg.name ~family:Component.Btb ~latency:cfg.latency ~meta_bits ~storage
+    ~predict ~update ()

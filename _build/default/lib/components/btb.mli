@@ -1,0 +1,23 @@
+(** Set-associative branch target buffer (paper III-G2).
+
+    Learns targets and kinds of taken branches. Each fetch-packet slot looks
+    up its own set; on a tag hit the component contributes branch existence,
+    kind and target — for unconditional branches also the taken direction —
+    while leaving conditional directions to counter tables (the paper's
+    Fig 3 decoupled-BTB composition). The hit way is stored in metadata so
+    the update can write the correct way without a second read. *)
+
+type config = {
+  name : string;
+  latency : int;
+  sets : int;  (** power of two *)
+  ways : int;
+  tag_bits : int;
+  fetch_width : int;
+}
+
+val default : name:string -> config
+(** 2K entries: 512 sets x 4 ways, 14-bit tags, latency 2, 4-wide. *)
+
+val make : config -> Cobra.Component.t
+val entries : config -> int

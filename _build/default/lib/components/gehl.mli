@@ -1,0 +1,26 @@
+(** O-GEHL direction predictor (Seznec, CBP-1 2004). Extension component —
+    one of the history-based predictor families the paper's Section II-A
+    surveys.
+
+    Several tables of signed counters indexed by hashes of the PC with
+    geometrically increasing history lengths; the prediction is the sign of
+    the {e sum} of the read counters, and training (on mispredictions or
+    low-magnitude sums) nudges every participating counter — a hybrid
+    between perceptron-style voting and TAGE-style geometric histories.
+    The counters read at predict time travel in the metadata. *)
+
+type config = {
+  name : string;
+  latency : int;
+  table_bits : int;  (** log2 entries per table *)
+  counter_bits : int;  (** signed counters *)
+  history_lengths : int list;  (** one table per entry; 0 = PC-only table *)
+  threshold : int;
+  fetch_width : int;
+}
+
+val default : name:string -> config
+(** 6 tables (histories 0, 2, 4, 8, 16, 32) of 1K 4-bit counters. *)
+
+val storage_bits : config -> int
+val make : config -> Cobra.Component.t

@@ -1,0 +1,17 @@
+(** GSelect direction predictor (McFarling 1993): index formed by
+    {e concatenating} PC bits with global-history bits, rather than
+    hashing them together as GShare does. Extension component. *)
+
+type config = {
+  name : string;
+  latency : int;
+  pc_bits : int;
+  history_bits : int;
+  counter_bits : int;
+  fetch_width : int;
+}
+
+val default : name:string -> config
+(** 6 PC bits ++ 6 history bits (4K entries), 2-bit counters, latency 2. *)
+
+val make : config -> Cobra.Component.t

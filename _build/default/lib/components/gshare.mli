@@ -1,0 +1,20 @@
+(** GShare direction predictor (McFarling 1993).
+
+    A counter table indexed by the xor of the folded PC and the folded
+    global history. An extension beyond the paper's starter library,
+    demonstrating how further classic predictors drop into the COBRA
+    interface. Direction-only (like {!Hbim}); counters ride in metadata. *)
+
+type config = {
+  name : string;
+  latency : int;
+  index_bits : int;
+  counter_bits : int;
+  history_length : int;
+  fetch_width : int;
+}
+
+val default : name:string -> config
+(** 4K entries, 2-bit counters, 12 bits of history, latency 2. *)
+
+val make : config -> Cobra.Component.t

@@ -1,0 +1,104 @@
+module Bitpack = Cobra_util.Bitpack
+module Bitops = Cobra_util.Bitops
+module Counter = Cobra_util.Counter
+module Hashing = Cobra_util.Hashing
+open Cobra
+
+type config = {
+  name : string;
+  latency : int;
+  entries : int;
+  tag_bits : int;
+  counter_bits : int;
+  history_length : int;
+  fetch_width : int;
+}
+
+let default ~name =
+  {
+    name;
+    latency = 3;
+    entries = 2048;
+    tag_bits = 7;
+    counter_bits = 2;
+    history_length = 16;
+    fetch_width = 4;
+  }
+
+type entry = { mutable valid : bool; mutable tag : int; mutable ctr : int }
+
+(* Metadata: per slot, hit flag + the counter read at predict time. *)
+let meta_layout cfg =
+  List.concat_map (fun _ -> [ 1; cfg.counter_bits ]) (List.init cfg.fetch_width Fun.id)
+
+let make cfg =
+  if not (Bitops.is_power_of_two cfg.entries) then
+    invalid_arg (cfg.name ^ ": entries must be a power of two");
+  let index_bits = Bitops.log2_exact cfg.entries in
+  let table = Array.init cfg.entries (fun _ -> { valid = false; tag = 0; ctr = 0 }) in
+  let index (ctx : Context.t) ~slot =
+    let pc = Context.slot_pc ctx slot in
+    Hashing.combine ~bits:index_bits
+      [
+        Hashing.pc_index ~pc ~bits:index_bits;
+        Hashing.folded_history ctx.ghist ~len:cfg.history_length ~bits:index_bits;
+      ]
+  in
+  let tag (ctx : Context.t) ~slot =
+    let pc = Context.slot_pc ctx slot in
+    Hashing.fold_int
+      (Hashing.mix2 (Hashing.pc_bits pc)
+         (Hashing.folded_history ctx.ghist ~len:cfg.history_length ~bits:cfg.tag_bits))
+      ~width:62 ~bits:cfg.tag_bits
+  in
+  let meta_bits = Bitpack.width_of (meta_layout cfg) in
+  let predict (ctx : Context.t) ~pred_in =
+    let base = match pred_in with [ p ] -> p | _ -> invalid_arg (cfg.name ^ ": one predict_in") in
+    let fields = ref [] in
+    let pred =
+      Array.init cfg.fetch_width (fun slot ->
+          let e = table.(index ctx ~slot) in
+          if (not (Types.unconditional_in base slot)) && e.valid && e.tag = tag ctx ~slot
+          then begin
+            fields := (e.ctr, cfg.counter_bits) :: (1, 1) :: !fields;
+            { Types.empty_opinion with
+              o_taken = Some (Counter.is_taken ~bits:cfg.counter_bits e.ctr) }
+          end
+          else begin
+            fields := (0, cfg.counter_bits) :: (0, 1) :: !fields;
+            Types.empty_opinion
+          end)
+    in
+    (pred, Bitpack.pack ~width:meta_bits (List.rev !fields))
+  in
+  let update (ev : Component.event) =
+    let fields = Bitpack.unpack ev.meta (meta_layout cfg) in
+    let rec per_slot slot = function
+      | hit :: ctr :: rest ->
+        let (r : Types.resolved) = ev.slots.(slot) in
+        if r.r_is_branch && r.r_kind = Types.Cond then begin
+          let e = table.(index ev.ctx ~slot) in
+          if hit = 1 then
+            e.ctr <- Counter.update ~bits:cfg.counter_bits ctr ~taken:r.r_taken
+          else begin
+            (* Allocate on miss, seeding the counter weakly in the observed
+               direction. *)
+            e.valid <- true;
+            e.tag <- tag ev.ctx ~slot;
+            e.ctr <-
+              (if r.r_taken then Counter.weakly_taken ~bits:cfg.counter_bits
+               else Counter.weakly_not_taken ~bits:cfg.counter_bits)
+          end
+        end;
+        per_slot (slot + 1) rest
+      | [] -> ()
+      | _ -> assert false
+    in
+    per_slot 0 fields
+  in
+  let entry_bits = 1 + cfg.tag_bits + cfg.counter_bits in
+  let storage =
+    Storage.make ~sram_bits:(cfg.entries * entry_bits) ~logic_gates:(cfg.fetch_width * 80) ()
+  in
+  Component.make ~name:cfg.name ~family:Component.Tagged_table ~latency:cfg.latency ~meta_bits
+    ~storage ~predict ~update ()

@@ -1,0 +1,70 @@
+module Counter = Cobra_util.Counter
+module Bitpack = Cobra_util.Bitpack
+module Bitops = Cobra_util.Bitops
+open Cobra
+
+type config = {
+  name : string;
+  latency : int;
+  entries : int;
+  counter_bits : int;
+  indexing : Indexing.t;
+  fetch_width : int;
+}
+
+let default ~name ~indexing =
+  { name; latency = 2; entries = 2048; counter_bits = 2; indexing; fetch_width = 4 }
+
+(* Metadata layout: per slot, the counter value read at predict time. *)
+let meta_layout cfg = List.init cfg.fetch_width (fun _ -> cfg.counter_bits)
+
+let make_inspectable cfg =
+  if not (Bitops.is_power_of_two cfg.entries) then
+    invalid_arg (cfg.name ^ ": entries must be a power of two");
+  let index_bits = Bitops.log2_exact cfg.entries in
+  let table = Array.make cfg.entries (Counter.weakly_not_taken ~bits:cfg.counter_bits) in
+  let slot_index ctx ~slot = Indexing.index cfg.indexing ctx ~slot ~bits:index_bits in
+  let meta_bits = Bitpack.width_of (meta_layout cfg) in
+  let predict ctx ~pred_in =
+    let base = match pred_in with [ p ] -> p | _ -> invalid_arg (cfg.name ^ ": one predict_in") in
+    let counters =
+      Array.init cfg.fetch_width (fun slot -> table.(slot_index ctx ~slot))
+    in
+    let pred =
+      Array.mapi
+        (fun slot c ->
+          (* never override a known always-taken direction (jump/call/ret) *)
+          if Types.unconditional_in base slot then Types.empty_opinion
+          else
+            { Types.empty_opinion with
+              o_taken = Some (Counter.is_taken ~bits:cfg.counter_bits c) })
+        counters
+    in
+    let meta =
+      Bitpack.pack ~width:meta_bits
+        (Array.to_list (Array.map (fun c -> (c, cfg.counter_bits)) counters))
+    in
+    (pred, meta)
+  in
+  let update (ev : Component.event) =
+    let counters = Bitpack.unpack ev.meta (meta_layout cfg) in
+    List.iteri
+      (fun slot c ->
+        let (r : Types.resolved) = ev.slots.(slot) in
+        if r.r_is_branch && r.r_kind = Types.Cond then
+          (* Write back the updated predict-time counter: no second read. *)
+          table.(slot_index ev.ctx ~slot) <-
+            Counter.update ~bits:cfg.counter_bits c ~taken:r.r_taken)
+      counters
+  in
+  let storage =
+    Storage.make ~sram_bits:(cfg.entries * cfg.counter_bits)
+      ~logic_gates:(cfg.fetch_width * 40) ()
+  in
+  let component =
+    Component.make ~name:cfg.name ~family:Component.Counter_table ~latency:cfg.latency
+      ~meta_bits ~storage ~predict ~update ()
+  in
+  (component, fun ctx ~slot -> table.(slot_index ctx ~slot))
+
+let make cfg = fst (make_inspectable cfg)

@@ -1,0 +1,29 @@
+(** Bimodal counter table with parameterised indexing (paper III-G1).
+
+    A superscalar table of saturating direction counters: every fetch-packet
+    slot reads its own entry, indexed by PC, global history, local history
+    or any hashed combination. The counter values read at predict time are
+    stored in the metadata field so that the commit-time update never
+    re-reads the table — the paper's flagship use of metadata (III-D).
+
+    The component provides {e direction only} (its opinion sets [o_taken]);
+    branch existence and targets come from tagged structures such as a BTB,
+    exactly as in the paper's composed designs. *)
+
+type config = {
+  name : string;
+  latency : int;
+  entries : int;  (** power of two *)
+  counter_bits : int;
+  indexing : Indexing.t;
+  fetch_width : int;
+}
+
+val default : name:string -> indexing:Indexing.t -> config
+(** 2048 entries, 2-bit counters, latency 2, 4-wide. *)
+
+val make : config -> Cobra.Component.t
+
+val make_inspectable : config -> Cobra.Component.t * (Cobra.Context.t -> slot:int -> int)
+(** Like {!make} but also returns a reader for the counter a slot would see
+    — used by unit tests to observe training. *)

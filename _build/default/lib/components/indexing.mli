@@ -1,0 +1,16 @@
+(** Parameterised table indexing (paper Section III-G1).
+
+    Counter tables in the library can be indexed "by a global history, local
+    history, PC, or any hashed combination of the above". *)
+
+type t =
+  | Pc  (** folded instruction address *)
+  | Ghist of int  (** youngest [n] bits of global history *)
+  | Lhist of int  (** youngest [n] bits of the slot's local history *)
+  | Phist of int  (** youngest [n] bits of path history (paper IV-B3) *)
+  | Hash of t list  (** xor-combination of folded sources *)
+
+val index : t -> Cobra.Context.t -> slot:int -> bits:int -> int
+(** Table index for the given fetch-packet slot, in [0, 2^bits). *)
+
+val describe : t -> string

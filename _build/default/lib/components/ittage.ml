@@ -1,0 +1,152 @@
+module Bitpack = Cobra_util.Bitpack
+module Counter = Cobra_util.Counter
+module Hashing = Cobra_util.Hashing
+open Cobra
+
+type table_spec = { history_length : int; index_bits : int; tag_bits : int }
+
+type config = {
+  name : string;
+  latency : int;
+  tables : table_spec list;
+  confidence_bits : int;
+  use_path_history : bool;
+  fetch_width : int;
+}
+
+let default ~name =
+  let spec h = { history_length = h; index_bits = 8; tag_bits = 9 } in
+  {
+    name;
+    latency = 3;
+    tables = List.map spec [ 2; 6; 12; 24 ];
+    confidence_bits = 2;
+    use_path_history = false;
+    fetch_width = 4;
+  }
+
+type entry = {
+  mutable valid : bool;
+  mutable tag : int;
+  mutable target : int;
+  mutable conf : int;
+}
+
+(* Metadata per slot: hit(1) + provider table(3). *)
+let slot_layout = [ 1; 3 ]
+let meta_layout cfg = List.concat_map (fun _ -> slot_layout) (List.init cfg.fetch_width Fun.id)
+
+let target_bits = 48
+
+let make cfg =
+  let ntables = List.length cfg.tables in
+  if ntables < 1 || ntables > 8 then invalid_arg (cfg.name ^ ": 1..8 tables supported");
+  let specs = Array.of_list cfg.tables in
+  let banks =
+    Array.map
+      (fun s ->
+        Array.init (1 lsl s.index_bits) (fun _ ->
+            { valid = false; tag = 0; target = 0; conf = 0 }))
+      specs
+  in
+  let history (ctx : Context.t) = if cfg.use_path_history then ctx.phist else ctx.ghist in
+  let index (ctx : Context.t) ~slot ~table =
+    let s = specs.(table) in
+    Hashing.pc_index ~pc:(Context.slot_pc ctx slot) ~bits:s.index_bits
+    lxor Hashing.folded_history (history ctx) ~len:s.history_length ~bits:s.index_bits
+    lxor Hashing.fold_int (Hashing.mix2 table 29) ~width:62 ~bits:s.index_bits
+  in
+  let tag_hash (ctx : Context.t) ~slot ~table =
+    let s = specs.(table) in
+    Hashing.fold_int
+      (Hashing.mix2
+         (Hashing.pc_bits (Context.slot_pc ctx slot))
+         (Hashing.folded_history (history ctx) ~len:s.history_length ~bits:s.tag_bits
+         + (table * 131)))
+      ~width:62 ~bits:s.tag_bits
+  in
+  let lookup ctx ~slot ~table =
+    let e = banks.(table).(index ctx ~slot ~table) in
+    if e.valid && e.tag = tag_hash ctx ~slot ~table then Some e else None
+  in
+  let find_provider ctx ~slot =
+    let rec scan t =
+      if t < 0 then None
+      else match lookup ctx ~slot ~table:t with Some e -> Some (t, e) | None -> scan (t - 1)
+    in
+    scan (ntables - 1)
+  in
+  let meta_bits = Bitpack.width_of (meta_layout cfg) in
+  let predict (ctx : Context.t) ~pred_in:_ =
+    let fields = ref [] in
+    let pred =
+      Array.init cfg.fetch_width (fun slot ->
+          match find_provider ctx ~slot with
+          | Some (t, e) ->
+            fields := (t, 3) :: (1, 1) :: !fields;
+            {
+              Types.o_branch = Some true;
+              o_kind = Some Types.Ind;
+              o_taken = Some true;
+              o_target = Some e.target;
+            }
+          | None ->
+            fields := (0, 3) :: (0, 1) :: !fields;
+            Types.empty_opinion)
+    in
+    (pred, Bitpack.pack ~width:meta_bits (List.rev !fields))
+  in
+  let update (ev : Component.event) =
+    let fields = Bitpack.unpack ev.meta (meta_layout cfg) in
+    let rec per_slot slot = function
+      | hit :: provider :: rest ->
+        let (r : Types.resolved) = ev.slots.(slot) in
+        if r.r_is_branch && r.r_kind = Types.Ind && r.r_taken then begin
+          let correct = ref false in
+          if hit = 1 then begin
+            match lookup ev.ctx ~slot ~table:provider with
+            | Some e ->
+              if e.target = r.r_target then begin
+                e.conf <- Counter.increment ~bits:cfg.confidence_bits e.conf;
+                correct := true
+              end
+              else if e.conf > 0 then e.conf <- e.conf - 1
+              else e.target <- r.r_target
+            | None -> ()
+          end;
+          (* allocate in a longer-history table when wrong or missing *)
+          if not !correct then begin
+            let above = if hit = 1 then provider + 1 else 0 in
+            let rec alloc t =
+              if t < ntables then begin
+                let e = banks.(t).(index ev.ctx ~slot ~table:t) in
+                if (not e.valid) || e.conf = 0 then begin
+                  e.valid <- true;
+                  e.tag <- tag_hash ev.ctx ~slot ~table:t;
+                  e.target <- r.r_target;
+                  e.conf <- 0
+                end
+                else begin
+                  e.conf <- e.conf - 1;
+                  alloc (t + 1)
+                end
+              end
+            in
+            alloc above
+          end
+        end;
+        per_slot (slot + 1) rest
+      | [] -> ()
+      | _ -> assert false
+    in
+    per_slot 0 fields
+  in
+  let storage_bits =
+    List.fold_left
+      (fun acc s ->
+        acc + ((1 lsl s.index_bits) * (1 + s.tag_bits + target_bits + cfg.confidence_bits)))
+      0 cfg.tables
+  in
+  Component.make ~name:cfg.name ~family:Component.Tagged_table ~latency:cfg.latency ~meta_bits
+    ~storage:(Storage.make ~sram_bits:storage_bits ~logic_gates:(cfg.fetch_width * ntables * 100) ())
+    ~predict ~update ()

@@ -1,0 +1,178 @@
+module Bitpack = Cobra_util.Bitpack
+module Bitops = Cobra_util.Bitops
+module Hashing = Cobra_util.Hashing
+open Cobra
+
+type config = {
+  name : string;
+  latency : int;
+  entries : int;
+  tag_bits : int;
+  count_bits : int;
+  conf_bits : int;
+  conf_threshold : int;
+  fetch_width : int;
+}
+
+let default ~name =
+  {
+    name;
+    latency = 3;
+    entries = 256;
+    tag_bits = 10;
+    count_bits = 10;
+    conf_bits = 3;
+    conf_threshold = 4;
+    fetch_width = 4;
+  }
+
+type entry = {
+  mutable valid : bool;
+  mutable tag : int;
+  mutable p_count : int;  (* learned trip count; 0 = unknown *)
+  mutable c_count : int;  (* speculative iterations since last exit *)
+  mutable conf : int;
+  mutable dir : bool;  (* the repeated (body) direction *)
+}
+
+(* Metadata layout, per slot: hit(1), predict-time c_count, offered a
+   prediction(1), predicted direction(1). *)
+let slot_layout cfg = [ 1; cfg.count_bits; 1; 1 ]
+let meta_layout cfg = List.concat_map (fun _ -> slot_layout cfg) (List.init cfg.fetch_width Fun.id)
+
+let make cfg =
+  if not (Bitops.is_power_of_two cfg.entries) then
+    invalid_arg (cfg.name ^ ": entries must be a power of two");
+  let index_bits = Bitops.log2_exact cfg.entries in
+  let table =
+    Array.init cfg.entries (fun _ ->
+        { valid = false; tag = 0; p_count = 0; c_count = 0; conf = 0; dir = true })
+  in
+  let index pc = Hashing.pc_index ~pc ~bits:index_bits in
+  let tag_of pc = Hashing.fold_int (Hashing.mix2 (Hashing.pc_bits pc) 3) ~width:62 ~bits:cfg.tag_bits in
+  let lookup pc =
+    let e = table.(index pc) in
+    if e.valid && e.tag = tag_of pc then Some e else None
+  in
+  let count_max = (1 lsl cfg.count_bits) - 1 in
+  let conf_max = (1 lsl cfg.conf_bits) - 1 in
+  let meta_bits = Bitpack.width_of (meta_layout cfg) in
+  let predict (ctx : Context.t) ~pred_in:_ =
+    let pred = Types.no_prediction ~width:cfg.fetch_width in
+    let fields = ref [] in
+    for slot = 0 to cfg.fetch_width - 1 do
+      let hit, c, pv, pd =
+        match lookup (Context.slot_pc ctx slot) with
+        | Some e ->
+          if e.conf >= cfg.conf_threshold && e.p_count > 0 then begin
+            let taken = if e.c_count >= e.p_count then not e.dir else e.dir in
+            pred.(slot) <- { Types.empty_opinion with o_taken = Some taken };
+            (1, e.c_count, 1, if taken then 1 else 0)
+          end
+          else (1, e.c_count, 0, 0)
+        | None -> (0, 0, 0, 0)
+      in
+      fields := (pd, 1) :: (pv, 1) :: (c, cfg.count_bits) :: (hit, 1) :: !fields
+    done;
+    (pred, Bitpack.pack ~width:meta_bits (List.rev !fields))
+  in
+  let unpack_meta (ev : Component.event) =
+    let rec group = function
+      | hit :: c :: pv :: pd :: rest -> (hit = 1, c, pv = 1, pd = 1) :: group rest
+      | [] -> []
+      | _ -> assert false
+    in
+    Array.of_list (group (Bitpack.unpack ev.meta (meta_layout cfg)))
+  in
+  let entry_for (ev : Component.event) slot = lookup (Context.slot_pc ev.ctx slot) in
+  (* Speculative per-slot iteration counting when the packet proceeds. *)
+  let fire (ev : Component.event) =
+    let meta = unpack_meta ev in
+    Array.iteri
+      (fun slot (hit, _c, _pv, _pd) ->
+        if hit then
+          match entry_for ev slot with
+          | Some e ->
+            let (r : Types.resolved) = ev.slots.(slot) in
+            if r.r_is_branch && r.r_kind = Types.Cond then
+              if r.r_taken = e.dir then e.c_count <- min count_max (e.c_count + 1)
+              else e.c_count <- 0
+          | None -> ())
+      meta
+  in
+  let restore_slot ev meta slot =
+    let hit, c, _pv, _pd = meta.(slot) in
+    if hit then
+      match entry_for ev slot with Some e -> e.c_count <- c | None -> ()
+  in
+  let repair (ev : Component.event) =
+    let meta = unpack_meta ev in
+    Array.iteri (fun slot _ -> restore_slot ev meta slot) meta
+  in
+  let mispredict (ev : Component.event) =
+    match ev.culprit with
+    | None -> ()
+    | Some culprit ->
+      let meta = unpack_meta ev in
+      (* Rewind speculative counts from the culprit onward, then apply the
+         culprit's actual direction. *)
+      for slot = Array.length meta - 1 downto culprit do
+        restore_slot ev meta slot
+      done;
+      let (r : Types.resolved) = ev.slots.(culprit) in
+      if r.r_is_branch && r.r_kind = Types.Cond then begin
+        let hit, c, _pv, _pd = meta.(culprit) in
+        match (hit, entry_for ev culprit) with
+        | true, Some e ->
+          if r.r_taken = e.dir then e.c_count <- min count_max (c + 1) else e.c_count <- 0
+        | _ ->
+          (* An untracked mispredicting conditional branch: start tracking,
+             assuming the misprediction was a loop exit. *)
+          let pc = Context.slot_pc ev.ctx culprit in
+          let e = table.(index pc) in
+          e.valid <- true;
+          e.tag <- tag_of pc;
+          e.p_count <- 0;
+          e.c_count <- 0;
+          e.conf <- 0;
+          e.dir <- not r.r_taken
+      end
+  in
+  let update (ev : Component.event) =
+    let meta = unpack_meta ev in
+    Array.iteri
+      (fun slot (hit, c, _pv, _pd) ->
+        if hit then
+          match entry_for ev slot with
+          | Some e ->
+            let (r : Types.resolved) = ev.slots.(slot) in
+            if r.r_is_branch && r.r_kind = Types.Cond then
+              if r.r_taken <> e.dir then begin
+                (* Committed loop exit after [c] body iterations. *)
+                if c = 0 then begin
+                  (* Two consecutive exits: the learned body direction is
+                     the branch's minority direction — flip it. *)
+                  e.dir <- not e.dir;
+                  e.p_count <- 0;
+                  e.conf <- 0
+                end
+                else if c < count_max then begin
+                  if e.p_count = c then e.conf <- min conf_max (e.conf + 1)
+                  else begin
+                    e.p_count <- c;
+                    e.conf <- (if e.conf >= cfg.conf_threshold then 0 else 1)
+                  end
+                end
+              end
+              else if e.p_count > 0 && c >= e.p_count then
+                (* Ran past the learned trip count without exiting. *)
+                e.conf <- max 0 (e.conf - 1)
+          | None -> ())
+      meta
+  in
+  let entry_bits = 1 + cfg.tag_bits + (2 * cfg.count_bits) + cfg.conf_bits + 1 in
+  let storage =
+    Storage.make ~sram_bits:(cfg.entries * entry_bits) ~logic_gates:(cfg.fetch_width * 70) ()
+  in
+  Component.make ~name:cfg.name ~family:Component.Loop ~latency:cfg.latency ~meta_bits ~storage
+    ~predict ~fire ~mispredict ~repair ~update ()

@@ -1,0 +1,32 @@
+(** Loop predictor (paper III-G5), a simplified version of the TAGE-SC-L
+    loop corrector.
+
+    Tracks conditional branches that iterate a fixed number of times in one
+    direction and then exit once. Each entry learns the trip count
+    [p_count]; a speculative [c_count] is incremented at {e fire} time (the
+    paper notes this sub-component updates at query/fire rather than at
+    commit) and restored from the metadata field during {e repair} — the
+    paper's stated metadata use for this component. Tracking and counting
+    are per-slot (superscalar, per paper III-C); a slot offers a prediction
+    only once its entry's confidence saturates past [conf_threshold].
+
+    Training of [p_count]/confidence happens at commit-time update using the
+    predict-time count carried in the metadata; allocation happens in the
+    fast mispredict event. *)
+
+type config = {
+  name : string;
+  latency : int;
+  entries : int;  (** power of two, direct mapped *)
+  tag_bits : int;
+  count_bits : int;
+  conf_bits : int;
+  conf_threshold : int;
+  fetch_width : int;
+}
+
+val default : name:string -> config
+(** 256 entries, 10-bit tags and counts, 3-bit confidence with threshold 4,
+    latency 3, 4-wide. *)
+
+val make : config -> Cobra.Component.t

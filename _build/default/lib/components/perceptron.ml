@@ -1,0 +1,84 @@
+module Bitpack = Cobra_util.Bitpack
+module Bits = Cobra_util.Bits
+module Counter = Cobra_util.Counter
+module Hashing = Cobra_util.Hashing
+open Cobra
+
+type config = {
+  name : string;
+  latency : int;
+  table_bits : int;
+  history_length : int;
+  weight_bits : int;
+  fetch_width : int;
+}
+
+let default ~name =
+  { name; latency = 3; table_bits = 8; history_length = 16; weight_bits = 8; fetch_width = 4 }
+
+(* Metadata per slot: |sum| clamped to 12 bits plus its sign. *)
+let sum_bits = 12
+let slot_layout = [ sum_bits; 1 ]
+let meta_layout cfg = List.concat_map (fun _ -> slot_layout) (List.init cfg.fetch_width Fun.id)
+
+let make cfg =
+  let n_weights = cfg.history_length + 1 (* bias *) in
+  let table = Array.init (1 lsl cfg.table_bits) (fun _ -> Array.make n_weights 0) in
+  let index (ctx : Context.t) ~slot =
+    Hashing.pc_index ~pc:(Context.slot_pc ctx slot) ~bits:cfg.table_bits
+  in
+  let dot (ctx : Context.t) weights =
+    let sum = ref weights.(0) in
+    for i = 0 to cfg.history_length - 1 do
+      let bit = Bits.get ctx.ghist i in
+      if bit then sum := !sum + weights.(i + 1) else sum := !sum - weights.(i + 1)
+    done;
+    !sum
+  in
+  let threshold = (2 * cfg.history_length) + 14 (* Jimenez's 1.93h + 14 ~ 2h + 14 *) in
+  let meta_bits = Bitpack.width_of (meta_layout cfg) in
+  let clamp_sum s = min ((1 lsl sum_bits) - 1) (abs s) in
+  let predict (ctx : Context.t) ~pred_in =
+    let base = match pred_in with [ p ] -> p | _ -> invalid_arg (cfg.name ^ ": one predict_in") in
+    let pred =
+      Array.init cfg.fetch_width (fun _ -> Types.empty_opinion)
+    in
+    let fields = ref [] in
+    Array.iteri
+      (fun slot _ ->
+        let sum = dot ctx table.(index ctx ~slot) in
+        fields := ((if sum >= 0 then 1 else 0), 1) :: (clamp_sum sum, sum_bits) :: !fields;
+        if not (Types.unconditional_in base slot) then
+          pred.(slot) <- { Types.empty_opinion with o_taken = Some (sum >= 0) })
+      pred;
+    (pred, Bitpack.pack ~width:meta_bits (List.rev !fields))
+  in
+  let update (ev : Component.event) =
+    let fields = Bitpack.unpack ev.meta (meta_layout cfg) in
+    let rec per_slot slot = function
+      | mag :: sign :: rest ->
+        let (r : Types.resolved) = ev.slots.(slot) in
+        if r.r_is_branch && r.r_kind = Types.Cond then begin
+          let predicted = sign = 1 in
+          if predicted <> r.r_taken || mag <= threshold then begin
+            let weights = table.(index ev.ctx ~slot) in
+            let dir = if r.r_taken then 1 else -1 in
+            weights.(0) <- Counter.update_signed ~bits:cfg.weight_bits weights.(0) ~dir;
+            for i = 0 to cfg.history_length - 1 do
+              let agree = Bits.get ev.ctx.ghist i = r.r_taken in
+              weights.(i + 1) <-
+                Counter.update_signed ~bits:cfg.weight_bits weights.(i + 1)
+                  ~dir:(if agree then 1 else -1)
+            done
+          end
+        end;
+        per_slot (slot + 1) rest
+      | [] -> ()
+      | _ -> assert false
+    in
+    per_slot 0 fields
+  in
+  Component.make ~name:cfg.name ~family:Component.Perceptron ~latency:cfg.latency ~meta_bits
+    ~storage:
+      (Storage.make ~sram_bits:((1 lsl cfg.table_bits) * n_weights * cfg.weight_bits) ())
+    ~predict ~update ()

@@ -1,0 +1,23 @@
+(** Perceptron direction predictor (Jiménez & Lin 2001). Extension
+    component, named by the paper (III-G) as implementable "similarly".
+
+    A PC-indexed table of signed weight vectors; the prediction is the sign
+    of the dot product of the weights with the global history (+ bias).
+    Training at commit time applies the classic rule: update on a
+    misprediction or when the magnitude is below the threshold. The dot
+    product computed at predict time travels in the metadata so training
+    does not recompute it. *)
+
+type config = {
+  name : string;
+  latency : int;
+  table_bits : int;  (** log2 of perceptron count *)
+  history_length : int;  (** number of weights (plus bias) *)
+  weight_bits : int;
+  fetch_width : int;
+}
+
+val default : name:string -> config
+(** 256 perceptrons over 16 history bits, 8-bit weights, latency 3. *)
+
+val make : config -> Cobra.Component.t

@@ -1,0 +1,10 @@
+(** Static direction predictors — useful baselines and test fixtures. *)
+
+val always :
+  name:string -> ?latency:int -> taken:bool -> fetch_width:int -> unit -> Cobra.Component.t
+(** Predicts every slot's direction as [taken]. Stateless. *)
+
+val btfn : name:string -> ?latency:int -> fetch_width:int -> unit -> Cobra.Component.t
+(** Backward-taken / forward-not-taken: needs a target to classify, so it
+    reads [predict_in] (e.g. a BTB below it) and only opines on slots whose
+    incoming opinion carries a target. *)

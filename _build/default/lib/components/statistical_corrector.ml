@@ -1,0 +1,90 @@
+module Bitpack = Cobra_util.Bitpack
+module Counter = Cobra_util.Counter
+module Hashing = Cobra_util.Hashing
+open Cobra
+
+type config = {
+  name : string;
+  latency : int;
+  index_bits : int;
+  counter_bits : int;
+  history_length : int;
+  threshold : int;
+  fetch_width : int;
+}
+
+let default ~name =
+  {
+    name;
+    latency = 3;
+    index_bits = 10;
+    counter_bits = 6;
+    history_length = 8;
+    threshold = 12;
+    fetch_width = 4;
+  }
+
+(* Metadata per slot: incoming-direction validity and value, and the
+   (biased) agreement counter read at predict. *)
+let slot_layout cfg = [ 1; 1; cfg.counter_bits + 1 ]
+let meta_layout cfg = List.concat_map (fun _ -> slot_layout cfg) (List.init cfg.fetch_width Fun.id)
+
+let make cfg =
+  let table = Array.make (1 lsl cfg.index_bits) 0 in
+  let bias = 1 lsl cfg.counter_bits in
+  let index (ctx : Context.t) ~slot ~incoming =
+    Hashing.combine ~bits:cfg.index_bits
+      [
+        Hashing.pc_index ~pc:(Context.slot_pc ctx slot) ~bits:cfg.index_bits;
+        Hashing.folded_history ctx.ghist ~len:cfg.history_length ~bits:cfg.index_bits;
+        (if incoming then 1 else 0);
+      ]
+  in
+  let meta_bits = Bitpack.width_of (meta_layout cfg) in
+  let predict (ctx : Context.t) ~pred_in =
+    let base =
+      match pred_in with
+      | [ p ] -> p
+      | _ -> invalid_arg (cfg.name ^ ": expected exactly one predict_in")
+    in
+    let fields = ref [] in
+    let pred =
+      Array.init cfg.fetch_width (fun slot ->
+          match base.(slot).Types.o_taken with
+          | None ->
+            fields := (bias, cfg.counter_bits + 1) :: (0, 1) :: (0, 1) :: !fields;
+            Types.empty_opinion
+          | Some incoming ->
+            let c = table.(index ctx ~slot ~incoming) in
+            fields :=
+              (c + bias, cfg.counter_bits + 1) :: ((if incoming then 1 else 0), 1) :: (1, 1)
+              :: !fields;
+            if -c > cfg.threshold then
+              (* the counter has saturated against the incoming prediction *)
+              { Types.empty_opinion with o_taken = Some (not incoming) }
+            else Types.empty_opinion)
+    in
+    (pred, Bitpack.pack ~width:meta_bits (List.rev !fields))
+  in
+  let update (ev : Component.event) =
+    let fields = Bitpack.unpack ev.meta (meta_layout cfg) in
+    let rec per_slot slot = function
+      | valid :: inc :: biased :: rest ->
+        let (r : Types.resolved) = ev.slots.(slot) in
+        if valid = 1 && r.r_is_branch && r.r_kind = Types.Cond then begin
+          let incoming = inc = 1 in
+          let c = biased - bias in
+          let dir = if incoming = r.r_taken then 1 else -1 in
+          table.(index ev.ctx ~slot ~incoming) <-
+            Counter.update_signed ~bits:(cfg.counter_bits + 1) c ~dir
+        end;
+        per_slot (slot + 1) rest
+      | [] -> ()
+      | _ -> assert false
+    in
+    per_slot 0 fields
+  in
+  Component.make ~name:cfg.name ~family:Component.Corrector ~latency:cfg.latency ~meta_bits
+    ~storage:
+      (Storage.make ~sram_bits:((1 lsl cfg.index_bits) * (cfg.counter_bits + 1)) ())
+    ~predict ~update ()

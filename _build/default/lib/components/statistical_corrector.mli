@@ -1,0 +1,23 @@
+(** Statistical corrector (the "SC" of TAGE-SC-L, much simplified).
+    Extension component, named by the paper (III-G) as implementable
+    "similarly".
+
+    Watches the incoming [predict_in] direction and learns, per
+    (PC, history, incoming-direction) bucket, whether that prediction is
+    statistically wrong; when the confidence counter saturates against the
+    incoming prediction, the corrector inverts it. *)
+
+type config = {
+  name : string;
+  latency : int;
+  index_bits : int;
+  counter_bits : int;  (** signed agreement counters *)
+  history_length : int;
+  threshold : int;  (** |counter| needed to invert *)
+  fetch_width : int;
+}
+
+val default : name:string -> config
+
+val make : config -> Cobra.Component.t
+(** Expects exactly one [predict_in]. *)

@@ -1,0 +1,245 @@
+module Bitpack = Cobra_util.Bitpack
+module Counter = Cobra_util.Counter
+module Hashing = Cobra_util.Hashing
+module Rng = Cobra_util.Rng
+open Cobra
+
+type table_spec = { history_length : int; index_bits : int; tag_bits : int }
+
+type config = {
+  name : string;
+  latency : int;
+  tables : table_spec list;
+  counter_bits : int;
+  u_bits : int;
+  u_reset_period : int;
+  seed : int;
+  fetch_width : int;
+}
+
+let default ~name =
+  let spec h = { history_length = h; index_bits = 9; tag_bits = 9 } in
+  {
+    name;
+    latency = 3;
+    tables = List.map spec [ 4; 6; 10; 16; 26; 42; 64 ];
+    counter_bits = 3;
+    u_bits = 2;
+    u_reset_period = 1 lsl 18;
+    seed = 0xc0b7a;
+    fetch_width = 4;
+  }
+
+type entry = { mutable tag : int; mutable ctr : int; mutable u : int; mutable valid : bool }
+
+let storage_bits cfg =
+  List.fold_left
+    (fun acc t -> acc + ((1 lsl t.index_bits) * (1 + t.tag_bits + cfg.counter_bits + cfg.u_bits)))
+    0 cfg.tables
+
+(* Metadata layout per slot:
+   hit(1) provider(4) provider_ctr(3) alt_valid(1) alt_dir(1) provider_u(2)
+   base_valid(1) base_dir(1). *)
+let slot_layout cfg = [ 1; 4; cfg.counter_bits; 1; 1; cfg.u_bits; 1; 1 ]
+let meta_layout cfg = List.concat_map (fun _ -> slot_layout cfg) (List.init cfg.fetch_width Fun.id)
+
+let make cfg =
+  let ntables = List.length cfg.tables in
+  if ntables < 1 || ntables > 15 then invalid_arg (cfg.name ^ ": 1..15 tables supported");
+  if cfg.counter_bits < 2 then invalid_arg (cfg.name ^ ": counter_bits < 2");
+  let specs = Array.of_list cfg.tables in
+  let banks =
+    Array.map
+      (fun s ->
+        Array.init (1 lsl s.index_bits) (fun _ -> { tag = 0; ctr = 0; u = 0; valid = false }))
+      specs
+  in
+  let rng = Rng.create ~seed:cfg.seed in
+  let update_count = ref 0 in
+  (* Per-table bank-decorrelation constants and, per query, the folded
+     global-history hashes — slot-independent, so computed once per event
+     rather than per (slot, table). *)
+  let bank_const =
+    Array.init ntables (fun t ->
+        Hashing.fold_int (Hashing.mix2 t 17) ~width:62 ~bits:specs.(t).index_bits)
+  in
+  let make_folds (ctx : Context.t) =
+    Array.init ntables (fun t ->
+        let s = specs.(t) in
+        ( Hashing.folded_history ctx.ghist ~len:s.history_length ~bits:s.index_bits,
+          Hashing.folded_history ctx.ghist ~len:s.history_length ~bits:s.tag_bits ))
+  in
+  let uniform_index_bits =
+    Array.for_all (fun s -> s.index_bits = specs.(0).index_bits) specs
+  in
+  (* PC fold per slot: computed once when all tables share an index width. *)
+  let pc_fold (ctx : Context.t) ~slot =
+    if uniform_index_bits then begin
+      let v = Hashing.pc_index ~pc:(Context.slot_pc ctx slot) ~bits:specs.(0).index_bits in
+      fun _t -> v
+    end
+    else fun t -> Hashing.pc_index ~pc:(Context.slot_pc ctx slot) ~bits:specs.(t).index_bits
+  in
+  let index folds pcf ~table = pcf table lxor fst folds.(table) lxor bank_const.(table) in
+  let tag_hash folds (ctx : Context.t) ~slot ~table =
+    let s = specs.(table) in
+    Hashing.fold_int
+      (Hashing.mix2
+         (Hashing.pc_bits (Context.slot_pc ctx slot))
+         (snd folds.(table) + (table * 7919)))
+      ~width:62 ~bits:s.tag_bits
+  in
+  let lookup folds pcf ctx ~slot ~table =
+    let e = banks.(table).(index folds pcf ~table) in
+    if e.valid && e.tag = tag_hash folds ctx ~slot ~table then Some e else None
+  in
+  (* Longest-history hit and the next one below it. *)
+  let find_provider folds pcf ctx ~slot =
+    let rec scan t provider alt =
+      if t < 0 then (provider, alt)
+      else
+        match lookup folds pcf ctx ~slot ~table:t with
+        | Some e -> (
+          match provider with
+          | None -> scan (t - 1) (Some (t, e)) alt
+          | Some _ -> (provider, Some (t, e)))
+        | None -> scan (t - 1) provider alt
+    in
+    scan (ntables - 1) None None
+  in
+  let meta_bits = Bitpack.width_of (meta_layout cfg) in
+  let taken_of_ctr c = Counter.is_taken ~bits:cfg.counter_bits c in
+  let predict (ctx : Context.t) ~pred_in =
+    let base =
+      match pred_in with
+      | [ p ] -> p
+      | _ -> invalid_arg (cfg.name ^ ": expected exactly one predict_in")
+    in
+    let fields = ref [] in
+    let folds = make_folds ctx in
+    let pred =
+      Array.init cfg.fetch_width (fun slot ->
+          let pcf = pc_fold ctx ~slot in
+          let provider, alt = find_provider folds pcf ctx ~slot in
+          let base_dir = base.(slot).Types.o_taken in
+          let bit = function Some true -> 1 | _ -> 0 in
+          let valid = function Some _ -> 1 | None -> 0 in
+          match provider with
+          | Some (p, e) ->
+            let alt_dir = Option.map (fun (_, (a : entry)) -> taken_of_ctr a.ctr) alt in
+            fields :=
+              List.rev
+                [
+                  (1, 1);
+                  (p, 4);
+                  (e.ctr, cfg.counter_bits);
+                  (valid alt_dir, 1);
+                  (bit alt_dir, 1);
+                  (e.u, cfg.u_bits);
+                  (valid base_dir, 1);
+                  (bit base_dir, 1);
+                ]
+              @ !fields;
+            if Types.unconditional_in base slot then Types.empty_opinion
+            else { Types.empty_opinion with o_taken = Some (taken_of_ctr e.ctr) }
+          | None ->
+            fields :=
+              List.rev
+                [ (0, 1); (0, 4); (0, cfg.counter_bits); (0, 1); (0, 1); (0, cfg.u_bits);
+                  (valid base_dir, 1); (bit base_dir, 1) ]
+              @ !fields;
+            Types.empty_opinion)
+    in
+    (pred, Bitpack.pack ~width:meta_bits (List.rev !fields))
+  in
+  let graceful_u_decay () =
+    Array.iter (fun bank -> Array.iter (fun e -> e.u <- e.u lsr 1) bank) banks
+  in
+  let allocate folds pcf ev ~slot ~above ~taken =
+    (* Find a non-useful entry in a longer-history table; throttle with the
+       PRNG so allocations spread across tables (Seznec 2011). If every
+       candidate is useful, age them all instead. *)
+    let candidates = ref [] in
+    for t = above to ntables - 1 do
+      let e = banks.(t).(index folds pcf ~table:t) in
+      if (not e.valid) || e.u = 0 then candidates := t :: !candidates
+    done;
+    match List.rev !candidates with
+    | [] ->
+      for t = above to ntables - 1 do
+        let e = banks.(t).(index folds pcf ~table:t) in
+        e.u <- max 0 (e.u - 1)
+      done
+    | first :: rest ->
+      let chosen =
+        (* Prefer the shortest candidate but sometimes skip ahead. *)
+        match rest with
+        | next :: _ when Rng.chance rng 0.33 -> next
+        | _ -> first
+      in
+      let e = banks.(chosen).(index folds pcf ~table:chosen) in
+      e.valid <- true;
+      e.tag <- tag_hash folds ev.Component.ctx ~slot ~table:chosen;
+      e.ctr <-
+        (if taken then Counter.weakly_taken ~bits:cfg.counter_bits
+         else Counter.weakly_not_taken ~bits:cfg.counter_bits);
+      e.u <- 0
+  in
+  let update (ev : Component.event) =
+    let fields = Bitpack.unpack ev.meta (meta_layout cfg) in
+    let folds = lazy (make_folds ev.ctx) in
+    let rec per_slot slot = function
+      | hit :: provider :: pctr :: alt_valid :: alt_dir :: pu :: base_valid :: base_dir :: rest
+        ->
+        let (r : Types.resolved) = ev.slots.(slot) in
+        if r.r_is_branch && r.r_kind = Types.Cond then begin
+          incr update_count;
+          if !update_count mod cfg.u_reset_period = 0 then graceful_u_decay ();
+          let taken = r.r_taken in
+          let provider_pred = if hit = 1 then Some (taken_of_ctr pctr) else None in
+          let effective =
+            match provider_pred with
+            | Some d -> Some d
+            | None -> if base_valid = 1 then Some (base_dir = 1) else None
+          in
+          let pcf = pc_fold ev.ctx ~slot in
+          (match provider_pred with
+          | Some pdir ->
+            let e = banks.(provider).(index (Lazy.force folds) pcf ~table:provider) in
+            if e.valid && e.tag = tag_hash (Lazy.force folds) ev.ctx ~slot ~table:provider then begin
+              e.ctr <- Counter.update ~bits:cfg.counter_bits pctr ~taken;
+              (* Usefulness trains when provider and altpred disagreed. *)
+              let altpred =
+                if alt_valid = 1 then Some (alt_dir = 1)
+                else if base_valid = 1 then Some (base_dir = 1)
+                else None
+              in
+              match altpred with
+              | Some a when a <> pdir ->
+                e.u <-
+                  (if pdir = taken then min (Counter.max_value ~bits:cfg.u_bits) (pu + 1)
+                   else max 0 (pu - 1))
+              | _ -> ()
+            end
+          | None -> ());
+          (* Allocate on a wrong effective prediction, in tables above the
+             provider (or anywhere when nothing hit). *)
+          let wrong = match effective with Some d -> d <> taken | None -> true in
+          let can_extend = hit = 0 || provider < ntables - 1 in
+          if wrong && can_extend then
+            allocate (Lazy.force folds) pcf ev ~slot
+              ~above:(if hit = 1 then provider + 1 else 0) ~taken
+        end;
+        per_slot (slot + 1) rest
+      | [] -> ()
+      | _ -> assert false
+    in
+    per_slot 0 fields
+  in
+  let storage =
+    Storage.make ~sram_bits:(storage_bits cfg)
+      ~logic_gates:(cfg.fetch_width * ntables * 120)
+      ()
+  in
+  Component.make ~name:cfg.name ~family:Component.Tage ~latency:cfg.latency ~meta_bits ~storage
+    ~predict ~update ()

@@ -1,0 +1,24 @@
+(** Tournament selector (paper III-G3).
+
+    A 2-bit chooser table indexed by global history that arbitrates between
+    two incoming predictions ([predict_in(0)] and [predict_in(1)]). The
+    metadata field records the directions both sub-predictors provided so
+    the chooser can be trained at commit time without re-querying them —
+    the paper's stated metadata use for arbitration schemes.
+
+    Convention: a chooser counter with its MSB set selects [predict_in(1)]
+    (in the Alpha-style design, the global side). *)
+
+type config = {
+  name : string;
+  latency : int;
+  entries : int;  (** power of two *)
+  counter_bits : int;
+  history_length : int;
+  fetch_width : int;
+}
+
+val default : name:string -> config
+(** 1K counters, 2-bit, 12 bits of history, latency 3, 4-wide. *)
+
+val make : config -> Cobra.Component.t

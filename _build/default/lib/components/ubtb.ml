@@ -1,0 +1,115 @@
+module Bitpack = Cobra_util.Bitpack
+module Bitops = Cobra_util.Bitops
+module Counter = Cobra_util.Counter
+module Hashing = Cobra_util.Hashing
+open Cobra
+
+type config = { name : string; entries : int; counter_bits : int; fetch_width : int }
+
+let default ~name = { name; entries = 32; counter_bits = 2; fetch_width = 4 }
+
+type entry = {
+  mutable valid : bool;
+  mutable pc_tag : int;
+  mutable target : int;
+  mutable kind : Types.branch_kind;
+  mutable ctr : int;
+}
+
+let tag_bits = 30
+let target_bits = 48
+
+let way_bits cfg = max 1 (Bitops.bits_needed cfg.entries)
+let meta_layout cfg =
+  List.concat_map (fun _ -> [ 1; way_bits cfg; cfg.counter_bits ]) (List.init cfg.fetch_width Fun.id)
+
+let make cfg =
+  if cfg.entries < 1 then invalid_arg (cfg.name ^ ": entries < 1");
+  let table =
+    Array.init cfg.entries (fun _ ->
+        { valid = false; pc_tag = 0; target = 0; kind = Types.Cond;
+          ctr = Counter.weakly_taken ~bits:cfg.counter_bits })
+  in
+  let replace = ref 0 in
+  let tag_of pc = Hashing.fold_int (Hashing.pc_bits pc) ~width:62 ~bits:tag_bits in
+  (* The CAM match is modelled with a tag index kept in sync with the
+     entry array — same observable behaviour, constant-time lookup. *)
+  let cam = Hashtbl.create (2 * cfg.entries) in
+  let lookup pc =
+    match Hashtbl.find_opt cam (tag_of pc) with
+    | Some i when table.(i).valid && table.(i).pc_tag = tag_of pc -> Some i
+    | Some _ | None -> None
+  in
+  let install i tag =
+    (if table.(i).valid then Hashtbl.remove cam table.(i).pc_tag);
+    Hashtbl.replace cam tag i
+  in
+  let meta_bits = Bitpack.width_of (meta_layout cfg) in
+  let predict (ctx : Context.t) ~pred_in:_ =
+    let fields = ref [] in
+    let pred =
+      Array.init cfg.fetch_width (fun slot ->
+          let pc = Context.slot_pc ctx slot in
+          match lookup pc with
+          | Some i ->
+            let e = table.(i) in
+            fields := (e.ctr, cfg.counter_bits) :: (i, way_bits cfg) :: (1, 1) :: !fields;
+            let taken =
+              if Types.is_unconditional e.kind then true
+              else Counter.is_taken ~bits:cfg.counter_bits e.ctr
+            in
+            {
+              Types.o_branch = Some true;
+              o_kind = Some e.kind;
+              o_taken = Some taken;
+              o_target = Some e.target;
+            }
+          | None ->
+            fields := (0, cfg.counter_bits) :: (0, way_bits cfg) :: (0, 1) :: !fields;
+            Types.empty_opinion)
+    in
+    (pred, Bitpack.pack ~width:meta_bits (List.rev !fields))
+  in
+  let update (ev : Component.event) =
+    let fields = Bitpack.unpack ev.meta (meta_layout cfg) in
+    let rec per_slot slot = function
+      | hit :: way :: ctr :: rest ->
+        let (r : Types.resolved) = ev.slots.(slot) in
+        if r.r_is_branch then begin
+          if hit = 1 then begin
+            let e = table.(way) in
+            (* The entry may have been replaced since predict; only train a
+               still-matching entry, as the hardware tag check would. *)
+            let pc = Context.slot_pc ev.ctx slot in
+            if e.valid && e.pc_tag = tag_of pc then begin
+              e.ctr <- Counter.update ~bits:cfg.counter_bits ctr ~taken:r.r_taken;
+              if r.r_taken then e.target <- r.r_target
+            end
+          end
+          else if r.r_taken then begin
+            let i = !replace in
+            replace := (i + 1) mod cfg.entries;
+            let e = table.(i) in
+            install i (tag_of (Context.slot_pc ev.ctx slot));
+            e.valid <- true;
+            e.pc_tag <- tag_of (Context.slot_pc ev.ctx slot);
+            e.target <- r.r_target;
+            e.kind <- r.r_kind;
+            e.ctr <- Counter.weakly_taken ~bits:cfg.counter_bits
+          end
+        end;
+        per_slot (slot + 1) rest
+      | [] -> ()
+      | _ -> assert false
+    in
+    per_slot 0 fields
+  in
+  let entry_bits = 1 + tag_bits + target_bits + 3 + cfg.counter_bits in
+  (* Small and fully associative: flops, not SRAM. *)
+  let storage =
+    Storage.make ~flop_bits:(cfg.entries * entry_bits)
+      ~logic_gates:(cfg.entries * cfg.fetch_width * 25)
+      ()
+  in
+  Component.make ~name:cfg.name ~family:Component.Micro_btb ~latency:1 ~meta_bits ~storage
+    ~predict ~update ()

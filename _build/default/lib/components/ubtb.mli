@@ -1,0 +1,20 @@
+(** Micro-BTB (paper III-G2): a small fully-associative next-cycle
+    predictor.
+
+    The only structure fast enough to respond at Fetch-1, so it must be able
+    to redirect on its own: on a hit it predicts existence, kind, target
+    {e and} direction (from a small per-entry counter). Set-associativity
+    bookkeeping rides in the metadata field (hit way recovered at update
+    time), as the paper describes. *)
+
+type config = {
+  name : string;
+  entries : int;
+  counter_bits : int;
+  fetch_width : int;
+}
+
+val default : name:string -> config
+(** 32 entries, 2-bit counters, 4-wide; latency is always 1. *)
+
+val make : config -> Cobra.Component.t

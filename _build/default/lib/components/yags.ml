@@ -1,0 +1,118 @@
+module Bitpack = Cobra_util.Bitpack
+module Counter = Cobra_util.Counter
+module Hashing = Cobra_util.Hashing
+open Cobra
+
+type config = {
+  name : string;
+  latency : int;
+  choice_bits : int;
+  cache_bits : int;
+  tag_bits : int;
+  counter_bits : int;
+  history_length : int;
+  fetch_width : int;
+}
+
+let default ~name =
+  {
+    name;
+    latency = 2;
+    choice_bits = 12;
+    cache_bits = 10;
+    tag_bits = 8;
+    counter_bits = 2;
+    history_length = 10;
+    fetch_width = 4;
+  }
+
+type cache_entry = { mutable valid : bool; mutable tag : int; mutable ctr : int }
+
+(* Metadata per slot: choice ctr, cache hit flag, cached ctr. *)
+let slot_layout cfg = [ cfg.counter_bits; 1; cfg.counter_bits ]
+let meta_layout cfg = List.concat_map (fun _ -> slot_layout cfg) (List.init cfg.fetch_width Fun.id)
+
+let make cfg =
+  let choice = Array.make (1 lsl cfg.choice_bits) (Counter.weakly_not_taken ~bits:cfg.counter_bits) in
+  let fresh_cache () =
+    Array.init (1 lsl cfg.cache_bits) (fun _ -> { valid = false; tag = 0; ctr = 0 })
+  in
+  let t_cache = fresh_cache () and nt_cache = fresh_cache () in
+  let choice_index (ctx : Context.t) ~slot =
+    Hashing.pc_index ~pc:(Context.slot_pc ctx slot) ~bits:cfg.choice_bits
+  in
+  let cache_index (ctx : Context.t) ~slot =
+    Hashing.pc_index ~pc:(Context.slot_pc ctx slot) ~bits:cfg.cache_bits
+    lxor Hashing.folded_history ctx.ghist ~len:cfg.history_length ~bits:cfg.cache_bits
+  in
+  let cache_tag (ctx : Context.t) ~slot =
+    Hashing.fold_int
+      (Hashing.mix2 (Hashing.pc_bits (Context.slot_pc ctx slot)) 11)
+      ~width:62 ~bits:cfg.tag_bits
+  in
+  let meta_bits = Bitpack.width_of (meta_layout cfg) in
+  let predict (ctx : Context.t) ~pred_in =
+    let base = match pred_in with [ p ] -> p | _ -> invalid_arg (cfg.name ^ ": one predict_in") in
+    let fields = ref [] in
+    let pred =
+      Array.init cfg.fetch_width (fun slot ->
+          let ch = choice.(choice_index ctx ~slot) in
+          let bias_taken = Counter.is_taken ~bits:cfg.counter_bits ch in
+          (* consult the cache holding exceptions to the bias *)
+          let cache = if bias_taken then nt_cache else t_cache in
+          let e = cache.(cache_index ctx ~slot) in
+          let hit = e.valid && e.tag = cache_tag ctx ~slot in
+          let taken =
+            if hit then Counter.is_taken ~bits:cfg.counter_bits e.ctr else bias_taken
+          in
+          fields :=
+            ((if hit then e.ctr else 0), cfg.counter_bits) :: ((if hit then 1 else 0), 1)
+            :: (ch, cfg.counter_bits) :: !fields;
+          if Types.unconditional_in base slot then Types.empty_opinion
+          else { Types.empty_opinion with o_taken = Some taken })
+    in
+    (pred, Bitpack.pack ~width:meta_bits (List.rev !fields))
+  in
+  let update (ev : Component.event) =
+    let fields = Bitpack.unpack ev.meta (meta_layout cfg) in
+    let rec per_slot slot = function
+      | ch :: hit :: cached :: rest ->
+        let (r : Types.resolved) = ev.slots.(slot) in
+        if r.r_is_branch && r.r_kind = Types.Cond then begin
+          let bias_taken = Counter.is_taken ~bits:cfg.counter_bits ch in
+          let cache = if bias_taken then nt_cache else t_cache in
+          let e = cache.(cache_index ev.ctx ~slot) in
+          if hit = 1 then
+            e.ctr <- Counter.update ~bits:cfg.counter_bits cached ~taken:r.r_taken
+          else if r.r_taken <> bias_taken then begin
+            (* an exception to the bias: allocate in the exception cache *)
+            e.valid <- true;
+            e.tag <- cache_tag ev.ctx ~slot;
+            e.ctr <-
+              (if r.r_taken then Counter.weakly_taken ~bits:cfg.counter_bits
+               else Counter.weakly_not_taken ~bits:cfg.counter_bits)
+          end;
+          (* the choice table trains except when the cache corrected it *)
+          let cache_was_right =
+            hit = 1 && Counter.is_taken ~bits:cfg.counter_bits cached = r.r_taken
+          in
+          if not (cache_was_right && r.r_taken <> bias_taken) then
+            choice.(choice_index ev.ctx ~slot) <-
+              Counter.update ~bits:cfg.counter_bits ch ~taken:r.r_taken
+        end;
+        per_slot (slot + 1) rest
+      | [] -> ()
+      | _ -> assert false
+    in
+    per_slot 0 fields
+  in
+  let cache_bits_total =
+    2 * (1 lsl cfg.cache_bits) * (1 + cfg.tag_bits + cfg.counter_bits)
+  in
+  Component.make ~name:cfg.name ~family:Component.Tagged_table ~latency:cfg.latency
+    ~meta_bits
+    ~storage:
+      (Storage.make
+         ~sram_bits:(((1 lsl cfg.choice_bits) * cfg.counter_bits) + cache_bits_total)
+         ())
+    ~predict ~update ()

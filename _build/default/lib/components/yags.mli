@@ -1,0 +1,22 @@
+(** YAGS direction predictor (Eden & Mudge 1998). Extension component.
+
+    A PC-indexed choice table provides the bias; two small tagged caches
+    store only the {e exceptions} — branches whose outcome disagrees with
+    the bias. The taken-cache is consulted when the bias says not-taken and
+    vice versa. Metadata records the choice counter, cache hit and the
+    cached counter so updates avoid second reads. *)
+
+type config = {
+  name : string;
+  latency : int;
+  choice_bits : int;  (** log2 of choice-table entries *)
+  cache_bits : int;  (** log2 of each exception cache *)
+  tag_bits : int;
+  counter_bits : int;
+  history_length : int;
+  fetch_width : int;
+}
+
+val default : name:string -> config
+
+val make : config -> Cobra.Component.t

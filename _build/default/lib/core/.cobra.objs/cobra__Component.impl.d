@@ -1,0 +1,1 @@
+lib/core/component.ml: Cobra_util Context Format Printf Storage Types

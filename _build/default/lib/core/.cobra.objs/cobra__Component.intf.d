@@ -1,0 +1,1 @@
+lib/core/component.mli: Cobra_util Context Format Storage Types

@@ -1,0 +1,1 @@
+lib/core/ghist_provider.ml: Cobra_util List Storage

@@ -1,0 +1,1 @@
+lib/core/ghist_provider.mli: Cobra_util Storage

@@ -1,0 +1,1 @@
+lib/core/history_file.ml: Array Cobra_util Context Printf Storage Types

@@ -1,0 +1,1 @@
+lib/core/history_file.mli: Cobra_util Context Storage Types

@@ -1,0 +1,1 @@
+lib/core/lhist_provider.ml: Array Cobra_util Storage

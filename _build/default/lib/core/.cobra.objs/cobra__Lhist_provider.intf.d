@@ -1,0 +1,1 @@
+lib/core/lhist_provider.mli: Cobra_util Storage

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Cobra_util Component Context Ghist_provider History_file Lhist_provider List Option Printf Storage Topology Types

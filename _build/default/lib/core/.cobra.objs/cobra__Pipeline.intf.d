@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Cobra_util Component Context History_file Storage Topology Types

@@ -1,0 +1,1 @@
+lib/core/topology.ml: Component Format List Printf Result String

@@ -1,0 +1,59 @@
+type event = {
+  ctx : Context.t;
+  meta : Cobra_util.Bits.t;
+  slots : Types.resolved array;
+  culprit : int option;
+}
+
+type family =
+  | Counter_table
+  | Btb
+  | Micro_btb
+  | Tagged_table
+  | Tage
+  | Loop
+  | Selector
+  | Perceptron
+  | Corrector
+  | Static
+
+let pp_family ppf f =
+  Format.pp_print_string ppf
+    (match f with
+    | Counter_table -> "counter-table"
+    | Btb -> "btb"
+    | Micro_btb -> "ubtb"
+    | Tagged_table -> "tagged-table"
+    | Tage -> "tage"
+    | Loop -> "loop"
+    | Selector -> "selector"
+    | Perceptron -> "perceptron"
+    | Corrector -> "corrector"
+    | Static -> "static")
+
+type t = {
+  name : string;
+  family : family;
+  latency : int;
+  meta_bits : int;
+  storage : Storage.t;
+  predict :
+    Context.t -> pred_in:Types.prediction list -> Types.prediction * Cobra_util.Bits.t;
+  fire : event -> unit;
+  mispredict : event -> unit;
+  repair : event -> unit;
+  update : event -> unit;
+}
+
+let no_op (_ : event) = ()
+
+let make ~name ~family ~latency ~meta_bits ~storage ~predict ?(fire = no_op)
+    ?(mispredict = no_op) ?(repair = no_op) ?(update = no_op) () =
+  if latency < 1 then
+    invalid_arg
+      (Printf.sprintf "Component.make %s: latency %d < 1 (histories arrive at Fetch-1)" name
+         latency);
+  if meta_bits < 0 then invalid_arg (Printf.sprintf "Component.make %s: negative meta_bits" name);
+  { name; family; latency; meta_bits; storage; predict; fire; mispredict; repair; update }
+
+let label t = Printf.sprintf "%s_%d" t.name t.latency

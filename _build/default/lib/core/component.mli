@@ -1,0 +1,78 @@
+(** The COBRA predictor sub-component interface (paper Section III).
+
+    A sub-component is a stateful object with a declared pipeline latency, a
+    declared metadata width, and handlers for the five prediction events:
+
+    - [predict] — begin a prediction for a fetch PC; returns the component's
+      own (possibly partial, possibly empty) opinion vector plus a metadata
+      bitvector of exactly [meta_bits] bits;
+    - [fire] — the fetch packet proceeded; speculatively update local state
+      (slots carry the {e predicted} outcomes);
+    - [mispredict] — fast update at branch resolution (slots carry resolved
+      outcomes; [culprit] names the offending slot);
+    - [repair] — restore misspeculated local state for a squashed in-flight
+      packet (issued during the composer's forwards-walk);
+    - [update] — slow commit-time training in program order.
+
+    The metadata returned from [predict] is stored in the generated history
+    file and handed back verbatim in every subsequent event for the same
+    packet, together with the predict-time context — exactly the paper's
+    metadata contract (Section III-D/E). *)
+
+type event = {
+  ctx : Context.t;  (** predict-time context (PC and histories) *)
+  meta : Cobra_util.Bits.t;  (** this component's metadata from predict time *)
+  slots : Types.resolved array;  (** per-slot outcomes (predicted or resolved) *)
+  culprit : int option;  (** mispredicted slot, for [mispredict]/[repair] *)
+}
+
+type family =
+  | Counter_table
+  | Btb
+  | Micro_btb
+  | Tagged_table
+  | Tage
+  | Loop
+  | Selector
+  | Perceptron
+  | Corrector
+  | Static
+(** Broad structural family, used by the area model for grouping. *)
+
+val pp_family : Format.formatter -> family -> unit
+
+type t = private {
+  name : string;
+  family : family;
+  latency : int;
+  meta_bits : int;
+  storage : Storage.t;
+  predict :
+    Context.t -> pred_in:Types.prediction list -> Types.prediction * Cobra_util.Bits.t;
+  fire : event -> unit;
+  mispredict : event -> unit;
+  repair : event -> unit;
+  update : event -> unit;
+}
+
+val make :
+  name:string ->
+  family:family ->
+  latency:int ->
+  meta_bits:int ->
+  storage:Storage.t ->
+  predict:
+    (Context.t -> pred_in:Types.prediction list -> Types.prediction * Cobra_util.Bits.t) ->
+  ?fire:(event -> unit) ->
+  ?mispredict:(event -> unit) ->
+  ?repair:(event -> unit) ->
+  ?update:(event -> unit) ->
+  unit ->
+  t
+(** Build a component. Unused events default to no-ops — implementations
+    "may choose to use and ignore arbitrary subsets of these five signals".
+    Raises [Invalid_argument] when [latency < 1] (predictions cannot be made
+    before Fetch-1) or [meta_bits < 0]. *)
+
+val label : t -> string
+(** ["NAME_n"], the paper's notation for a component of latency [n]. *)

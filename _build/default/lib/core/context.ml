@@ -1,0 +1,14 @@
+type t = {
+  pc : int;
+  fetch_width : int;
+  ghist : Cobra_util.Bits.t;
+  lhists : Cobra_util.Bits.t array;
+  phist : Cobra_util.Bits.t;
+}
+
+let slot_pc t i = t.pc + (4 * i)
+
+let make ~pc ~fetch_width ~ghist ~lhists ?(phist = Cobra_util.Bits.zero 0) () =
+  if Array.length lhists <> fetch_width then
+    invalid_arg "Context.make: lhists length must equal fetch width";
+  { pc; fetch_width; ghist; lhists; phist }

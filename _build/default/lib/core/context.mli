@@ -1,0 +1,29 @@
+(** Query context handed to predictor sub-components.
+
+    Matching the paper's pipeline contract (Fig 2): the fetch PC is available
+    at cycle 0, and the global and local history vectors are provided at the
+    end of the first cycle — which is why only components of latency [>= 1]
+    exist, and all of them may use the histories. *)
+
+type t = {
+  pc : int;  (** fetch PC (byte address of slot 0) *)
+  fetch_width : int;  (** slots per fetch packet *)
+  ghist : Cobra_util.Bits.t;  (** speculative global history, youngest bit = LSB *)
+  lhists : Cobra_util.Bits.t array;  (** per-slot local history, indexed by slot *)
+  phist : Cobra_util.Bits.t;
+      (** speculative path history: folded target bits of recent taken
+          branches (paper IV-B3's "other variants of history information");
+          width 0 when the pipeline does not generate a path provider *)
+}
+
+val slot_pc : t -> int -> int
+(** [slot_pc t i] is the byte address of slot [i] (4-byte instructions). *)
+
+val make :
+  pc:int ->
+  fetch_width:int ->
+  ghist:Cobra_util.Bits.t ->
+  lhists:Cobra_util.Bits.t array ->
+  ?phist:Cobra_util.Bits.t ->
+  unit ->
+  t

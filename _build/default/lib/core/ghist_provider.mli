@@ -1,0 +1,44 @@
+(** Generated global-history provider (paper Section IV-B3).
+
+    A speculative shift register updated with the predicted directions of
+    in-flight conditional branches. The composer keeps a committed base value
+    (reflecting packets that have left the predictor pipeline) plus the bits
+    contributed by still-pending packets, so squashes and divergence repairs
+    rebuild the speculative value exactly. Snapshots for mispredict repair
+    are stored per-packet in the history file, as in the paper's initial
+    implementation. *)
+
+type t
+
+val create : bits:int -> t
+val width : t -> int
+
+val value : t -> Cobra_util.Bits.t
+(** Current speculative history (base plus pending contributions). *)
+
+val base : t -> Cobra_util.Bits.t
+
+val push_pending : t -> bool list -> unit
+(** Append a pending packet's predicted direction bits (oldest first). *)
+
+val replace_pending : t -> depth:int -> bool list -> unit
+(** Replace the bits of the pending packet at position [depth] (0 = oldest
+    pending) — divergence repair when a later pipeline stage revises the
+    packet's branch directions. *)
+
+val drop_pending_from : t -> int -> unit
+(** Squash pending packets at positions [>= depth]. *)
+
+val commit_oldest : t -> unit
+(** Fold the oldest pending packet's bits into the base (the packet fired
+    into the history file). *)
+
+val pending_count : t -> int
+
+val restore : t -> Cobra_util.Bits.t -> unit
+(** Mispredict repair: reset the base from a history-file snapshot and clear
+    all pending contributions. *)
+
+val storage : t -> Storage.t
+(** The history register itself; snapshots are accounted to the history
+    file. *)

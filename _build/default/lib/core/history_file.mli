@@ -1,0 +1,51 @@
+(** Generated history file (paper Section IV-B1).
+
+    A circular buffer tracking every fetch packet in flight between predict
+    and commit. Each entry snapshots the predict-time context (global and
+    local histories), the metadata bitvector of every sub-component, and the
+    per-slot predicted outcomes; the backend fills in resolved outcomes, and
+    entries are dequeued in program order to drive commit-time updates. *)
+
+type slot_state = {
+  predicted : Types.resolved;
+  mutable actual : Types.resolved option;  (** filled when the backend resolves the slot *)
+}
+
+type entry = {
+  e_ctx : Context.t;
+  e_metas : Cobra_util.Bits.t array;  (** indexed by component id *)
+  e_slots : slot_state array;
+  mutable e_packet_len : int;
+      (** slots actually fetched; shrunk when a mispredict cuts the packet *)
+  mutable e_dir_bits : bool list;  (** global-history bits this packet contributed *)
+  mutable e_path_bits : bool list;  (** path-history bits this packet contributed *)
+  mutable e_lhist_pushes : (int * Cobra_util.Bits.t) list;
+      (** (pc, prior value) for every local-history push this packet made, in
+          push order — consumed by the mispredict forwards-walk repair *)
+}
+
+type t
+
+val create : capacity:int -> meta_bits:int array -> fetch_width:int -> ghist_bits:int -> lhist_bits:int -> t
+(** [meta_bits] gives the declared metadata width per component — used for
+    validation and for storage accounting. *)
+
+val capacity : t -> int
+val length : t -> int
+val is_full : t -> bool
+
+val enqueue : t -> entry -> int
+(** Raises [Failure] when full; callers must backpressure fetch. *)
+
+val get : t -> int -> entry
+val contains : t -> int -> bool
+val oldest : t -> (int * entry) option
+val dequeue : t -> (int * entry) option
+val drop_newer_than : t -> int -> unit
+val iter_from : t -> int -> (int -> entry -> unit) -> unit
+val to_list : t -> (int * entry) list
+
+val storage : t -> Storage.t
+(** Bit-accurate cost of the structure: per entry, the PC, the history
+    snapshots, the per-slot prediction/resolution state and every
+    component's metadata field. *)

@@ -1,0 +1,30 @@
+module Bits = Cobra_util.Bits
+module Hashing = Cobra_util.Hashing
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+type t = { index_bits : int; hist_bits : int; table : Bits.t array }
+
+let create ~entries ~bits =
+  if not (is_power_of_two entries) then
+    invalid_arg "Lhist_provider.create: entries must be a power of two";
+  if bits < 1 then invalid_arg "Lhist_provider.create: bits < 1";
+  let index_bits =
+    (* log2 of a power of two *)
+    let rec log2 acc n = if n <= 1 then acc else log2 (acc + 1) (n lsr 1) in
+    log2 0 entries
+  in
+  { index_bits; hist_bits = bits; table = Array.make entries (Bits.zero bits) }
+
+let entries t = Array.length t.table
+let bits t = t.hist_bits
+let index t ~pc = Hashing.pc_index ~pc ~bits:t.index_bits
+let read t ~pc = t.table.(index t ~pc)
+let push t ~pc b = t.table.(index t ~pc) <- Bits.shift_in_lsb t.table.(index t ~pc) b
+
+let restore t ~pc snapshot =
+  if Bits.width snapshot <> t.hist_bits then
+    invalid_arg "Lhist_provider.restore: snapshot width mismatch";
+  t.table.(index t ~pc) <- snapshot
+
+let storage t = Storage.make ~sram_bits:(entries t * t.hist_bits) ()

@@ -1,0 +1,27 @@
+(** Generated local-history provider (paper Section IV-B3).
+
+    A PC-indexed table of per-branch history registers, speculatively
+    updated by predicted directions and repaired from the per-packet
+    snapshots kept in the history file during the mispredict forwards-walk.
+    The paper notes this table is one of the larger management structures
+    (visible in Fig 8's "Meta" slice). *)
+
+type t
+
+val create : entries:int -> bits:int -> t
+(** [entries] must be a power of two. *)
+
+val entries : t -> int
+val bits : t -> int
+
+val index : t -> pc:int -> int
+val read : t -> pc:int -> Cobra_util.Bits.t
+
+val push : t -> pc:int -> bool -> unit
+(** Speculatively shift a predicted direction into the history of [pc]'s
+    entry. *)
+
+val restore : t -> pc:int -> Cobra_util.Bits.t -> unit
+(** Write back a snapshot (repair). *)
+
+val storage : t -> Storage.t

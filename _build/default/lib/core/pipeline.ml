@@ -1,0 +1,472 @@
+module Bits = Cobra_util.Bits
+
+type config = {
+  fetch_width : int;
+  ghist_bits : int;
+  lhist_bits : int;
+  lhist_entries : int;
+  history_entries : int;
+  path_bits : int;
+  predecode_history_correction : bool;
+}
+
+let default_config =
+  {
+    fetch_width = 4;
+    ghist_bits = 64;
+    lhist_bits = 32;
+    lhist_entries = 256;
+    history_entries = 32;
+    path_bits = 16;
+    predecode_history_correction = true;
+  }
+
+type token = int
+
+type pending = {
+  p_token : token;
+  p_pc : int;
+  p_max_len : int;
+  p_ctx : Context.t;
+  p_metas : Bits.t array;
+  p_stages : Types.prediction array;
+  mutable p_dir_bits : bool list;
+  mutable p_path_bits : bool list;
+  mutable p_lhist_pushes : (int * Bits.t) list; (* (pc, prior), push order *)
+}
+
+type t = {
+  cfg : config;
+  topo : Topology.t;
+  comps : Component.t array;
+  depth : int;
+  ghist : Ghist_provider.t;
+  path : Ghist_provider.t;  (* the path history reuses the shift-register provider *)
+  lhist : Lhist_provider.t;
+  hf : History_file.t;
+  mutable pending : pending list; (* oldest first *)
+  mutable next_token : token;
+}
+
+let component_id t (c : Component.t) =
+  let rec find i = if t.comps.(i) == c then i else find (i + 1) in
+  find 0
+
+let create cfg topo =
+  if cfg.fetch_width < 1 then invalid_arg "Pipeline.create: fetch_width < 1";
+  (match Topology.validate topo with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Pipeline.create: invalid topology: " ^ msg));
+  let comps = Array.of_list (Topology.components topo) in
+  let meta_bits = Array.map (fun (c : Component.t) -> c.meta_bits) comps in
+  {
+    cfg;
+    topo;
+    comps;
+    depth = Topology.max_latency topo;
+    ghist = Ghist_provider.create ~bits:cfg.ghist_bits;
+    path = Ghist_provider.create ~bits:(max 1 cfg.path_bits);
+    lhist = Lhist_provider.create ~entries:cfg.lhist_entries ~bits:cfg.lhist_bits;
+    hf =
+      History_file.create ~capacity:cfg.history_entries ~meta_bits ~fetch_width:cfg.fetch_width
+        ~ghist_bits:cfg.ghist_bits ~lhist_bits:cfg.lhist_bits;
+    pending = [];
+    next_token = 0;
+  }
+
+let config t = t.cfg
+let topology t = t.topo
+let depth t = t.depth
+let components t = t.comps
+
+(* Rough NAND2-equivalent cost of the generated redirect/override muxing:
+   one opinion multiplexer per slot, per stage, per component boundary. *)
+let redirect_logic_gates t =
+  t.cfg.fetch_width * t.depth * (Array.length t.comps) * 120
+
+let management_storage t =
+  Storage.sum
+    [
+      History_file.storage t.hf;
+      Ghist_provider.storage t.ghist;
+      (if t.cfg.path_bits > 0 then Ghist_provider.storage t.path else Storage.zero);
+      Lhist_provider.storage t.lhist;
+      Storage.make ~logic_gates:(redirect_logic_gates t) ();
+    ]
+
+let storage t =
+  Storage.add
+    (Storage.sum (Array.to_list (Array.map (fun (c : Component.t) -> c.storage) t.comps)))
+    (management_storage t)
+
+(* --- topology evaluation ------------------------------------------------ *)
+
+let check_meta (c : Component.t) meta =
+  if Bits.width meta <> c.meta_bits then
+    invalid_arg
+      (Printf.sprintf "component %s returned %d metadata bits, declared %d" c.name
+         (Bits.width meta) c.meta_bits)
+
+let is_silent pred = Array.for_all (fun o -> o == Types.empty_opinion) pred
+
+(* Evaluate every component once (tables are read with predict-time state),
+   wiring predict_in per the topology, and build the per-stage composites:
+   a node's opinion becomes visible at its latency and overrides everything
+   below it; an arbitration selector's first sub-topology provides the
+   running prediction until the selector responds. [below] is the running
+   array of composites, indexed by stage-1. *)
+let evaluate t (ctx : Context.t) =
+  let metas = Array.make (Array.length t.comps) (Bits.zero 0) in
+  let width = ctx.Context.fetch_width in
+  let overlay below ~latency pred =
+    if is_silent pred then below
+    else
+      Array.mapi
+        (fun i b -> if i + 1 < latency then b else Types.merge ~strong:pred ~weak:b)
+        below
+  in
+  let clamp_stage latency = min latency t.depth - 1 in
+  let rec eval topo (below : Types.prediction array) : Types.prediction array =
+    match topo with
+    | Topology.Node c ->
+      let pred, meta = c.predict ctx ~pred_in:[ below.(clamp_stage c.latency) ] in
+      check_meta c meta;
+      metas.(component_id t c) <- meta;
+      overlay below ~latency:c.latency pred
+    | Topology.Override (hi, lo) -> eval hi (eval lo below)
+    | Topology.Arbitrate (sel, subs) ->
+      let sub_arrays = List.map (fun s -> eval s below) subs in
+      let pred_in = List.map (fun a -> a.(clamp_stage sel.Component.latency)) sub_arrays in
+      let pred, meta = sel.predict ctx ~pred_in in
+      check_meta sel meta;
+      metas.(component_id t sel) <- meta;
+      (* The selector overrides the fields it has opinions on (the chosen
+         direction); everything else — e.g. a BTB target on the default
+         path — keeps showing through from the first sub-topology. *)
+      overlay (List.hd sub_arrays) ~latency:sel.Component.latency pred
+  in
+  let bottom = Array.make t.depth (Types.no_prediction ~width) in
+  let stages = eval t.topo bottom in
+  (stages, metas)
+
+(* --- frontend side ------------------------------------------------------ *)
+
+let read_lhists t ~pc =
+  Array.init t.cfg.fetch_width (fun i -> Lhist_provider.read t.lhist ~pc:(pc + (4 * i)))
+
+(* Slots of [pred] within [packet_len] that look like conditional branches
+   push a speculative bit into the local history of their own PC. *)
+let push_lhists t ~pc ~packet_len (pred : Types.prediction) =
+  let pushes = ref [] in
+  Array.iteri
+    (fun i (op : Types.opinion) ->
+      if i < packet_len && op.o_branch = Some true && (op.o_kind = None || op.o_kind = Some Types.Cond)
+      then begin
+        let slot_pc = pc + (4 * i) in
+        let prior = Lhist_provider.read t.lhist ~pc:slot_pc in
+        Lhist_provider.push t.lhist ~pc:slot_pc (op.o_taken = Some true);
+        pushes := (slot_pc, prior) :: !pushes
+      end)
+    pred;
+  List.rev !pushes
+
+let path_bits_per_branch = 3
+
+(* Path bits contributed by a packet: folded low target bits of its first
+   (acted) taken branch, oldest first. *)
+let path_bits_of_slots t slots ~packet_len =
+  if t.cfg.path_bits = 0 then []
+  else begin
+    let len = min packet_len (Array.length slots) in
+    let rec find i =
+      if i >= len then []
+      else
+        let (r : Types.resolved) = slots.(i) in
+        if r.r_is_branch && r.r_taken then begin
+          let folded =
+            Cobra_util.Hashing.fold_int
+              (Cobra_util.Hashing.pc_bits r.r_target)
+              ~width:62 ~bits:path_bits_per_branch
+          in
+          List.init path_bits_per_branch (fun k -> (folded lsr k) land 1 = 1)
+        end
+        else find (i + 1)
+    in
+    find 0
+  end
+
+(* The predicted per-slot view of a stage composite, used to derive path
+   bits at predict time. *)
+let predicted_view_of_prediction (pred : Types.prediction) ~packet_len =
+  Array.mapi
+    (fun i (op : Types.opinion) ->
+      if i >= packet_len then Types.no_branch
+      else if op.o_branch = Some true then
+        Types.resolved_branch
+          ~kind:(Option.value op.o_kind ~default:Types.Cond)
+          ~taken:(op.o_taken = Some true)
+          ~target:(Option.value op.o_target ~default:0)
+      else Types.no_branch)
+    pred
+
+let unwind_lhist_pushes t pushes =
+  List.iter (fun (pc, prior) -> Lhist_provider.restore t.lhist ~pc prior) (List.rev pushes)
+
+let predict t ~pc ~max_len =
+  if max_len < 1 || max_len > t.cfg.fetch_width then
+    invalid_arg "Pipeline.predict: max_len out of range";
+  let ctx =
+    Context.make ~pc ~fetch_width:t.cfg.fetch_width ~ghist:(Ghist_provider.value t.ghist)
+      ~lhists:(read_lhists t ~pc)
+      ~phist:(if t.cfg.path_bits = 0 then Bits.zero 0 else Ghist_provider.value t.path)
+      ()
+  in
+  let stages, metas = evaluate t ctx in
+  let stage1 = stages.(0) in
+  let nf = Types.next_fetch stage1 ~pc ~max_len in
+  let dir_bits = Types.direction_bits stage1 ~packet_len:nf.Types.packet_len in
+  Ghist_provider.push_pending t.ghist dir_bits;
+  let path_bits =
+    path_bits_of_slots t
+      (predicted_view_of_prediction stage1 ~packet_len:nf.Types.packet_len)
+      ~packet_len:nf.Types.packet_len
+  in
+  if t.cfg.path_bits > 0 then Ghist_provider.push_pending t.path path_bits;
+  let lhist_pushes = push_lhists t ~pc ~packet_len:nf.Types.packet_len stage1 in
+  let token = t.next_token in
+  t.next_token <- token + 1;
+  let p =
+    {
+      p_token = token;
+      p_pc = pc;
+      p_max_len = max_len;
+      p_ctx = ctx;
+      p_metas = metas;
+      p_stages = stages;
+      p_dir_bits = dir_bits;
+      p_path_bits = path_bits;
+      p_lhist_pushes = lhist_pushes;
+    }
+  in
+  t.pending <- t.pending @ [ p ];
+  token
+
+let find_pending t token =
+  match List.find_opt (fun p -> p.p_token = token) t.pending with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Pipeline: token %d is not pending" token)
+
+let pending_depth t token =
+  let rec loop i = function
+    | [] -> invalid_arg (Printf.sprintf "Pipeline: token %d is not pending" token)
+    | p :: _ when p.p_token = token -> i
+    | _ :: rest -> loop (i + 1) rest
+  in
+  loop 0 t.pending
+
+let stages t token = (find_pending t token).p_stages
+let context t token = (find_pending t token).p_ctx
+let token_pc t token = (find_pending t token).p_pc
+let token_max_len t token = (find_pending t token).p_max_len
+let applied_dir_bits t token = (find_pending t token).p_dir_bits
+
+let revise_dir_bits t token bits =
+  let p = find_pending t token in
+  let depth = pending_depth t token in
+  Ghist_provider.replace_pending t.ghist ~depth bits;
+  p.p_dir_bits <- bits
+
+let pending_tokens t = List.map (fun p -> p.p_token) t.pending
+
+let squash_from t token =
+  let depth = pending_depth t token in
+  let keep, squashed = (List.filteri (fun i _ -> i < depth) t.pending,
+                        List.filteri (fun i _ -> i >= depth) t.pending) in
+  (* Unwind speculative local-history pushes youngest-first. *)
+  List.iter (fun p -> unwind_lhist_pushes t p.p_lhist_pushes) (List.rev squashed);
+  Ghist_provider.drop_pending_from t.ghist depth;
+  if t.cfg.path_bits > 0 then Ghist_provider.drop_pending_from t.path depth;
+  t.pending <- keep
+
+let squash_all_pending t =
+  match t.pending with [] -> () | p :: _ -> squash_from t p.p_token
+
+let can_fire t = not (History_file.is_full t.hf)
+
+let event_of_entry (entry : History_file.entry) ~id ~slots ~culprit : Component.event =
+  { ctx = entry.e_ctx; meta = entry.e_metas.(id); slots; culprit }
+
+let predicted_slots (entry : History_file.entry) =
+  Array.map (fun (s : History_file.slot_state) -> s.predicted) entry.e_slots
+
+let effective_slots (entry : History_file.entry) =
+  Array.mapi
+    (fun i (s : History_file.slot_state) ->
+      if i >= entry.e_packet_len then Types.no_branch
+      else match s.actual with Some r -> r | None -> s.predicted)
+    entry.e_slots
+
+(* Push local-history bits for the conditional branches of a slot vector,
+   returning the (pc, prior) undo list. *)
+let push_lhists_of_slots t ctx slots ~packet_len =
+  let pushes = ref [] in
+  let stop = ref false in
+  Array.iteri
+    (fun i (s : Types.resolved) ->
+      if (not !stop) && i < packet_len && s.r_is_branch && s.r_kind = Types.Cond then begin
+        let slot_pc = Context.slot_pc ctx i in
+        let prior = Lhist_provider.read t.lhist ~pc:slot_pc in
+        Lhist_provider.push t.lhist ~pc:slot_pc s.r_taken;
+        pushes := (slot_pc, prior) :: !pushes
+      end;
+      if i < packet_len && s.r_is_branch && s.r_taken then stop := true)
+    slots;
+  List.rev !pushes
+
+(* Direction bits implied by per-slot outcomes: one bit per conditional
+   branch, stopping after the first taken slot. *)
+let dir_bits_of_slots slots ~packet_len =
+  let len = min packet_len (Array.length slots) in
+  let rec loop i acc =
+    if i >= len then List.rev acc
+    else
+      let (s : Types.resolved) = slots.(i) in
+      let acc = if s.r_is_branch && s.r_kind = Types.Cond then s.r_taken :: acc else acc in
+      if s.r_is_branch && s.r_taken then List.rev acc else loop (i + 1) acc
+  in
+  loop 0 []
+
+let fire t token ~slots ~packet_len =
+  (match t.pending with
+  | p :: _ when p.p_token = token -> ()
+  | _ -> invalid_arg "Pipeline.fire: token must be the oldest pending packet");
+  if Array.length slots <> t.cfg.fetch_width then
+    invalid_arg "Pipeline.fire: slots array must have fetch_width entries";
+  if packet_len < 1 || packet_len > t.cfg.fetch_width then
+    invalid_arg "Pipeline.fire: packet_len out of range";
+  let p = List.hd t.pending in
+  (* Predecode correction: the host now knows the true branch positions, so
+     the speculative history bits are recomputed from them (unless the
+     configuration models a design without this correction). *)
+  let final_bits = dir_bits_of_slots slots ~packet_len in
+  if t.cfg.predecode_history_correction && final_bits <> p.p_dir_bits then begin
+    Ghist_provider.replace_pending t.ghist ~depth:0 final_bits;
+    p.p_dir_bits <- final_bits
+  end;
+  (* The local-history provider gets the same predecode correction: branch
+     positions come from decode, directions from the acted prediction. *)
+  if t.cfg.predecode_history_correction then begin
+    unwind_lhist_pushes t p.p_lhist_pushes;
+    p.p_lhist_pushes <- []
+  end;
+  if t.cfg.path_bits > 0 then begin
+    let final_path = path_bits_of_slots t slots ~packet_len in
+    if t.cfg.predecode_history_correction && final_path <> p.p_path_bits then begin
+      Ghist_provider.replace_pending t.path ~depth:0 final_path;
+      p.p_path_bits <- final_path
+    end;
+    Ghist_provider.commit_oldest t.path
+  end;
+  Ghist_provider.commit_oldest t.ghist;
+  t.pending <- List.tl t.pending;
+  let entry : History_file.entry =
+    {
+      e_ctx = p.p_ctx;
+      e_metas = p.p_metas;
+      e_slots =
+        Array.map (fun r -> { History_file.predicted = r; actual = None }) slots;
+      e_packet_len = packet_len;
+      e_dir_bits = final_bits;
+      e_path_bits = p.p_path_bits;
+      e_lhist_pushes = p.p_lhist_pushes;
+    }
+  in
+  if t.cfg.predecode_history_correction then
+    entry.e_lhist_pushes <- push_lhists_of_slots t entry.e_ctx slots ~packet_len;
+  let seq = History_file.enqueue t.hf entry in
+  let pslots = predicted_slots entry in
+  Array.iteri
+    (fun id (c : Component.t) -> c.fire (event_of_entry entry ~id ~slots:pslots ~culprit:None))
+    t.comps;
+  seq
+
+(* --- backend side ------------------------------------------------------- *)
+
+let check_slot t ~slot =
+  if slot < 0 || slot >= t.cfg.fetch_width then invalid_arg "Pipeline: slot out of range"
+
+let resolve t ~seq ~slot resolved =
+  check_slot t ~slot;
+  let entry = History_file.get t.hf seq in
+  entry.e_slots.(slot).actual <- Some resolved
+
+(* Re-apply corrected local-history state for the mispredicted entry: undo
+   its speculative pushes, then push the (now partly resolved) directions of
+   the surviving slots. *)
+let repush_lhists t (entry : History_file.entry) =
+  unwind_lhist_pushes t entry.e_lhist_pushes;
+  entry.e_lhist_pushes <-
+    push_lhists_of_slots t entry.e_ctx (effective_slots entry)
+      ~packet_len:entry.e_packet_len
+
+let mispredict t ~seq ~slot resolved =
+  check_slot t ~slot;
+  let entry = History_file.get t.hf seq in
+  entry.e_slots.(slot).actual <- Some resolved;
+  (* Forwards-walk first: repair events for the younger in-flight packets
+     being squashed, oldest first (paper Section IV-B2). The culprit's fast
+     mispredict update runs after the walk so the corrected state it writes
+     is final — younger packets' restored speculative state must not
+     clobber it. *)
+  let younger = ref [] in
+  History_file.iter_from t.hf (seq + 1) (fun _s e -> younger := e :: !younger);
+  let younger_oldest_first = List.rev !younger in
+  List.iter
+    (fun (e : History_file.entry) ->
+      let pslots = predicted_slots e in
+      Array.iteri
+        (fun id (c : Component.t) ->
+          c.repair (event_of_entry e ~id ~slots:pslots ~culprit:None))
+        t.comps)
+    younger_oldest_first;
+  (* Fast update for the offending packet. *)
+  let resolved_view = effective_slots entry in
+  Array.iteri
+    (fun id (c : Component.t) ->
+      c.mispredict (event_of_entry entry ~id ~slots:resolved_view ~culprit:(Some slot)))
+    t.comps;
+  squash_all_pending t;
+  List.iter (fun (e : History_file.entry) -> unwind_lhist_pushes t e.e_lhist_pushes) !younger;
+  History_file.drop_newer_than t.hf seq;
+  (* The packet is cut at the culprit: younger slots were squashed (either
+     the branch was taken, or the not-taken refetch starts a new packet). *)
+  entry.e_packet_len <- slot + 1;
+  entry.e_dir_bits <- dir_bits_of_slots (effective_slots entry) ~packet_len:entry.e_packet_len;
+  entry.e_path_bits <-
+    path_bits_of_slots t (effective_slots entry) ~packet_len:entry.e_packet_len;
+  repush_lhists t entry;
+  (* Restore the speculative global and path histories from the entry's
+     snapshots plus its corrected bits. *)
+  let restored = List.fold_left Bits.shift_in_lsb entry.e_ctx.Context.ghist entry.e_dir_bits in
+  Ghist_provider.restore t.ghist restored;
+  if t.cfg.path_bits > 0 then
+    Ghist_provider.restore t.path
+      (List.fold_left Bits.shift_in_lsb entry.e_ctx.Context.phist entry.e_path_bits)
+
+let commit t =
+  match History_file.dequeue t.hf with
+  | None -> invalid_arg "Pipeline.commit: history file empty"
+  | Some (_seq, entry) ->
+    let slots = effective_slots entry in
+    Array.iteri
+      (fun id (c : Component.t) ->
+        c.update (event_of_entry entry ~id ~slots ~culprit:None))
+      t.comps
+
+let inflight t = History_file.length t.hf
+let oldest_seq t = Option.map fst (History_file.oldest t.hf)
+
+let ghist_value t = Ghist_provider.value t.ghist
+let phist_value t = Ghist_provider.value t.path
+let lhist_value t ~pc = Lhist_provider.read t.lhist ~pc
+let entry t seq = History_file.get t.hf seq

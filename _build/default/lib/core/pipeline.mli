@@ -1,0 +1,145 @@
+(** The COBRA predictor composer (paper Section IV).
+
+    [create config topology] elaborates a complete predictor pipeline from a
+    topological model: it validates the topology, instantiates the generated
+    management structures (history file, global and local history providers,
+    the update/repair state machine) and wires every sub-component's
+    predict/fire/mispredict/repair/update events, including the metadata
+    round-trip through the history file.
+
+    The resulting pipeline is a drop-in prediction unit for a host core's
+    frontend. The protocol mirrors hardware operation:
+
+    {ol
+    {- {!predict} — a fetch packet enters at Fetch-0; all per-stage composite
+       predictions are computed (each sub-component's tables are read once,
+       with predict-time state), the speculative global/local histories are
+       updated with the Fetch-1 composite's direction bits, and a [token] for
+       the in-flight packet is returned;}
+    {- while the packet traverses the frontend, the host compares successive
+       stage composites; when a later stage revises the packet's direction
+       bits it calls {!revise_dir_bits} (divergence repair of the speculative
+       history), and when it flushes speculative younger packets it calls
+       {!squash_from};}
+    {- {!fire} — the packet leaves the predictor pipeline and is accepted:
+       its entry is written to the history file and sub-components receive
+       their [fire] event;}
+    {- the backend calls {!resolve} per executed branch, {!mispredict} on a
+       misprediction (fast update + snapshot restore + forwards-walk repair +
+       squash of younger state), and {!commit} as packets retire in program
+       order (commit-time [update] events).}} *)
+
+type config = {
+  fetch_width : int;  (** slots per fetch packet *)
+  ghist_bits : int;  (** global history register width *)
+  lhist_bits : int;  (** per-entry local history width *)
+  lhist_entries : int;  (** local history table entries (power of two) *)
+  history_entries : int;  (** history file capacity (in-flight packets) *)
+  path_bits : int;
+      (** path-history register width (0 disables the provider); each taken
+          branch shifts in {!path_bits_per_branch} folded target bits *)
+  predecode_history_correction : bool;
+      (** recompute a packet's speculative history bits from the decoded
+          branch positions when it fires (default). Disabling leaves the
+          Fetch-1 guess in the history — the cheap design the paper's
+          Section VI-B experiment improves upon. *)
+}
+
+val default_config : config
+(** 4-wide fetch, 64-bit global history, 256 x 32-bit local histories,
+    32-entry history file. *)
+
+type t
+
+type token
+(** Handle for a predicted-but-not-yet-fired fetch packet. *)
+
+val create : config -> Topology.t -> t
+(** Raises [Invalid_argument] when the topology fails {!Topology.validate}
+    or the configuration is inconsistent. *)
+
+val config : t -> config
+val topology : t -> Topology.t
+val depth : t -> int
+val components : t -> Component.t array
+
+val storage : t -> Storage.t
+(** Sub-components plus management structures. *)
+
+val management_storage : t -> Storage.t
+(** History file + history providers + generated redirect logic — the "Meta"
+    slice of Fig 8. *)
+
+(** {1 Frontend side} *)
+
+val predict : t -> pc:int -> max_len:int -> token
+(** Query the pipeline for the packet starting at [pc] containing up to
+    [max_len] slots ([1 <= max_len <= fetch_width]). *)
+
+val stages : t -> token -> Types.prediction array
+(** [ (stages t tok).(d-1) ] is the composite prediction at Fetch-[d]. *)
+
+val context : t -> token -> Context.t
+val token_pc : t -> token -> int
+val token_max_len : t -> token -> int
+
+val applied_dir_bits : t -> token -> bool list
+(** Direction bits this packet currently contributes to the speculative
+    global history. *)
+
+val revise_dir_bits : t -> token -> bool list -> unit
+(** Divergence repair: a later stage disagrees with the bits pushed at
+    Fetch-1; rebuild the speculative history. In-flight younger packets keep
+    the predictions they already formed — whether they are replayed is the
+    host frontend's policy (the paper's Section VI-B experiment). *)
+
+val pending_tokens : t -> token list
+(** Oldest first. *)
+
+val squash_from : t -> token -> unit
+(** Drop this pending packet and every younger one, unwinding their
+    speculative history contributions. *)
+
+val squash_all_pending : t -> unit
+
+val can_fire : t -> bool
+(** False when the history file is full (fetch must backpressure). *)
+
+val fire : t -> token -> slots:Types.resolved array -> packet_len:int -> int
+(** Commit the packet into the history file and deliver [fire] events.
+    [slots] carries the {e predicted} outcome per slot, with [r_is_branch]
+    corrected by predecode (the host knows the real instruction kinds by the
+    end of the fetch pipeline). [token] must be the oldest pending packet.
+    Returns the history-file sequence number. *)
+
+(** {1 Backend side} *)
+
+val resolve : t -> seq:int -> slot:int -> Types.resolved -> unit
+(** Record a correctly-predicted branch's resolution. *)
+
+val mispredict : t -> seq:int -> slot:int -> Types.resolved -> unit
+(** Branch resolution detected a misprediction: forwards-walk younger
+    entries delivering [repair] events (restoring their speculative local
+    updates), then deliver the culprit's fast [mispredict] event — last, so
+    the corrected state it writes is final — restore the global history
+    from the entry's snapshot plus the corrected bits, unwind local-history
+    state, squash younger entries and all pending packets, and truncate the
+    entry at the culprit slot. The host must flush its own pipeline and
+    refetch. *)
+
+val commit : t -> unit
+(** Retire the oldest history-file entry and deliver commit-time [update]
+    events. Raises [Invalid_argument] when empty. *)
+
+val inflight : t -> int
+val oldest_seq : t -> int option
+
+(** {1 Introspection (tests, debugging)} *)
+
+val ghist_value : t -> Cobra_util.Bits.t
+val phist_value : t -> Cobra_util.Bits.t
+val lhist_value : t -> pc:int -> Cobra_util.Bits.t
+
+(** Folded target bits shifted into the path history per taken branch. *)
+val path_bits_per_branch : int
+val entry : t -> int -> History_file.entry

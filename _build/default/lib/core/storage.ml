@@ -1,0 +1,26 @@
+type t = { sram_bits : int; flop_bits : int; logic_gates : int }
+
+let zero = { sram_bits = 0; flop_bits = 0; logic_gates = 0 }
+
+let make ?(sram_bits = 0) ?(flop_bits = 0) ?(logic_gates = 0) () =
+  if sram_bits < 0 || flop_bits < 0 || logic_gates < 0 then
+    invalid_arg "Storage.make: negative amount";
+  { sram_bits; flop_bits; logic_gates }
+
+let add a b =
+  {
+    sram_bits = a.sram_bits + b.sram_bits;
+    flop_bits = a.flop_bits + b.flop_bits;
+    logic_gates = a.logic_gates + b.logic_gates;
+  }
+
+let sum = List.fold_left add zero
+let total_bits t = t.sram_bits + t.flop_bits
+let kilobytes t = float_of_int (total_bits t) /. 8192.0
+
+let scale t n =
+  { sram_bits = t.sram_bits * n; flop_bits = t.flop_bits * n; logic_gates = t.logic_gates * n }
+
+let pp ppf t =
+  Format.fprintf ppf "sram=%db flop=%db logic=%dg (%.2f KB)" t.sram_bits t.flop_bits
+    t.logic_gates (kilobytes t)

@@ -1,0 +1,21 @@
+(** Storage accounting for predictor structures.
+
+    Every sub-component and every generated management structure reports how
+    many bits it keeps in SRAM-mapped memories and how many in flops, plus a
+    rough combinational gate estimate. Table I's storage column and the
+    Fig 8/9 area model are both derived from these numbers. *)
+
+type t = {
+  sram_bits : int;  (** bits naturally mapped to single/dual-ported SRAMs *)
+  flop_bits : int;  (** register bits *)
+  logic_gates : int;  (** rough NAND2-equivalent combinational estimate *)
+}
+
+val zero : t
+val make : ?sram_bits:int -> ?flop_bits:int -> ?logic_gates:int -> unit -> t
+val add : t -> t -> t
+val sum : t list -> t
+val total_bits : t -> int
+val kilobytes : t -> float
+val scale : t -> int -> t
+val pp : Format.formatter -> t -> unit

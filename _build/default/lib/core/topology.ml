@@ -1,0 +1,104 @@
+type t =
+  | Node of Component.t
+  | Override of t * t
+  | Arbitrate of Component.t * t list
+
+let node c = Node c
+let ( >> ) hi lo = Override (hi, lo)
+let over c t = Node c >> t
+let arbitrate sel subs = Arbitrate (sel, subs)
+
+let rec components = function
+  | Node c -> [ c ]
+  | Override (hi, lo) -> components hi @ components lo
+  | Arbitrate (sel, subs) -> sel :: List.concat_map components subs
+
+let max_latency t =
+  List.fold_left (fun acc (c : Component.t) -> max acc c.latency) 1 (components t)
+
+let rec min_latency = function
+  | Node (c : Component.t) -> c.latency
+  | Override (hi, lo) -> min (min_latency hi) (min_latency lo)
+  | Arbitrate (sel, subs) ->
+    List.fold_left (fun acc s -> min acc (min_latency s)) sel.Component.latency subs
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let* () =
+    let names = List.map (fun (c : Component.t) -> c.name) (components t) in
+    let sorted = List.sort String.compare names in
+    let rec dup = function
+      | a :: b :: _ when String.equal a b -> Some a
+      | _ :: rest -> dup rest
+      | [] -> None
+    in
+    match dup sorted with
+    | Some n -> Error (Printf.sprintf "duplicate component name %S in topology" n)
+    | None -> Ok ()
+  in
+  let rec check = function
+    | Node _ -> Ok ()
+    | Override (hi, lo) ->
+      let* () = check hi in
+      check lo
+    | Arbitrate (sel, subs) ->
+      let* () =
+        if subs = [] then
+          Error (Printf.sprintf "arbitration %s has no sub-predictors" (Component.label sel))
+        else Ok ()
+      in
+      let* () =
+        match
+          List.find_opt (fun s -> min_latency s > sel.Component.latency) subs
+        with
+        | Some s ->
+          Error
+            (Printf.sprintf
+               "arbitration %s (latency %d) consumes predict_in from a sub-topology whose \
+                earliest prediction arrives at stage %d; components may only use \
+                predict_in(d) with d <= their own latency"
+               (Component.label sel) sel.Component.latency (min_latency s))
+        | None -> Ok ()
+      in
+      List.fold_left
+        (fun acc s ->
+          let* () = acc in
+          check s)
+        (Ok ()) subs
+  in
+  check t
+
+let rec to_expression = function
+  | Node c -> Component.label c
+  | Override (hi, lo) ->
+    let hi_s = match hi with Override _ -> "(" ^ to_expression hi ^ ")" | _ -> to_expression hi in
+    hi_s ^ " > " ^ to_expression lo
+  | Arbitrate (sel, subs) ->
+    Printf.sprintf "%s > [%s]" (Component.label sel)
+      (String.concat ", " (List.map to_expression subs))
+
+(* The running composite provider at stage [d] is the highest-priority
+   component with latency <= d; later components in the priority list that
+   are also ready may still show through for fields the provider leaves
+   unset, which the diagram shows as "+ name". *)
+let pp_pipeline ppf t =
+  let comps = components t in
+  let depth = max_latency t in
+  Format.fprintf ppf "topology: %s@." (to_expression t);
+  for d = 1 to depth do
+    let responding =
+      List.filter (fun (c : Component.t) -> c.latency = d) comps
+      |> List.map Component.label
+    in
+    let visible =
+      List.filter (fun (c : Component.t) -> c.latency <= d) comps
+      |> List.map Component.label
+    in
+    let provider = match visible with [] -> "fallthrough" | p :: _ -> p in
+    Format.fprintf ppf "  Fetch-%d: responds [%s]; composite provided by %s%s@." d
+      (String.concat ", " responding)
+      provider
+      (match visible with
+      | [] | [ _ ] -> ""
+      | _ :: rest -> " + " ^ String.concat " + " rest)
+  done

@@ -1,0 +1,48 @@
+(** Topological models of predictor pipelines (paper Section IV-A).
+
+    A topology is an ordering of sub-components; [Override (hi, lo)] is the
+    paper's ["hi > lo"] — [hi] provides the final prediction wherever it has
+    an opinion and is ready. [Arbitrate (sel, subs)] is the
+    ["SEL > [a; b; ...]"] form for arbitration schemes that learn to choose
+    between several incoming predictions; before [sel]'s latency has elapsed
+    the first sub-topology provides the running prediction (this matches the
+    paper's Fig 7, where the default path supplies the Fetch-2 prediction of
+    the Tourney design). *)
+
+type t =
+  | Node of Component.t
+  | Override of t * t
+  | Arbitrate of Component.t * t list
+
+val node : Component.t -> t
+
+val ( >> ) : t -> t -> t
+(** [hi >> lo] is [Override (hi, lo)] — the paper's [hi > lo]. *)
+
+val over : Component.t -> t -> t
+(** [over c t] is [node c >> t]. *)
+
+val arbitrate : Component.t -> t list -> t
+
+val components : t -> Component.t list
+(** All components in priority order (highest priority first); the order is
+    stable and used by the composer to assign component indices. *)
+
+val max_latency : t -> int
+(** Depth of the generated pipeline: the largest sub-component latency. *)
+
+val validate : t -> (unit, string) result
+(** Structural checks: component names must be unique (metadata is routed by
+    identity and reports are keyed by name), arbitration lists must be
+    non-empty, and an arbitration selector of latency [n] may only consume
+    sub-predictions available at stage [<= n] — i.e. every sub-topology must
+    contain at least one component with latency [<= n], otherwise the
+    selector would read an undefined [predict_in] (paper Section III-F). *)
+
+val to_expression : t -> string
+(** The paper's algebraic notation, e.g.
+    ["LOOP_3 > TAGE_3 > BTB_2 > BIM_2 > UBTB_1"]. *)
+
+val pp_pipeline : Format.formatter -> t -> unit
+(** Fig 4 / Fig 7-style stage diagram: which components respond at each
+    Fetch-[d] stage and who provides the running composite. *)

@@ -1,0 +1,122 @@
+type branch_kind = Cond | Jump | Call | Ret | Ind
+
+let pp_branch_kind ppf k =
+  Format.pp_print_string ppf
+    (match k with Cond -> "cond" | Jump -> "jump" | Call -> "call" | Ret -> "ret" | Ind -> "ind")
+
+let equal_branch_kind (a : branch_kind) b = a = b
+
+let is_unconditional = function Cond -> false | Jump | Call | Ret | Ind -> true
+
+let branch_kind_to_int = function Cond -> 0 | Jump -> 1 | Call -> 2 | Ret -> 3 | Ind -> 4
+
+let branch_kind_of_int = function
+  | 0 -> Cond
+  | 1 -> Jump
+  | 2 -> Call
+  | 3 -> Ret
+  | 4 -> Ind
+  | n -> invalid_arg (Printf.sprintf "Types.branch_kind_of_int: %d" n)
+
+type resolved = { r_is_branch : bool; r_kind : branch_kind; r_taken : bool; r_target : int }
+
+let no_branch = { r_is_branch = false; r_kind = Cond; r_taken = false; r_target = 0 }
+
+let resolved_branch ~kind ~taken ~target =
+  { r_is_branch = true; r_kind = kind; r_taken = taken; r_target = target }
+
+type opinion = {
+  o_branch : bool option;
+  o_kind : branch_kind option;
+  o_taken : bool option;
+  o_target : int option;
+}
+
+let empty_opinion = { o_branch = None; o_kind = None; o_taken = None; o_target = None }
+
+let full_opinion ~kind ~taken ~target =
+  { o_branch = Some true; o_kind = Some kind; o_taken = Some taken; o_target = Some target }
+
+let direction_opinion ~taken =
+  { o_branch = Some true; o_kind = Some Cond; o_taken = Some taken; o_target = None }
+
+let first_some a b = match a with Some _ -> a | None -> b
+
+let merge_opinion ~strong ~weak =
+  {
+    o_branch = first_some strong.o_branch weak.o_branch;
+    o_kind = first_some strong.o_kind weak.o_kind;
+    o_taken = first_some strong.o_taken weak.o_taken;
+    o_target = first_some strong.o_target weak.o_target;
+  }
+
+type prediction = opinion array
+
+let unconditional_in (pred : prediction) i =
+  match pred.(i).o_kind with Some k -> is_unconditional k | None -> false
+
+let no_prediction ~width = Array.make width empty_opinion
+
+let merge ~strong ~weak =
+  if Array.length strong <> Array.length weak then
+    invalid_arg "Types.merge: prediction width mismatch";
+  (* Silent slots share the [empty_opinion] record, so physical equality is
+     a safe and very common fast path. *)
+  Array.map2
+    (fun s w ->
+      if s == empty_opinion then w
+      else if w == empty_opinion then s
+      else merge_opinion ~strong:s ~weak:w)
+    strong weak
+
+let equal_opinion a b =
+  a.o_branch = b.o_branch && a.o_kind = b.o_kind && a.o_taken = b.o_taken
+  && a.o_target = b.o_target
+
+let equal_prediction a b =
+  Array.length a = Array.length b && Array.for_all2 equal_opinion a b
+
+type next_fetch = { taken_slot : int option; packet_len : int; next_pc : int option }
+
+let is_taken_slot op =
+  op.o_branch = Some true && op.o_taken = Some true && op.o_target <> None
+
+let next_fetch pred ~pc:_ ~max_len =
+  let len = min max_len (Array.length pred) in
+  let rec find i =
+    if i >= len then { taken_slot = None; packet_len = len; next_pc = None }
+    else if is_taken_slot pred.(i) then
+      { taken_slot = Some i; packet_len = i + 1; next_pc = pred.(i).o_target }
+    else find (i + 1)
+  in
+  find 0
+
+let direction_bits pred ~packet_len =
+  let len = min packet_len (Array.length pred) in
+  let rec loop i acc =
+    if i >= len then List.rev acc
+    else
+      let op = pred.(i) in
+      let is_cond_branch =
+        op.o_branch = Some true && (op.o_kind = None || op.o_kind = Some Cond)
+      in
+      let acc = if is_cond_branch then (op.o_taken = Some true) :: acc else acc in
+      if is_taken_slot op then List.rev acc else loop (i + 1) acc
+  in
+  loop 0 []
+
+let pp_option pp ppf = function
+  | None -> Format.pp_print_string ppf "-"
+  | Some v -> pp ppf v
+
+let pp_opinion ppf op =
+  Format.fprintf ppf "{br=%a kind=%a taken=%a tgt=%a}"
+    (pp_option Format.pp_print_bool) op.o_branch
+    (pp_option pp_branch_kind) op.o_kind
+    (pp_option Format.pp_print_bool) op.o_taken
+    (pp_option (fun ppf -> Format.fprintf ppf "0x%x")) op.o_target
+
+let pp_prediction ppf pred =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_seq ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") pp_opinion)
+    (Array.to_seq pred)

@@ -1,0 +1,1 @@
+lib/eval/ablations.ml: Cobra Cobra_synth Cobra_uarch Cobra_util Cobra_workloads Designs Experiment Fun List Printf Reference

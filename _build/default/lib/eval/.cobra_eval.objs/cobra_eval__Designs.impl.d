@@ -1,0 +1,1 @@
+lib/eval/designs.ml: Btb Cobra Cobra_components Component Gtag Hbim Indexing List Loop_pred Pipeline Printf Storage String Tage Topology Tourney Ubtb

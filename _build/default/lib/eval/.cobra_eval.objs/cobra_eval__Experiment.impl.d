@@ -1,0 +1,1 @@
+lib/eval/experiment.ml: Cobra Cobra_uarch Cobra_workloads Designs Fun List Option String Sys

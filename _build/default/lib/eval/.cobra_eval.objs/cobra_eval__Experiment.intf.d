@@ -1,0 +1,1 @@
+lib/eval/experiment.mli: Cobra Cobra_isa Cobra_uarch Cobra_workloads Designs

@@ -1,0 +1,1 @@
+lib/eval/figures.ml: Buffer Cobra Cobra_synth Cobra_uarch Cobra_util Designs Experiment Format List Printf Reference

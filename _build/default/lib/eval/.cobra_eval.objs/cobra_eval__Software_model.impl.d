@@ -1,0 +1,1 @@
+lib/eval/software_model.ml: Array Cobra Cobra_isa Cobra_uarch Cobra_util Cobra_workloads Designs Experiment List Option Pipeline Printf Types

@@ -1,0 +1,1 @@
+lib/eval/software_model.mli: Cobra_workloads Designs

@@ -1,0 +1,1 @@
+lib/eval/tables.ml: Cobra Cobra_uarch Cobra_util Designs List Printf

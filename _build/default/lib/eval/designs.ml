@@ -1,0 +1,162 @@
+open Cobra
+open Cobra_components
+
+type t = {
+  name : string;
+  paper_storage_kb : float;
+  paper_rows : string list;
+  make : unit -> Topology.t;
+  pipeline_config : Pipeline.config;
+}
+
+let fetch_width = 4
+
+(* --- Tourney: TOURNEY_3 > [GBIM_2 > BTB_2, LBIM_2] ------------------------- *)
+
+let tourney =
+  let make () =
+    let gbim =
+      Hbim.make
+        { (Hbim.default ~name:"GBIM" ~indexing:(Indexing.Ghist 14)) with entries = 16384 }
+    in
+    let lbim =
+      Hbim.make
+        { (Hbim.default ~name:"LBIM" ~indexing:(Indexing.Lhist 10)) with entries = 4096 }
+    in
+    let btb = Btb.make (Btb.default ~name:"BTB") in
+    let sel = Tourney.make { (Tourney.default ~name:"TOURNEY") with entries = 1024 } in
+    Topology.arbitrate sel
+      [ Topology.over gbim (Topology.node btb); Topology.node lbim ]
+  in
+  {
+    name = "Tourney";
+    paper_storage_kb = 6.8;
+    paper_rows =
+      [
+        "32-bit global, 256x32-bit local histories";
+        "2K-entry BTB w. 16K-entry 2-bit BHT";
+        "1K tournament counters";
+      ];
+    make;
+    pipeline_config =
+      {
+        Pipeline.fetch_width;
+        ghist_bits = 32;
+        lhist_bits = 32;
+        lhist_entries = 256;
+        history_entries = 32;
+        path_bits = 16;
+    predecode_history_correction = true;
+      };
+  }
+
+(* --- B2: GTAG_3 > BTB_2 > BIM_2 --------------------------------------------- *)
+
+let b2 =
+  let make () =
+    let gtag =
+      Gtag.make { (Gtag.default ~name:"GTAG") with entries = 2048; history_length = 16 }
+    in
+    let btb = Btb.make (Btb.default ~name:"BTB") in
+    let bim =
+      Hbim.make { (Hbim.default ~name:"BIM" ~indexing:Indexing.Pc) with entries = 16384 }
+    in
+    Topology.over gtag (Topology.over btb (Topology.node bim))
+  in
+  {
+    name = "B2";
+    paper_storage_kb = 6.5;
+    paper_rows =
+      [
+        "16-bit global history";
+        "2K partially tagged + 16K untagged counters";
+        "2K-entry BTB";
+      ];
+    make;
+    pipeline_config =
+      {
+        Pipeline.fetch_width;
+        ghist_bits = 16;
+        lhist_bits = 8;
+        lhist_entries = 16;
+        history_entries = 32;
+        path_bits = 16;
+    predecode_history_correction = true;
+      };
+  }
+
+(* --- TAGE-L: LOOP_3 > TAGE_3 > BTB_2 > BIM_2 > UBTB_1 ------------------------ *)
+
+let make_tage_l ~tage_latency =
+  let make () =
+    let tage =
+      Tage.make
+        {
+          (Tage.default ~name:"TAGE") with
+          latency = tage_latency;
+          tables =
+            List.map
+              (fun h -> { Tage.history_length = h; index_bits = 11; tag_bits = 9 })
+              [ 4; 6; 10; 16; 26; 42; 64 ];
+        }
+    in
+    let loop = Loop_pred.make { (Loop_pred.default ~name:"LOOP") with entries = 256 } in
+    let btb = Btb.make (Btb.default ~name:"BTB") in
+    let bim =
+      Hbim.make { (Hbim.default ~name:"BIM" ~indexing:Indexing.Pc) with entries = 8192 }
+    in
+    let ubtb = Ubtb.make { (Ubtb.default ~name:"UBTB") with entries = 32 } in
+    Topology.over loop
+      (Topology.over tage (Topology.over btb (Topology.over bim (Topology.node ubtb))))
+  in
+  {
+    name = (if tage_latency = 3 then "TAGE-L" else Printf.sprintf "TAGE-L/lat%d" tage_latency);
+    paper_storage_kb = 28.0;
+    paper_rows =
+      [
+        "64-bit global history";
+        "7 TAGE tables";
+        "2K-entry BTB w. 32-entry uBTB";
+        "256-entry loop predictor";
+      ];
+    make;
+    pipeline_config =
+      {
+        Pipeline.fetch_width;
+        ghist_bits = 64;
+        lhist_bits = 8;
+        lhist_entries = 16;
+        history_entries = 32;
+        path_bits = 16;
+    predecode_history_correction = true;
+      };
+  }
+
+let tage_l = make_tage_l ~tage_latency:3
+let tage_l_with_latency latency = make_tage_l ~tage_latency:latency
+
+let all = [ tourney; b2; tage_l ]
+
+let find name = List.find (fun d -> String.equal d.name name) all
+
+let pipeline d = Pipeline.create d.pipeline_config (d.make ())
+
+let direction_state_kb d =
+  let topo = d.make () in
+  let components = Topology.components topo in
+  let direction_bits =
+    List.fold_left
+      (fun acc (c : Component.t) ->
+        match c.family with
+        | Component.Btb | Component.Micro_btb -> acc
+        | Component.Counter_table | Component.Tagged_table | Component.Tage
+        | Component.Loop | Component.Selector | Component.Perceptron
+        | Component.Corrector | Component.Static ->
+          acc + Storage.total_bits c.storage)
+      0 components
+  in
+  let history_bits =
+    d.pipeline_config.Pipeline.ghist_bits
+    + (d.pipeline_config.Pipeline.lhist_entries * d.pipeline_config.Pipeline.lhist_bits)
+  in
+  float_of_int (direction_bits + history_bits) /. 8192.0

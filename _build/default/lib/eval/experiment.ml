@@ -1,0 +1,29 @@
+type result = {
+  design : string;
+  workload : string;
+  perf : Cobra_uarch.Perf.t;
+}
+
+let default_insns =
+  match Sys.getenv_opt "COBRA_INSNS" with
+  | Some s -> (try int_of_string s with Failure _ -> 100_000)
+  | None -> 100_000
+
+let run ?(insns = default_insns) ?(config = Cobra_uarch.Config.default) ?pipeline_config
+    ?(transform = Fun.id) (design : Designs.t) (workload : Cobra_workloads.Suite.entry) =
+  let pcfg = Option.value pipeline_config ~default:design.Designs.pipeline_config in
+  let pl = Cobra.Pipeline.create pcfg (design.Designs.make ()) in
+  let stream = transform (workload.Cobra_workloads.Suite.make ()) in
+  let core =
+    Cobra_uarch.Core.create ?decode:workload.Cobra_workloads.Suite.decode config pl stream
+  in
+  let perf = Cobra_uarch.Core.run core ~max_insns:insns in
+  { design = design.Designs.name; workload = workload.Cobra_workloads.Suite.name; perf }
+
+let run_matrix ?insns ?config designs workloads =
+  List.concat_map
+    (fun w -> List.map (fun d -> run ?insns ?config d w) designs)
+    workloads
+
+let find results ~design ~workload =
+  List.find (fun r -> String.equal r.design design && String.equal r.workload workload) results

@@ -1,0 +1,35 @@
+(** Experiment runner: a design x workload x core-configuration grid.
+
+    Each run elaborates a fresh pipeline (untrained components) and a fresh
+    core, so results are independent and deterministic. *)
+
+type result = {
+  design : string;
+  workload : string;
+  perf : Cobra_uarch.Perf.t;
+}
+
+val default_insns : int
+(** Instructions per run; override with the [COBRA_INSNS] environment
+    variable (the bench harness honours it). *)
+
+val run :
+  ?insns:int ->
+  ?config:Cobra_uarch.Config.t ->
+  ?pipeline_config:Cobra.Pipeline.config ->
+  ?transform:(Cobra_isa.Trace.stream -> Cobra_isa.Trace.stream) ->
+  Designs.t ->
+  Cobra_workloads.Suite.entry ->
+  result
+
+val run_matrix :
+  ?insns:int ->
+  ?config:Cobra_uarch.Config.t ->
+  Designs.t list ->
+  Cobra_workloads.Suite.entry list ->
+  result list
+(** Results grouped workload-major (all designs for workload 1, then
+    workload 2, ...). *)
+
+val find : result list -> design:string -> workload:string -> result
+(** Raises [Not_found]. *)

@@ -1,0 +1,92 @@
+module Text = Cobra_util.Text_render
+module Stats = Cobra_util.Stats
+module Perf = Cobra_uarch.Perf
+
+let figure_7 () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "Fig 7: pipeline diagrams of the COBRA-generated predictors\n";
+  List.iter
+    (fun (d : Designs.t) ->
+      Buffer.add_string buf (Printf.sprintf "\n[%s]\n" d.Designs.name);
+      Buffer.add_string buf
+        (Format.asprintf "%a" Cobra.Topology.pp_pipeline (d.Designs.make ())))
+    Designs.all;
+  Buffer.contents buf
+
+let figure_8 () =
+  let entries =
+    List.map
+      (fun (d : Designs.t) ->
+        let pl = Designs.pipeline d in
+        let breakdown = Cobra_synth.Area.pipeline_breakdown pl in
+        ( d.Designs.name,
+          List.map (fun b -> b.Cobra_synth.Area.area_um2 /. 1000.0) breakdown,
+          List.map (fun b -> b.Cobra_synth.Area.label) breakdown ))
+      Designs.all
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Fig 8: predictor area by sub-component (Meta = generated management structures)\n";
+  List.iter
+    (fun (name, areas, labels) ->
+      Buffer.add_string buf
+        (Text.stacked_rows ~title:name ~unit:"kum^2" ~parts:labels [ (name, areas) ]))
+    entries;
+  Buffer.contents buf
+
+let figure_9 () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "Fig 9: core area with each predictor attached\n";
+  List.iter
+    (fun (d : Designs.t) ->
+      let pl = Designs.pipeline d in
+      let breakdown = Cobra_synth.Area.core_breakdown pl in
+      Buffer.add_string buf (Printf.sprintf "\n[core + %s]\n" d.Designs.name);
+      Buffer.add_string buf (Format.asprintf "%a" Cobra_synth.Area.pp_breakdown breakdown))
+    Designs.all;
+  Buffer.contents buf
+
+let series_of results metric =
+  List.map
+    (fun bench ->
+      let per_design =
+        List.map
+          (fun (d : Designs.t) ->
+            metric (Experiment.find results ~design:d.Designs.name ~workload:bench).Experiment.perf)
+          Designs.all
+      in
+      (bench, per_design))
+    Reference.benchmarks
+
+let with_reference rows ref_metric =
+  List.map
+    (fun (bench, values) ->
+      let sky = List.assoc bench (ref_metric Reference.skylake) in
+      let grav = List.assoc bench (ref_metric Reference.graviton) in
+      (bench, values @ [ sky; grav ]))
+    rows
+
+let harmonic_row rows =
+  let n = List.length (snd (List.hd rows)) in
+  ( "HARMEAN",
+    List.init n (fun i -> Stats.harmonic_mean (List.map (fun (_, vs) -> List.nth vs i) rows))
+  )
+
+let figure_10 results =
+  let design_names = List.map (fun (d : Designs.t) -> d.Designs.name) Designs.all in
+  let series = design_names @ [ "Skylake*"; "Graviton*" ] in
+  let mpki_rows = with_reference (series_of results Perf.mpki) (fun r -> r.Reference.mpki) in
+  let ipc_rows = with_reference (series_of results Perf.ipc) (fun r -> r.Reference.ipc) in
+  let mpki_rows = mpki_rows @ [ harmonic_row mpki_rows ] in
+  let ipc_rows = ipc_rows @ [ harmonic_row ipc_rows ] in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "Fig 10: SPECint17 comparison (*Skylake/Graviton are paper Fig 10 read-offs, not \
+     measured; comparison approximate as in the paper)\n\n";
+  Buffer.add_string buf
+    (Text.grouped_bar_chart ~title:"Branch misses per kilo-instruction" ~unit:"MPKI" ~series
+       mpki_rows);
+  Buffer.add_string buf "\n";
+  Buffer.add_string buf
+    (Text.grouped_bar_chart ~title:"Instructions per cycle" ~unit:"IPC" ~series ipc_rows);
+  Buffer.contents buf

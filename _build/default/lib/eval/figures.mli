@@ -1,0 +1,15 @@
+(** Emitters for the paper's figures (text renderings). *)
+
+val figure_7 : unit -> string
+(** Fig 7: pipeline diagrams of the three designs. *)
+
+val figure_8 : unit -> string
+(** Fig 8: predictor area, broken down by sub-component plus "Meta". *)
+
+val figure_9 : unit -> string
+(** Fig 9: whole-core area with each predictor attached. *)
+
+val figure_10 : Experiment.result list -> string
+(** Fig 10: branch MPKI and IPC per SPEC-like benchmark for the three
+    designs (measured) and the paper's Skylake/Graviton read-offs, with
+    harmonic means. The result list must cover all designs x benchmarks. *)

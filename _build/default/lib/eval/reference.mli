@@ -1,0 +1,24 @@
+(** Paper-reported reference data.
+
+    Fig 10 compares the three COBRA-BOOM variants against Intel Skylake and
+    AWS Graviton measurements. Those series cannot be re-measured here, so
+    approximate per-benchmark values read off the paper's Fig 10 are
+    embedded as constants and printed alongside our measured series, in the
+    same spirit as the paper's own caveat ("comparison against Skylake and
+    Graviton is approximate due to different ISAs"). *)
+
+type series = {
+  system : string;
+  mpki : (string * float) list;  (** benchmark -> branch MPKI *)
+  ipc : (string * float) list;
+}
+
+val skylake : series
+val graviton : series
+
+val benchmarks : string list
+(** Fig 10 benchmark order. *)
+
+val paper_claims : (string * string) list
+(** Headline numbers quoted in the paper text, keyed by experiment id —
+    used by EXPERIMENTS.md and the bench output. *)

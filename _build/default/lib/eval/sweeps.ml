@@ -1,0 +1,370 @@
+open Cobra
+open Cobra_components
+module Text = Cobra_util.Text_render
+module Perf = Cobra_uarch.Perf
+module Config = Cobra_uarch.Config
+
+let default_insns () = Experiment.default_insns
+
+let run_topology ?(config = Config.default) ?(pipeline_config = Pipeline.default_config)
+    ~insns topo workload =
+  let pl = Pipeline.create pipeline_config topo in
+  let stream = (workload : Cobra_workloads.Suite.entry).Cobra_workloads.Suite.make () in
+  let core =
+    Cobra_uarch.Core.create ?decode:workload.Cobra_workloads.Suite.decode config pl stream
+  in
+  let perf = Cobra_uarch.Core.run core ~max_insns:insns in
+  (perf, pl)
+
+(* --- TAGE storage sweep ------------------------------------------------------- *)
+
+let tage_storage_sweep ?insns () =
+  let insns = Option.value insns ~default:(default_insns ()) in
+  let workload = Cobra_workloads.Suite.find "gcc" in
+  let rows =
+    List.map
+      (fun index_bits ->
+        let tcfg =
+          {
+            (Tage.default ~name:"TAGE") with
+            Tage.tables =
+              List.map
+                (fun h -> { Tage.history_length = h; index_bits; tag_bits = 9 })
+                [ 4; 6; 10; 16; 26; 42; 64 ];
+          }
+        in
+        let topo =
+          Topology.over (Tage.make tcfg)
+            (Topology.over
+               (Btb.make (Btb.default ~name:"BTB"))
+               (Topology.node (Hbim.make (Hbim.default ~name:"BIM" ~indexing:Indexing.Pc))))
+        in
+        let perf, _ = run_topology ~insns topo workload in
+        [
+          Printf.sprintf "2^%d x 7" index_bits;
+          Printf.sprintf "%.1f KB" (float_of_int (Tage.storage_bits tcfg) /. 8192.0);
+          Text.float_cell ~decimals:2 (100.0 *. Perf.branch_accuracy perf);
+          Text.float_cell (Perf.mpki perf);
+          Text.float_cell (Perf.ipc perf);
+        ])
+      [ 7; 8; 9; 10; 11; 12 ]
+  in
+  Text.table ~title:"Sweep: TAGE storage budget (gcc-like workload)"
+    ~header:[ "entries"; "TAGE KB"; "accuracy%"; "MPKI"; "IPC" ]
+    ~rows ()
+
+(* --- uBTB value ------------------------------------------------------------------ *)
+
+let ubtb_value ?insns () =
+  let insns = Option.value insns ~default:(default_insns ()) in
+  let workload = Cobra_workloads.Suite.find "dhrystone" in
+  let base_parts () =
+    let tage = Tage.make (Tage.default ~name:"TAGE") in
+    let btb = Btb.make (Btb.default ~name:"BTB") in
+    let bim = Hbim.make (Hbim.default ~name:"BIM" ~indexing:Indexing.Pc) in
+    Topology.over tage (Topology.over btb (Topology.node bim))
+  in
+  let with_ubtb =
+    Topology.over
+      (Tage.make (Tage.default ~name:"TAGE"))
+      (Topology.over
+         (Btb.make (Btb.default ~name:"BTB"))
+         (Topology.over
+            (Hbim.make (Hbim.default ~name:"BIM" ~indexing:Indexing.Pc))
+            (Topology.node (Ubtb.make (Ubtb.default ~name:"UBTB")))))
+  in
+  let rows =
+    List.map
+      (fun (name, topo) ->
+        let perf, _ = run_topology ~insns topo workload in
+        [
+          name;
+          Text.float_cell (Perf.ipc perf);
+          Text.float_cell ~decimals:2 (100.0 *. Perf.branch_accuracy perf);
+          string_of_int perf.Perf.cycles;
+        ])
+      [ ("TAGE_3 > BTB_2 > BIM_2", base_parts ()); ("... > UBTB_1", with_ubtb) ]
+  in
+  Text.table
+    ~title:"Ablation: 1-cycle uBTB head (dhrystone; taken redirects at Fetch-1 vs Fetch-2)"
+    ~header:[ "topology"; "IPC"; "accuracy%"; "cycles" ]
+    ~rows ()
+
+(* --- fetch width ------------------------------------------------------------------- *)
+
+let fetch_width_sweep ?insns () =
+  let insns = Option.value insns ~default:(default_insns ()) in
+  let workload = Cobra_workloads.Suite.find "dhrystone" in
+  let rows =
+    List.map
+      (fun w ->
+        let topo =
+          Topology.over
+            (Tage.make { (Tage.default ~name:"TAGE") with Tage.fetch_width = w })
+            (Topology.over
+               (Btb.make { (Btb.default ~name:"BTB") with Btb.fetch_width = w })
+               (Topology.node
+                  (Hbim.make
+                     { (Hbim.default ~name:"BIM" ~indexing:Indexing.Pc) with
+                       Hbim.fetch_width = w })))
+        in
+        let pipeline_config = { Pipeline.default_config with Pipeline.fetch_width = w } in
+        let config =
+          { Config.default with Config.fetch_width = w; decode_width = w; commit_width = w }
+        in
+        let perf, _ = run_topology ~config ~pipeline_config ~insns topo workload in
+        [ string_of_int w; Text.float_cell (Perf.ipc perf);
+          Text.float_cell ~decimals:2 (100.0 *. Perf.branch_accuracy perf) ])
+      [ 1; 2; 4; 8 ]
+  in
+  Text.table ~title:"Sweep: fetch width (superscalar prediction, Section II)"
+    ~header:[ "width"; "IPC"; "accuracy%" ]
+    ~rows ()
+
+(* --- indexing ---------------------------------------------------------------------- *)
+
+let indexing_ablation ?insns () =
+  let insns = Option.value insns ~default:(default_insns ()) in
+  let workload = Cobra_workloads.Suite.find "correlated" in
+  let rows =
+    List.map
+      (fun (name, indexing) ->
+        let topo =
+          Topology.over
+            (Hbim.make { (Hbim.default ~name:"BIM" ~indexing) with Hbim.entries = 4096 })
+            (Topology.node (Btb.make (Btb.default ~name:"BTB")))
+        in
+        let perf, _ = run_topology ~insns topo workload in
+        [ name; Text.float_cell ~decimals:2 (100.0 *. Perf.branch_accuracy perf);
+          Text.float_cell (Perf.mpki perf) ])
+      [
+        ("pc", Indexing.Pc);
+        ("ghist[10]", Indexing.Ghist 10);
+        ("hash(pc^ghist[10])", Indexing.Hash [ Indexing.Pc; Indexing.Ghist 10 ]);
+      ]
+  in
+  Text.table ~title:"Ablation: HBIM indexing source (correlated kernel, Section III-G1)"
+    ~header:[ "indexing"; "accuracy%"; "MPKI" ]
+    ~rows ()
+
+(* --- indirect predictor --------------------------------------------------------------- *)
+
+let indirect_predictor ?insns () =
+  let insns = Option.value insns ~default:(default_insns ()) in
+  let tage_l () = Designs.tage_l.Designs.make () in
+  let with_ittage ~path () =
+    Topology.over
+      (Ittage.make { (Ittage.default ~name:"ITTAGE") with Ittage.use_path_history = path })
+      (tage_l ())
+  in
+  let pipeline_config = Designs.tage_l.Designs.pipeline_config in
+  let rows =
+    List.concat_map
+      (fun wname ->
+        let workload = Cobra_workloads.Suite.find wname in
+        List.map
+          (fun (name, topo) ->
+            let perf, _ = run_topology ~pipeline_config ~insns topo workload in
+            [
+              wname;
+              name;
+              Text.float_cell (Perf.ipc perf);
+              Text.float_cell ~decimals:2 (100.0 *. Perf.branch_accuracy perf);
+              Text.float_cell (Perf.mpki perf);
+            ])
+          [
+            ("TAGE-L", tage_l ());
+            ("ITTAGE(ghist) > TAGE-L", with_ittage ~path:false ());
+            ("ITTAGE(phist) > TAGE-L", with_ittage ~path:true ());
+          ])
+      [ "perlbench"; "indirect" ]
+  in
+  Text.table
+    ~title:
+      "Extension: ITTAGE indirect-target predictor, direction- vs path-history indexed \
+       (paper IV-B3 invites path-history providers)"
+    ~header:[ "workload"; "topology"; "IPC"; "accuracy%"; "MPKI" ]
+    ~rows ()
+
+(* --- statistical corrector ---------------------------------------------------------------- *)
+
+let statistical_corrector_value ?insns () =
+  let insns = Option.value insns ~default:(default_insns ()) in
+  let workloads = List.map Cobra_workloads.Suite.find [ "gcc"; "leela"; "xz" ] in
+  let pipeline_config = Designs.tage_l.Designs.pipeline_config in
+  let tage_l () = Designs.tage_l.Designs.make () in
+  let with_sc () =
+    Topology.over
+      (Statistical_corrector.make (Statistical_corrector.default ~name:"SC"))
+      (tage_l ())
+  in
+  let rows =
+    List.concat_map
+      (fun w ->
+        List.map
+          (fun (name, topo) ->
+            let perf, _ = run_topology ~pipeline_config ~insns topo w in
+            [
+              w.Cobra_workloads.Suite.name;
+              name;
+              Text.float_cell ~decimals:2 (100.0 *. Perf.branch_accuracy perf);
+              Text.float_cell (Perf.mpki perf);
+              Text.float_cell (Perf.ipc perf);
+            ])
+          [ ("TAGE-L", tage_l ()); ("SC_3 > TAGE-L", with_sc ()) ])
+      workloads
+  in
+  Text.table
+    ~title:"Extension: statistical corrector over TAGE-L (towards full TAGE-SC-L)"
+    ~header:[ "workload"; "topology"; "accuracy%"; "MPKI"; "IPC" ]
+    ~rows ()
+
+(* --- CBP-family head-to-head ----------------------------------------------------------------- *)
+
+let gehl_vs_tage ?insns () =
+  let insns = Option.value insns ~default:(default_insns ()) in
+  let workload = Cobra_workloads.Suite.find "gcc" in
+  let over_btb c =
+    Topology.over c
+      (Topology.over
+         (Btb.make (Btb.default ~name:"BTB"))
+         (Topology.node (Hbim.make (Hbim.default ~name:"BIM" ~indexing:Indexing.Pc))))
+  in
+  let contenders =
+    [
+      ("GSHARE_2", fun () -> Gshare.make (Gshare.default ~name:"GSHARE"));
+      ("YAGS_2", fun () -> Yags.make (Yags.default ~name:"YAGS"));
+      ("PERCEPTRON_3", fun () -> Perceptron.make (Perceptron.default ~name:"PERC"));
+      ("GEHL_3", fun () -> Gehl.make (Gehl.default ~name:"GEHL"));
+      ("TAGE_3", fun () -> Tage.make (Tage.default ~name:"TAGE"));
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, mk) ->
+        let c = mk () in
+        let kb = Cobra.Storage.kilobytes c.Cobra.Component.storage in
+        let perf, _ = run_topology ~insns (over_btb c) workload in
+        [
+          name ^ " > BTB_2 > BIM_2";
+          Printf.sprintf "%.1f KB" kb;
+          Text.float_cell ~decimals:2 (100.0 *. Perf.branch_accuracy perf);
+          Text.float_cell (Perf.mpki perf);
+          Text.float_cell (Perf.ipc perf);
+        ])
+      contenders
+  in
+  Text.table
+    ~title:"Extension: CBP-era predictor families head-to-head (gcc-like workload)"
+    ~header:[ "topology"; "dir state"; "accuracy%"; "MPKI"; "IPC" ]
+    ~rows ()
+
+(* --- core size --------------------------------------------------------------------------- *)
+
+let core_size ?insns () =
+  let insns = Option.value insns ~default:(default_insns ()) in
+  let workload = Cobra_workloads.Suite.find "gcc" in
+  let sizes =
+    [
+      ( "small (1-wide, 32 ROB)",
+        {
+          Config.default with
+          Config.fetch_width = 1;
+          decode_width = 1;
+          commit_width = 1;
+          rob_entries = 32;
+          int_alus = 1;
+          mem_ports = 1;
+          fp_units = 1;
+          fetch_buffer = 8;
+        } );
+      ("paper (4-wide, 128 ROB)", Config.default);
+      ( "mega (8-wide, 256 ROB)",
+        {
+          Config.default with
+          Config.fetch_width = 8;
+          decode_width = 8;
+          commit_width = 8;
+          rob_entries = 256;
+          int_alus = 8;
+          mem_ports = 4;
+          fp_units = 4;
+          fetch_buffer = 64;
+        } );
+    ]
+  in
+  let run_size (design : Designs.t) config =
+    (* rebuild the design's components at the matching fetch width *)
+    let fw = config.Config.fetch_width in
+    let topo =
+      match design.Designs.name with
+      | "B2" ->
+        Topology.over
+          (Gtag.make { (Gtag.default ~name:"GTAG") with Gtag.fetch_width = fw })
+          (Topology.over
+             (Btb.make { (Btb.default ~name:"BTB") with Btb.fetch_width = fw })
+             (Topology.node
+                (Hbim.make
+                   { (Hbim.default ~name:"BIM" ~indexing:Indexing.Pc) with
+                     Hbim.fetch_width = fw })))
+      | _ ->
+        Topology.over
+          (Tage.make { (Tage.default ~name:"TAGE") with Tage.fetch_width = fw })
+          (Topology.over
+             (Btb.make { (Btb.default ~name:"BTB") with Btb.fetch_width = fw })
+             (Topology.over
+                (Hbim.make
+                   { (Hbim.default ~name:"BIM" ~indexing:Indexing.Pc) with
+                     Hbim.fetch_width = fw })
+                (Topology.node
+                   (Ubtb.make { (Ubtb.default ~name:"UBTB") with Ubtb.fetch_width = fw }))))
+    in
+    let pipeline_config = { Pipeline.default_config with Pipeline.fetch_width = fw } in
+    fst (run_topology ~config ~pipeline_config ~insns topo workload)
+  in
+  let rows =
+    List.map
+      (fun (name, config) ->
+        let tage = run_size Designs.tage_l config and b2 = run_size Designs.b2 config in
+        let gain =
+          100.0 *. (Perf.ipc tage -. Perf.ipc b2) /. Float.max 1e-9 (Perf.ipc b2)
+        in
+        [
+          name;
+          Text.float_cell (Perf.ipc b2);
+          Text.float_cell (Perf.ipc tage);
+          Printf.sprintf "%+.1f%%" gain;
+        ])
+      sizes
+  in
+  Text.table
+    ~title:"Sweep: host-core size (TAGE-class vs B2-class prediction, gcc-like workload)"
+    ~header:[ "core"; "IPC (B2-like)"; "IPC (TAGE-like)"; "TAGE gain" ]
+    ~rows ()
+
+(* --- RAS repair ------------------------------------------------------------------------ *)
+
+let ras_repair ?insns () =
+  let insns = Option.value insns ~default:(default_insns ()) in
+  let workloads = List.map Cobra_workloads.Suite.find [ "xalancbmk"; "deepsjeng" ] in
+  let rows =
+    List.concat_map
+      (fun w ->
+        List.map
+          (fun repair ->
+            let config = { Config.default with Config.ras_repair = repair } in
+            let r = Experiment.run ~insns ~config Designs.tage_l w in
+            [
+              r.Experiment.workload;
+              (if repair then "checkpointed" else "no repair");
+              Text.float_cell (Perf.ipc r.Experiment.perf);
+              Text.float_cell ~decimals:2
+                (100.0 *. Perf.branch_accuracy r.Experiment.perf);
+              string_of_int r.Experiment.perf.Perf.mispredicts;
+            ])
+          [ false; true ])
+      workloads
+  in
+  Text.table ~title:"Extension: RAS checkpoint repair on flushes (call-heavy workloads)"
+    ~header:[ "workload"; "RAS"; "IPC"; "accuracy%"; "mispredicts" ]
+    ~rows ()

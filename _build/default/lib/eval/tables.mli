@@ -1,0 +1,11 @@
+(** Emitters for the paper's tables. *)
+
+val table_1 : unit -> string
+(** Table I: parameters and storage of the three designs — paper values
+    next to this implementation's bit-accurate accounting. *)
+
+val table_2 : ?config:Cobra_uarch.Config.t -> unit -> string
+(** Table II: the evaluated core configuration. *)
+
+val table_3 : unit -> string
+(** Table III: evaluated systems for the SPECint17 comparison. *)

@@ -1,0 +1,1 @@
+lib/isa/machine.ml: Array Cobra Hashtbl Insn List Option Program Trace

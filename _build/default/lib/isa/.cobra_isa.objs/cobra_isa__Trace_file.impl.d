@@ -1,0 +1,1 @@
+lib/isa/trace_file.ml: Buffer Cobra Format Fun List Printf String Trace

@@ -1,0 +1,1 @@
+lib/isa/trace_file.mli: Trace

@@ -1,0 +1,70 @@
+type reg = int
+
+let zero = 0
+let ra = 1
+let sp = 2
+
+type alu_op = Add | Sub | And | Or | Xor | Sll | Srl | Slt | Mul | Div | Rem
+
+type cond = Eq | Ne | Lt | Ge
+
+type t =
+  | Alu of alu_op * reg * reg * reg
+  | Alui of alu_op * reg * reg * int
+  | Li of reg * int
+  | Load of reg * reg * int
+  | Store of reg * reg * int
+  | Branch of cond * reg * reg * string
+  | Jal of reg * string
+  | Jalr of reg * reg * int
+  | Fma of reg * reg * reg
+  | Nop
+  | Halt
+
+let classify_jump = function
+  | Branch _ -> Some Cobra.Types.Cond
+  | Jal (rd, _) -> if rd = zero then Some Cobra.Types.Jump else Some Cobra.Types.Call
+  | Jalr (rd, rs, _) ->
+    if rd = zero && rs = ra then Some Cobra.Types.Ret
+    else if rd <> zero then Some Cobra.Types.Call
+    else Some Cobra.Types.Ind
+  | Alu _ | Alui _ | Li _ | Load _ | Store _ | Fma _ | Nop | Halt -> None
+
+let non_zero rs = List.filter (fun r -> r <> zero) rs
+
+let uses = function
+  | Alu (_, _, rs1, rs2) -> non_zero [ rs1; rs2 ]
+  | Alui (_, _, rs1, _) -> non_zero [ rs1 ]
+  | Li _ -> []
+  | Load (_, rs1, _) -> non_zero [ rs1 ]
+  | Store (rs2, rs1, _) -> non_zero [ rs1; rs2 ]
+  | Branch (_, rs1, rs2, _) -> non_zero [ rs1; rs2 ]
+  | Jal _ -> []
+  | Jalr (_, rs1, _) -> non_zero [ rs1 ]
+  | Fma (_, rs1, rs2) -> non_zero [ rs1; rs2 ]
+  | Nop | Halt -> []
+
+let defines = function
+  | Alu (_, rd, _, _) | Alui (_, rd, _, _) | Li (rd, _) | Load (rd, _, _)
+  | Jal (rd, _) | Jalr (rd, _, _) | Fma (rd, _, _) ->
+    if rd = zero then None else Some rd
+  | Store _ | Branch _ | Nop | Halt -> None
+
+let alu_op_name = function
+  | Add -> "add" | Sub -> "sub" | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Sll -> "sll" | Srl -> "srl" | Slt -> "slt" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+
+let cond_name = function Eq -> "beq" | Ne -> "bne" | Lt -> "blt" | Ge -> "bge"
+
+let pp ppf = function
+  | Alu (op, rd, rs1, rs2) -> Format.fprintf ppf "%s x%d, x%d, x%d" (alu_op_name op) rd rs1 rs2
+  | Alui (op, rd, rs1, imm) -> Format.fprintf ppf "%si x%d, x%d, %d" (alu_op_name op) rd rs1 imm
+  | Li (rd, imm) -> Format.fprintf ppf "li x%d, %d" rd imm
+  | Load (rd, rs1, imm) -> Format.fprintf ppf "lw x%d, %d(x%d)" rd imm rs1
+  | Store (rs2, rs1, imm) -> Format.fprintf ppf "sw x%d, %d(x%d)" rs2 imm rs1
+  | Branch (c, rs1, rs2, l) -> Format.fprintf ppf "%s x%d, x%d, %s" (cond_name c) rs1 rs2 l
+  | Jal (rd, l) -> Format.fprintf ppf "jal x%d, %s" rd l
+  | Jalr (rd, rs1, imm) -> Format.fprintf ppf "jalr x%d, %d(x%d)" rd imm rs1
+  | Fma (rd, rs1, rs2) -> Format.fprintf ppf "fma x%d, x%d, x%d" rd rs1 rs2
+  | Nop -> Format.pp_print_string ppf "nop"
+  | Halt -> Format.pp_print_string ppf "halt"

@@ -1,0 +1,49 @@
+(** BRISC: a small RISC instruction set used as the workload substrate.
+
+    The paper evaluates on RISC-V SPECint17 binaries; we cannot run those, so
+    workloads are written in this deliberately RISC-V-flavoured ISA: 32
+    integer registers ([x0] hardwired to zero, [x1] the link register),
+    4-byte instructions, conditional branches, direct jumps/calls and
+    indirect jumps/returns. An [Fma] instruction stands in for floating-point
+    work (it exercises the FP pipes of the core model; its arithmetic runs on
+    the integer register file for simplicity). *)
+
+type reg = int
+(** Register number in [0, 31]. *)
+
+val zero : reg
+val ra : reg
+(** Link register (x1). *)
+
+val sp : reg
+(** Stack pointer (x2). *)
+
+type alu_op = Add | Sub | And | Or | Xor | Sll | Srl | Slt | Mul | Div | Rem
+
+type cond = Eq | Ne | Lt | Ge
+
+type t =
+  | Alu of alu_op * reg * reg * reg  (** [rd, rs1, rs2] *)
+  | Alui of alu_op * reg * reg * int  (** [rd, rs1, imm] *)
+  | Li of reg * int
+  | Load of reg * reg * int  (** [rd <- mem(rs1 + imm)] (word addressing) *)
+  | Store of reg * reg * int  (** [mem(rs1 + imm) <- rs2] *)
+  | Branch of cond * reg * reg * string  (** conditional, direct label target *)
+  | Jal of reg * string  (** direct jump, links into [rd] ([x0] = plain jump) *)
+  | Jalr of reg * reg * int  (** indirect jump to [rs1 + imm], links into [rd] *)
+  | Fma of reg * reg * reg  (** stand-in floating-point op *)
+  | Nop
+  | Halt
+
+val classify_jump : t -> Cobra.Types.branch_kind option
+(** Control-flow kind of an instruction, [None] for non-branches. [Jal] with
+    a link register is a {!Cobra.Types.Call}; [Jalr x0, ra] is a
+    {!Cobra.Types.Ret}. *)
+
+val uses : t -> reg list
+(** Source registers (excluding [x0]). *)
+
+val defines : t -> reg option
+(** Destination register ([x0] writes are discarded). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+type line = Label of string | Line of Insn.t
+
+let label l = Label l
+let insn i = Line i
+
+open Insn
+
+let add rd rs1 rs2 = Line (Alu (Add, rd, rs1, rs2))
+let sub rd rs1 rs2 = Line (Alu (Sub, rd, rs1, rs2))
+let and_ rd rs1 rs2 = Line (Alu (And, rd, rs1, rs2))
+let or_ rd rs1 rs2 = Line (Alu (Or, rd, rs1, rs2))
+let xor rd rs1 rs2 = Line (Alu (Xor, rd, rs1, rs2))
+let sll rd rs1 rs2 = Line (Alu (Sll, rd, rs1, rs2))
+let srl rd rs1 rs2 = Line (Alu (Srl, rd, rs1, rs2))
+let slt rd rs1 rs2 = Line (Alu (Slt, rd, rs1, rs2))
+let mul rd rs1 rs2 = Line (Alu (Mul, rd, rs1, rs2))
+let div rd rs1 rs2 = Line (Alu (Div, rd, rs1, rs2))
+let rem rd rs1 rs2 = Line (Alu (Rem, rd, rs1, rs2))
+let addi rd rs1 imm = Line (Alui (Add, rd, rs1, imm))
+let andi rd rs1 imm = Line (Alui (And, rd, rs1, imm))
+let xori rd rs1 imm = Line (Alui (Xor, rd, rs1, imm))
+let slli rd rs1 imm = Line (Alui (Sll, rd, rs1, imm))
+let srli rd rs1 imm = Line (Alui (Srl, rd, rs1, imm))
+let slti rd rs1 imm = Line (Alui (Slt, rd, rs1, imm))
+let li rd imm = Line (Li (rd, imm))
+let lw rd rs1 imm = Line (Load (rd, rs1, imm))
+let sw rs2 rs1 imm = Line (Store (rs2, rs1, imm))
+let beq rs1 rs2 l = Line (Branch (Eq, rs1, rs2, l))
+let bne rs1 rs2 l = Line (Branch (Ne, rs1, rs2, l))
+let blt rs1 rs2 l = Line (Branch (Lt, rs1, rs2, l))
+let bge rs1 rs2 l = Line (Branch (Ge, rs1, rs2, l))
+let j l = Line (Jal (zero, l))
+let call l = Line (Jal (ra, l))
+let ret = Line (Jalr (zero, ra, 0))
+let jalr rd rs1 imm = Line (Jalr (rd, rs1, imm))
+let fma rd rs1 rs2 = Line (Fma (rd, rs1, rs2))
+let nop = Line Nop
+let halt = Line Halt
+
+type t = { base : int; code : Insn.t array; targets : int array; labels : (string * int) list }
+
+let assemble ?(base = 0x1000) lines =
+  let labels = Hashtbl.create 64 in
+  let count =
+    List.fold_left
+      (fun idx line ->
+        match line with
+        | Label l ->
+          if Hashtbl.mem labels l then invalid_arg ("Program.assemble: duplicate label " ^ l);
+          Hashtbl.add labels l (base + (4 * idx));
+          idx
+        | Line _ -> idx + 1)
+      0 lines
+  in
+  let code = Array.make count Insn.Nop in
+  let targets = Array.make count (-1) in
+  let resolve l =
+    match Hashtbl.find_opt labels l with
+    | Some a -> a
+    | None -> invalid_arg ("Program.assemble: unknown label " ^ l)
+  in
+  let idx = ref 0 in
+  List.iter
+    (function
+      | Label _ -> ()
+      | Line i ->
+        code.(!idx) <- i;
+        (match i with
+        | Branch (_, _, _, l) | Jal (_, l) -> targets.(!idx) <- resolve l
+        | Alu _ | Alui _ | Li _ | Load _ | Store _ | Jalr _ | Fma _ | Nop | Halt -> ());
+        incr idx)
+    lines;
+  { base; code; targets; labels = Hashtbl.fold (fun k v acc -> (k, v) :: acc) labels [] }
+
+let address_of t l = List.assoc l t.labels
+let length t = Array.length t.code

@@ -1,0 +1,55 @@
+(** Assembly programs: a label-resolving assembler over the {!Insn} eDSL. *)
+
+type line
+
+val label : string -> line
+val insn : Insn.t -> line
+
+(** Convenience constructors so programs read like assembly. *)
+
+val add : Insn.reg -> Insn.reg -> Insn.reg -> line
+val sub : Insn.reg -> Insn.reg -> Insn.reg -> line
+val and_ : Insn.reg -> Insn.reg -> Insn.reg -> line
+val or_ : Insn.reg -> Insn.reg -> Insn.reg -> line
+val xor : Insn.reg -> Insn.reg -> Insn.reg -> line
+val sll : Insn.reg -> Insn.reg -> Insn.reg -> line
+val srl : Insn.reg -> Insn.reg -> Insn.reg -> line
+val slt : Insn.reg -> Insn.reg -> Insn.reg -> line
+val mul : Insn.reg -> Insn.reg -> Insn.reg -> line
+val div : Insn.reg -> Insn.reg -> Insn.reg -> line
+val rem : Insn.reg -> Insn.reg -> Insn.reg -> line
+val addi : Insn.reg -> Insn.reg -> int -> line
+val andi : Insn.reg -> Insn.reg -> int -> line
+val xori : Insn.reg -> Insn.reg -> int -> line
+val slli : Insn.reg -> Insn.reg -> int -> line
+val srli : Insn.reg -> Insn.reg -> int -> line
+val slti : Insn.reg -> Insn.reg -> int -> line
+val li : Insn.reg -> int -> line
+val lw : Insn.reg -> Insn.reg -> int -> line
+val sw : Insn.reg -> Insn.reg -> int -> line
+val beq : Insn.reg -> Insn.reg -> string -> line
+val bne : Insn.reg -> Insn.reg -> string -> line
+val blt : Insn.reg -> Insn.reg -> string -> line
+val bge : Insn.reg -> Insn.reg -> string -> line
+val j : string -> line
+val call : string -> line
+val ret : line
+val jalr : Insn.reg -> Insn.reg -> int -> line
+val fma : Insn.reg -> Insn.reg -> Insn.reg -> line
+val nop : line
+val halt : line
+
+type t = {
+  base : int;  (** address of the first instruction *)
+  code : Insn.t array;
+  targets : int array;  (** resolved absolute branch target per instruction, -1 if none *)
+  labels : (string * int) list;  (** label -> resolved absolute address *)
+}
+
+val assemble : ?base:int -> line list -> t
+(** Raises [Invalid_argument] on unknown or duplicate labels. *)
+
+val address_of : t -> string -> int
+(** Resolved address of a label (for entry points). Raises [Not_found]. *)
+
+val length : t -> int

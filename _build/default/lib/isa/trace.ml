@@ -1,0 +1,80 @@
+type insn_class = Alu | Mul | Div | Load | Store | Fp | Nop
+
+type branch_info = { kind : Cobra.Types.branch_kind; taken : bool; target : int }
+
+type event = {
+  pc : int;
+  cls : insn_class;
+  addr : int option;
+  srcs : int list;
+  dst : int option;
+  branch : branch_info option;
+  next_pc : int;
+}
+
+let plain ~pc ~cls =
+  { pc; cls; addr = None; srcs = []; dst = None; branch = None; next_pc = pc + 4 }
+
+let is_short_forward_branch ?(max_offset = 32) ev =
+  match ev.branch with
+  | Some { kind = Cobra.Types.Cond; target; _ } ->
+    target > ev.pc && target - ev.pc <= max_offset
+  | Some _ | None -> false
+
+let exec_latency = function
+  | Alu -> 1
+  | Mul -> 3
+  | Div -> 12
+  | Load -> 0 (* cache model supplies the latency *)
+  | Store -> 1
+  | Fp -> 4
+  | Nop -> 1
+
+type stream = unit -> event option
+
+module Buffered = struct
+  type t = { source : stream; mutable back : event list; mutable pulled : int }
+
+  let create source = { source; back = []; pulled = 0 }
+
+  let next t =
+    match t.back with
+    | e :: rest ->
+      t.back <- rest;
+      Some e
+    | [] -> (
+      match t.source () with
+      | Some e ->
+        t.pulled <- t.pulled + 1;
+        Some e
+      | None -> None)
+
+  let peek t =
+    match t.back with
+    | e :: _ -> Some e
+    | [] -> (
+      match next t with
+      | Some e ->
+        t.back <- e :: t.back;
+        Some e
+      | None -> None)
+
+  let push_back t events = t.back <- events @ t.back
+  let pulled t = t.pulled
+end
+
+let of_list events =
+  let remaining = ref events in
+  fun () ->
+    match !remaining with
+    | [] -> None
+    | e :: rest ->
+      remaining := rest;
+      Some e
+
+let take stream n =
+  let rec loop acc n =
+    if n <= 0 then List.rev acc
+    else match stream () with None -> List.rev acc | Some e -> loop (e :: acc) (n - 1)
+  in
+  loop [] n

@@ -1,0 +1,60 @@
+(** Dynamic instruction traces.
+
+    The interface between workloads and the core model: a {e stream} of
+    retired-path instruction events. Streams support push-back so that the
+    core model can re-fetch instructions it flushed on a misprediction. *)
+
+type insn_class = Alu | Mul | Div | Load | Store | Fp | Nop
+
+type branch_info = {
+  kind : Cobra.Types.branch_kind;
+  taken : bool;
+  target : int;
+      (** for direct branches the static target (even when not taken); for
+          indirect branches the dynamic target *)
+}
+
+type event = {
+  pc : int;
+  cls : insn_class;
+  addr : int option;  (** byte address for loads/stores *)
+  srcs : int list;  (** source registers, for dataflow timing *)
+  dst : int option;
+  branch : branch_info option;
+  next_pc : int;
+}
+
+val plain : pc:int -> cls:insn_class -> event
+(** A non-branch event with no operands, falling through to [pc + 4]. *)
+
+val is_short_forward_branch : ?max_offset:int -> event -> bool
+(** A conditional direct branch whose target lies a small distance forward —
+    the "hammock" shape the paper's Section VI-C optimisation predicates
+    (default [max_offset] 32 bytes). *)
+
+val exec_latency : insn_class -> int
+(** Fixed execution latency of a class (loads add cache latency on top). *)
+
+type stream = unit -> event option
+(** Pull-based event source; [None] = program finished. *)
+
+module Buffered : sig
+  (** A stream with push-back, used by the core model to re-fetch flushed
+      instructions. *)
+
+  type t
+
+  val create : stream -> t
+  val next : t -> event option
+  val peek : t -> event option
+
+  val push_back : t -> event list -> unit
+  (** Events are pushed back so that the first list element is the next one
+      delivered. *)
+
+  val pulled : t -> int
+  (** Number of distinct events delivered (push-backs do not re-count). *)
+end
+
+val of_list : event list -> stream
+val take : stream -> int -> event list

@@ -1,0 +1,124 @@
+let class_to_string = function
+  | Trace.Alu -> "alu"
+  | Trace.Mul -> "mul"
+  | Trace.Div -> "div"
+  | Trace.Load -> "load"
+  | Trace.Store -> "store"
+  | Trace.Fp -> "fp"
+  | Trace.Nop -> "nop"
+
+let class_of_string = function
+  | "alu" -> Trace.Alu
+  | "mul" -> Trace.Mul
+  | "div" -> Trace.Div
+  | "load" -> Trace.Load
+  | "store" -> Trace.Store
+  | "fp" -> Trace.Fp
+  | "nop" -> Trace.Nop
+  | s -> failwith ("Trace_file: unknown class " ^ s)
+
+let kind_to_string k = Format.asprintf "%a" Cobra.Types.pp_branch_kind k
+
+let kind_of_string = function
+  | "cond" -> Cobra.Types.Cond
+  | "jump" -> Cobra.Types.Jump
+  | "call" -> Cobra.Types.Call
+  | "ret" -> Cobra.Types.Ret
+  | "ind" -> Cobra.Types.Ind
+  | s -> failwith ("Trace_file: unknown branch kind " ^ s)
+
+let event_to_string (ev : Trace.event) =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf
+    (Printf.sprintf "%x %s %x" ev.Trace.pc (class_to_string ev.Trace.cls) ev.Trace.next_pc);
+  (match ev.Trace.branch with
+  | Some b ->
+    Buffer.add_string buf
+      (Printf.sprintf " B %s %d %x" (kind_to_string b.Trace.kind)
+         (if b.Trace.taken then 1 else 0)
+         b.Trace.target)
+  | None -> ());
+  (match ev.Trace.addr with
+  | Some a -> Buffer.add_string buf (Printf.sprintf " M %x" a)
+  | None -> ());
+  (match ev.Trace.dst with
+  | Some d -> Buffer.add_string buf (Printf.sprintf " D %d" d)
+  | None -> ());
+  (match ev.Trace.srcs with
+  | [] -> ()
+  | srcs ->
+    Buffer.add_string buf
+      (" S " ^ String.concat "," (List.map string_of_int srcs)));
+  Buffer.contents buf
+
+let event_of_string line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else begin
+    let fail () = failwith ("Trace_file: malformed line: " ^ line) in
+    let tokens = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
+    match tokens with
+    | pc :: cls :: next_pc :: rest ->
+      let hex s = try int_of_string ("0x" ^ s) with Failure _ -> fail () in
+      let base =
+        {
+          (Trace.plain ~pc:(hex pc) ~cls:(class_of_string cls)) with
+          Trace.next_pc = hex next_pc;
+        }
+      in
+      let rec opts ev = function
+        | "B" :: kind :: taken :: target :: rest ->
+          opts
+            {
+              ev with
+              Trace.branch =
+                Some
+                  {
+                    Trace.kind = kind_of_string kind;
+                    taken = taken = "1";
+                    target = hex target;
+                  };
+            }
+            rest
+        | "M" :: addr :: rest -> opts { ev with Trace.addr = Some (hex addr) } rest
+        | "D" :: dst :: rest ->
+          opts { ev with Trace.dst = Some (int_of_string dst) } rest
+        | "S" :: srcs :: rest ->
+          opts
+            { ev with Trace.srcs = List.map int_of_string (String.split_on_char ',' srcs) }
+            rest
+        | [] -> ev
+        | _ -> fail ()
+      in
+      Some (opts base rest)
+    | _ -> fail ()
+  end
+
+let write_channel oc events =
+  output_string oc "# cobra trace v1\n";
+  List.iter
+    (fun ev ->
+      output_string oc (event_to_string ev);
+      output_char oc '\n')
+    events
+
+let save ~path events =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel oc events)
+
+let read_channel ic =
+  let rec loop acc =
+    match input_line ic with
+    | exception End_of_file -> List.rev acc
+    | line -> (
+      match event_of_string line with
+      | Some ev -> loop (ev :: acc)
+      | None -> loop acc)
+  in
+  loop []
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_channel ic)
+
+let load_stream ~path = Trace.of_list (load ~path)

@@ -1,0 +1,25 @@
+(** Trace serialization — a CBP/championship-style interchange format.
+
+    One event per line:
+    {v
+    <pc> <class> <next_pc> [B <kind> <taken> <target>] [M <addr>] [D <dst>] [S <src,src,...>]
+    v}
+    with all numbers in lowercase hex. Lines beginning with [#] are
+    comments. This lets workload traces captured once (or imported from
+    external tools) be replayed through the framework without the BRISC
+    machine. *)
+
+val write_channel : out_channel -> Trace.event list -> unit
+val save : path:string -> Trace.event list -> unit
+
+val read_channel : in_channel -> Trace.event list
+(** Raises [Failure] with the offending line on parse errors. *)
+
+val load : path:string -> Trace.event list
+
+val load_stream : path:string -> Trace.stream
+(** Loads eagerly, streams lazily. *)
+
+val event_to_string : Trace.event -> string
+val event_of_string : string -> Trace.event option
+(** [None] for blank/comment lines. *)

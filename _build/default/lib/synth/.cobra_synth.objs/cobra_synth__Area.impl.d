@@ -1,0 +1,1 @@
+lib/synth/area.ml: Array Cobra Format List Sram_compiler Tech

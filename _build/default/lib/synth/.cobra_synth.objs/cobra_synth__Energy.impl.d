@@ -1,0 +1,1 @@
+lib/synth/energy.ml: Array Cobra Float List Tech

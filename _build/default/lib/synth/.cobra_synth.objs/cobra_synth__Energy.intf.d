@@ -1,0 +1,1 @@
+lib/synth/energy.mli: Cobra Tech

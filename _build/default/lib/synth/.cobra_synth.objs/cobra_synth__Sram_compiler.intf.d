@@ -1,0 +1,1 @@
+lib/synth/sram_compiler.mli: Tech

@@ -1,0 +1,33 @@
+type t = {
+  name : string;
+  sram_bit_um2 : float;
+  sram_array_efficiency : float;
+  sram_macro_overhead_um2 : float;
+  flop_um2 : float;
+  nand2_um2 : float;
+  target_clock_ps : int;
+  fo4_ps : int;
+  sram_read_ps : int;
+  sram_read_pj_per_bit : float;
+  flop_read_pj_per_bit : float;
+}
+
+(* Representative 7 nm-class figures: ~0.032 µm² HD bitcell, ~60% array
+   efficiency for the small predictor macros, ~0.6 µm² scan flops,
+   ~0.06 µm² NAND2, ~9 ps FO4 at nominal voltage. *)
+let finfet_7nm_class =
+  {
+    name = "finfet-7nm-class";
+    sram_bit_um2 = 0.032;
+    sram_array_efficiency = 0.6;
+    sram_macro_overhead_um2 = 180.0;
+    flop_um2 = 0.6;
+    nand2_um2 = 0.06;
+    target_clock_ps = 1000;
+    fo4_ps = 9;
+    sram_read_ps = 420;
+    sram_read_pj_per_bit = 0.008;
+    flop_read_pj_per_bit = 0.0015;
+  }
+
+let default = finfet_7nm_class

@@ -1,0 +1,1 @@
+lib/uarch/core.ml: Array Cobra Cobra_isa Cobra_util Config List Mem_model Option Perf Printf Queue Ras String Sys

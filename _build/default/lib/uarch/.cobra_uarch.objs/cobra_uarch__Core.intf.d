@@ -1,0 +1,1 @@
+lib/uarch/core.mli: Cobra Cobra_isa Config Perf

@@ -1,0 +1,1 @@
+lib/uarch/perf.ml: Cobra_util Format

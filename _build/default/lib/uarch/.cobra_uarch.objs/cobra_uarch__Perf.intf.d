@@ -1,0 +1,1 @@
+lib/uarch/perf.mli: Format

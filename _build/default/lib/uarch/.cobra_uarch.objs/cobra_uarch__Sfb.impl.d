@@ -1,0 +1,1 @@
+lib/uarch/sfb.ml: Cobra_isa List Option

@@ -1,0 +1,1 @@
+lib/uarch/sfb.mli: Cobra_isa

@@ -1,0 +1,54 @@
+type t = {
+  fetch_width : int;
+  fetch_buffer : int;
+  ras_entries : int;
+  decode_width : int;
+  commit_width : int;
+  rob_entries : int;
+  int_alus : int;
+  mem_ports : int;
+  fp_units : int;
+  replay_on_history_divergence : bool;
+  repair_history_on_divergence : bool;
+  ras_repair : bool;
+  serialize_fetch : bool;
+  sfb_optimization : bool;
+  sfb_max_offset : int;
+  wrong_path_fetch_limit : int;
+}
+
+let default =
+  {
+    fetch_width = 4;
+    fetch_buffer = 32;
+    ras_entries = 16;
+    decode_width = 4;
+    commit_width = 4;
+    rob_entries = 128;
+    int_alus = 4;
+    mem_ports = 2;
+    fp_units = 2;
+    replay_on_history_divergence = true;
+    repair_history_on_divergence = true;
+    ras_repair = true;
+    serialize_fetch = false;
+    sfb_optimization = false;
+    sfb_max_offset = 32;
+    wrong_path_fetch_limit = 16;
+  }
+
+let rows t =
+  [
+    ("Frontend", Printf.sprintf "%d-byte wide fetch" (4 * t.fetch_width));
+    ("", Printf.sprintf "%d-wide decode/rename/commit" t.decode_width);
+    ("Execute", Printf.sprintf "%d-entry ROB" t.rob_entries);
+    ( "",
+      Printf.sprintf "%d pipelines (%d ALU, %d MEM, %d FP)"
+        (t.int_alus + t.mem_ports + t.fp_units)
+        t.int_alus t.mem_ports t.fp_units );
+    ("Load-Store Unit", Printf.sprintf "%d LD or 1 ST per cycle" t.mem_ports);
+    ("L1 Caches", "8-way 32 KB ICache and DCache, next-line prefetcher");
+    ("L2 Cache", "8-way 512 KB");
+    ("L3 Cache", "4 MB LLC model");
+    ("Memory", "flat-latency DDR3-class timing model");
+  ]

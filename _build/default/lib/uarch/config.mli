@@ -1,0 +1,41 @@
+(** Core configuration (paper Table II) plus experiment toggles. *)
+
+type t = {
+  (* frontend *)
+  fetch_width : int;  (** instructions per fetch packet (16-byte fetch) *)
+  fetch_buffer : int;  (** fetch-buffer capacity in instructions *)
+  ras_entries : int;
+  (* backend *)
+  decode_width : int;
+  commit_width : int;
+  rob_entries : int;
+  int_alus : int;
+  mem_ports : int;
+  fp_units : int;
+  (* experiment toggles *)
+  replay_on_history_divergence : bool;
+      (** Section VI-B: replay fetch when a later pipeline stage revises the
+          speculative global history without redirecting the PC *)
+  repair_history_on_divergence : bool;
+      (** repair the speculative history register at all on such a
+          divergence; disabling this models a predictor with no divergence
+          management (the VI-B ablation's worst case) *)
+  ras_repair : bool;
+      (** checkpoint the return-address stack per packet and restore it on
+          flushes (Skadron et al.-style repair; the host-core improvement
+          the paper leaves to BOOM) *)
+  serialize_fetch : bool;
+      (** Section I: end every fetch packet at the first branch *)
+  sfb_optimization : bool;  (** Section VI-C: predicate short forward branches *)
+  sfb_max_offset : int;
+  wrong_path_fetch_limit : int;
+      (** consecutive wrong-path packets fetched before the frontend gates
+          itself until the next redirect (fetch throttling) *)
+}
+
+val default : t
+(** The paper's 4-wide BOOM: 4-wide fetch/decode/commit, 32-entry fetch
+    buffer, 128-entry ROB, 4 ALU + 2 MEM + 2 FP pipes, history replay on. *)
+
+val rows : t -> (string * string) list
+(** Table II-style description rows. *)

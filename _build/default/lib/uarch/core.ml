@@ -1,0 +1,763 @@
+module Pipeline = Cobra.Pipeline
+module Types = Cobra.Types
+module Trace = Cobra_isa.Trace
+module Cb = Cobra_util.Circular_buffer
+
+let dbg = Sys.getenv_opt "COBRA_DEBUG" <> None
+
+type slot_content =
+  | Real of Trace.event  (* retired-path instruction *)
+  | Decoded of Trace.event  (* wrong-path instruction, statically decoded *)
+  | Junk  (* wrong-path bytes with no program image behind them *)
+
+(* A fetch packet in flight inside the predictor pipeline. *)
+type fpacket = {
+  tok : Pipeline.token;
+  fp_pc : int;
+  max_len : int;
+  contents : slot_content array;  (* length max_len *)
+  mutable stage : int;
+  mutable acted_slot : int option;  (* slot of the taken branch acted upon *)
+  mutable acted_len : int;
+  mutable acted_next : int;
+  mutable fire_decision : (decision * bool) option;
+      (* memoised corrected decision while the fire stalls *)
+}
+
+and decision = { d_slot : int option; d_len : int; d_next : int }
+
+(* A dispatched instruction in the reorder buffer. *)
+type rentry = {
+  content : slot_content;
+  r_seq : int;  (* history-file sequence *)
+  r_slot : int;
+  pred_taken : bool;
+  pred_target : int;
+  r_ras : Ras.snapshot;  (* checkpoint for flush-time repair *)
+  mutable complete : int;
+  mutable resolved : bool;
+}
+
+type fb_entry = { f_content : slot_content; f_seq : int; f_slot : int;
+                  f_pred_taken : bool; f_pred_target : int; f_ras : Ras.snapshot }
+
+type t = {
+  cfg : Config.t;
+  pl : Pipeline.t;
+  decode : int -> Trace.event option;
+  stream : Trace.Buffered.t;
+  mem : Mem_model.t;
+  ras : Ras.t;
+  perf : Perf.t;
+  depth : int;
+  mutable cycle : int;
+  mutable fetch_pc : int;
+  mutable fetch_resume : int;
+  mutable inflight : fpacket list;  (* oldest first *)
+  fb : fb_entry Queue.t;
+  rob : rentry Cb.t;
+  mutable pending_branches : int list;  (* rob ids, oldest first *)
+  scoreboard : int array;
+  alu_busy : int array;
+  mem_busy : int array;
+  fp_busy : int array;
+  mutable last_committed_seq : int;
+  mutable started : bool;
+  mutable consec_wrong_path : int;
+}
+
+let create ?(decode = fun _ -> None) cfg pl stream =
+  let pcfg = Pipeline.config pl in
+  if pcfg.Pipeline.fetch_width <> cfg.Config.fetch_width then
+    invalid_arg "Core.create: pipeline and core fetch widths differ";
+  {
+    cfg;
+    pl;
+    decode;
+    stream = Trace.Buffered.create stream;
+    mem = Mem_model.create ();
+    ras = Ras.create ~entries:cfg.Config.ras_entries;
+    perf = Perf.create ();
+    depth = Pipeline.depth pl;
+    cycle = 0;
+    fetch_pc = 0;
+    fetch_resume = 0;
+    inflight = [];
+    fb = Queue.create ();
+    rob = Cb.create ~capacity:cfg.Config.rob_entries;
+    pending_branches = [];
+    scoreboard = Array.make 32 0;
+    alu_busy = Array.make cfg.Config.int_alus 0;
+    mem_busy = Array.make cfg.Config.mem_ports 0;
+    fp_busy = Array.make cfg.Config.fp_units 0;
+    last_committed_seq = -1;
+    started = false;
+    consec_wrong_path = 0;
+  }
+
+let perf t = t.perf
+
+(* --- fetch decisions ------------------------------------------------------ *)
+
+(* Interpret a stage composite as a fetch redirection decision, with the
+   return-address stack supplying targets for predicted returns. *)
+let decide t pkt ~stage =
+  let comp = (Pipeline.stages t.pl pkt.tok).(stage - 1) in
+  let nf = Types.next_fetch comp ~pc:pkt.fp_pc ~max_len:pkt.max_len in
+  let fallthrough = pkt.fp_pc + (4 * pkt.max_len) in
+  match nf.Types.taken_slot with
+  | None -> { d_slot = None; d_len = nf.Types.packet_len; d_next = fallthrough }
+  | Some i ->
+    let target = Option.value nf.Types.next_pc ~default:fallthrough in
+    let target =
+      if comp.(i).Types.o_kind = Some Types.Ret then
+        Option.value (Ras.peek t.ras) ~default:target
+      else target
+    in
+    { d_slot = Some i; d_len = nf.Types.packet_len; d_next = target }
+
+let stage_dir_bits t pkt ~stage ~len =
+  let comp = (Pipeline.stages t.pl pkt.tok).(stage - 1) in
+  Types.direction_bits comp ~packet_len:len
+
+let apply_decision pkt d =
+  pkt.acted_slot <- d.d_slot;
+  pkt.acted_len <- d.d_len;
+  pkt.acted_next <- d.d_next
+
+(* --- squashing ------------------------------------------------------------ *)
+
+let real_events_of_packet pkt =
+  Array.to_list pkt.contents
+  |> List.filter_map (function Real ev -> Some ev | Decoded _ | Junk -> None)
+
+(* Squash every in-flight packet younger than [pkt], returning their
+   correct-path events to the stream. *)
+let squash_younger_inflight t pkt =
+  let rec split = function
+    | [] -> ([], [])
+    | p :: rest when p == pkt ->
+      ([ p ], rest)
+    | p :: rest ->
+      let keep, squashed = split rest in
+      (p :: keep, squashed)
+  in
+  let keep, squashed = split t.inflight in
+  (match squashed with
+  | [] -> ()
+  | oldest :: _ ->
+    Trace.Buffered.push_back t.stream (List.concat_map real_events_of_packet squashed);
+    Pipeline.squash_from t.pl oldest.tok);
+  t.inflight <- keep
+
+(* --- frontend: fetch ------------------------------------------------------ *)
+
+let slots_to_block_end t pc = t.cfg.Config.fetch_width - ((pc / 4) mod t.cfg.Config.fetch_width)
+
+(* Pull the packet's correct-path contents from the stream; slots past an
+   actually-taken branch hold wrong-path block content (Junk). *)
+let pull_contents t ~pc ~max_len =
+  let contents = Array.make max_len Junk in
+  let rec loop i expected =
+    if i < max_len then
+      match Trace.Buffered.peek t.stream with
+      | Some ev when ev.Trace.pc = expected ->
+        ignore (Trace.Buffered.next t.stream);
+        contents.(i) <- Real ev;
+        let seq_next = expected + 4 in
+        (* an actually-taken branch ends the correct-path content; later
+           slots hold wrong-path block bytes *)
+        if ev.Trace.next_pc = seq_next then loop (i + 1) seq_next
+      | Some _ | None -> ()
+  in
+  loop 0 pc;
+  contents
+
+let first_branch_slot contents =
+  let n = Array.length contents in
+  let rec loop i =
+    if i >= n then None
+    else
+      match contents.(i) with
+      | (Real ev | Decoded ev) when ev.Trace.branch <> None -> Some i
+      | Real _ | Decoded _ | Junk -> loop (i + 1)
+  in
+  loop 0
+
+let on_true_path t =
+  match Trace.Buffered.peek t.stream with
+  | Some ev -> ev.Trace.pc = t.fetch_pc
+  | None -> false
+
+let fetch_one t =
+  let pc = t.fetch_pc in
+  let icache_lat = Mem_model.fetch_latency t.mem ~addr:pc in
+  if icache_lat > 0 then begin
+    t.fetch_resume <- t.cycle + icache_lat;
+    t.perf.Perf.icache_stall_cycles <- t.perf.Perf.icache_stall_cycles + icache_lat
+  end
+  else begin
+    let block_len = slots_to_block_end t pc in
+    let real = on_true_path t in
+    let contents =
+      if real then pull_contents t ~pc ~max_len:block_len
+      else
+        (* wrong path: fetch real instructions from the program image *)
+        Array.init block_len (fun i ->
+            match t.decode (pc + (4 * i)) with Some ev -> Decoded ev | None -> Junk)
+    in
+    (* Serialized fetch (paper Section I): the packet ends at its first
+       branch, so at most one branch is predicted per cycle. *)
+    let max_len =
+      if t.cfg.Config.serialize_fetch && real then
+        match first_branch_slot contents with Some i -> i + 1 | None -> block_len
+      else block_len
+    in
+    let contents =
+      if max_len = block_len then contents
+      else begin
+        (* return events pulled into the truncated slots to the stream *)
+        let dropped = ref [] in
+        for i = Array.length contents - 1 downto max_len do
+          match contents.(i) with
+          | Real ev -> dropped := ev :: !dropped
+          | Decoded _ | Junk -> ()
+        done;
+        Trace.Buffered.push_back t.stream !dropped;
+        Array.sub contents 0 max_len
+      end
+    in
+    let tok = Pipeline.predict t.pl ~pc ~max_len in
+    let pkt =
+      {
+        tok;
+        fp_pc = pc;
+        max_len;
+        contents;
+        stage = 1;
+        acted_slot = None;
+        acted_len = max_len;
+        acted_next = pc + (4 * max_len);
+        fire_decision = None;
+      }
+    in
+    apply_decision pkt (decide t pkt ~stage:1);
+    t.fetch_pc <- pkt.acted_next;
+    t.inflight <- t.inflight @ [ pkt ];
+    if dbg then
+      Printf.eprintf "[%d] FETCH pc=%x len=%d real=%b next=%x\n" t.cycle pc max_len real
+        pkt.acted_next;
+    t.perf.Perf.fetch_packets <- t.perf.Perf.fetch_packets + 1;
+    if real then t.consec_wrong_path <- 0
+    else begin
+      t.perf.Perf.wrong_path_packets <- t.perf.Perf.wrong_path_packets + 1;
+      t.consec_wrong_path <- t.consec_wrong_path + 1
+    end
+  end
+
+(* --- frontend: fire (packet leaves the predictor pipeline) ---------------- *)
+
+(* The decode-corrected fetch decision: direct jumps and calls resolve their
+   targets at decode; predicted-taken slots holding non-branches are
+   misfetches; conditional and indirect slots keep the acted prediction. *)
+let corrected_decision t pkt =
+  let fallthrough = pkt.fp_pc + (4 * pkt.max_len) in
+  let misfetch = ref false in
+  let rec walk i =
+    if i >= pkt.max_len then { d_slot = None; d_len = pkt.max_len; d_next = fallthrough }
+    else
+      let predicted_taken_here = pkt.acted_slot = Some i in
+      match pkt.contents.(i) with
+      | Real ev | Decoded ev -> (
+        match ev.Trace.branch with
+        | Some { Trace.kind = Types.Jump | Types.Call; target; _ } ->
+          (* decode-certain unconditional direct branch *)
+          if not (predicted_taken_here && pkt.acted_next = target) then misfetch := true;
+          { d_slot = Some i; d_len = i + 1; d_next = target }
+        | Some { Trace.kind = Types.Ret; _ } ->
+          let target =
+            if predicted_taken_here then pkt.acted_next
+            else Option.value (Ras.peek t.ras) ~default:fallthrough
+          in
+          if not predicted_taken_here then misfetch := true;
+          { d_slot = Some i; d_len = i + 1; d_next = target }
+        | Some { Trace.kind = Types.Ind; _ } ->
+          if predicted_taken_here then { d_slot = Some i; d_len = i + 1; d_next = pkt.acted_next }
+          else walk (i + 1)
+        | Some { Trace.kind = Types.Cond; _ } ->
+          if predicted_taken_here then { d_slot = Some i; d_len = i + 1; d_next = pkt.acted_next }
+          else walk (i + 1)
+        | None ->
+          if predicted_taken_here then misfetch := true;
+          walk (i + 1))
+      | Junk ->
+        if predicted_taken_here then
+          { d_slot = Some i; d_len = i + 1; d_next = pkt.acted_next }
+        else walk (i + 1)
+  in
+  let d = walk 0 in
+  (d, !misfetch || d.d_next <> pkt.acted_next)
+
+let opinion_resolved (op : Types.opinion) ~taken ~target =
+  if op.Types.o_branch = Some true then
+    Types.resolved_branch
+      ~kind:(Option.value op.Types.o_kind ~default:Types.Cond)
+      ~taken ~target
+  else Types.no_branch
+
+(* Build the predicted per-slot outcomes handed to Pipeline.fire: branch
+   positions and kinds come from predecode (real slots), directions from the
+   acted decision. *)
+let fire_slots t pkt (d : decision) ~comp =
+  Array.init t.cfg.Config.fetch_width (fun i ->
+      if i >= d.d_len || i >= pkt.max_len then Types.no_branch
+      else
+        let taken = d.d_slot = Some i in
+        let target = if taken then d.d_next else 0 in
+        match pkt.contents.(i) with
+        | Real ev | Decoded ev -> (
+          match ev.Trace.branch with
+          | Some info -> Types.resolved_branch ~kind:info.Trace.kind ~taken ~target
+          | None -> Types.no_branch)
+        | Junk -> opinion_resolved comp.(i) ~taken ~target)
+
+let update_ras t pkt (d : decision) ~comp =
+  for i = 0 to d.d_len - 1 do
+    let kind =
+      match pkt.contents.(i) with
+      | Real ev | Decoded ev -> Option.map (fun b -> b.Trace.kind) ev.Trace.branch
+      | Junk -> if comp.(i).Types.o_branch = Some true then comp.(i).Types.o_kind else None
+    in
+    match kind with
+    | Some Types.Call -> Ras.push t.ras (pkt.fp_pc + (4 * (i + 1)))
+    | Some Types.Ret -> ignore (Ras.pop t.ras)
+    | Some (Types.Cond | Types.Jump | Types.Ind) | None -> ()
+  done
+
+let fb_room t n = Queue.length t.fb + n <= t.cfg.Config.fetch_buffer
+
+(* Returns false when the fire had to stall. *)
+let try_fire t pkt =
+  let d, misfetch =
+    (* the packet's stages, acted decision and the RAS cannot change while
+       the fire stalls (it is the oldest packet), so memoise *)
+    match pkt.fire_decision with
+    | Some dm -> dm
+    | None ->
+      let dm = corrected_decision t pkt in
+      pkt.fire_decision <- Some dm;
+      dm
+  in
+  if not (fb_room t d.d_len && Pipeline.can_fire t.pl) then begin
+    if dbg then Printf.eprintf "[%d] FIRE-STALL pc=%x\n" t.cycle pkt.fp_pc;
+    t.perf.Perf.frontend_stall_cycles <- t.perf.Perf.frontend_stall_cycles + 1;
+    false
+  end
+  else begin
+    if misfetch then begin
+      if dbg then
+        Printf.eprintf "[%d] MISFETCH pkt pc=%x acted=(%s len=%d next=%x) corrected=(%s len=%d next=%x)\n"
+          t.cycle pkt.fp_pc
+          (match pkt.acted_slot with Some i -> string_of_int i | None -> "-") pkt.acted_len pkt.acted_next
+          (match d.d_slot with Some i -> string_of_int i | None -> "-") d.d_len d.d_next;
+      t.perf.Perf.misfetches <- t.perf.Perf.misfetches + 1;
+      squash_younger_inflight t pkt;
+      t.fetch_pc <- d.d_next;
+      (* Only a correction grounded in real (retired-path) content rejoins
+         the true path and may unthrottle wrong-path fetch; decode-time
+         redirects of wrong-path packets must not, or a static jump cycle in
+         never-executed code would be chased forever. *)
+      if Array.exists (function Real _ -> true | Decoded _ | Junk -> false) pkt.contents
+      then t.consec_wrong_path <- 0
+    end;
+    apply_decision pkt d;
+    (* Correct-path events pulled into block slots beyond the fired packet
+       length (a predicted-taken branch cut the packet) must return to the
+       stream; younger in-flight packets that already consumed later events
+       are squashed first so push-back order stays program order. *)
+    let leftovers = ref [] in
+    Array.iteri
+      (fun i c ->
+        match c with
+        | Real ev when i >= d.d_len -> leftovers := ev :: !leftovers
+        | Real _ | Decoded _ | Junk -> ())
+      pkt.contents;
+    if !leftovers <> [] then begin
+      let younger_has_real =
+        List.exists
+          (fun p ->
+            p != pkt
+            && Array.exists (function Real _ -> true | Decoded _ | Junk -> false) p.contents)
+          t.inflight
+      in
+      if younger_has_real then squash_younger_inflight t pkt;
+      Trace.Buffered.push_back t.stream (List.rev !leftovers)
+    end;
+    let comp = (Pipeline.stages t.pl pkt.tok).(t.depth - 1) in
+    let slots = fire_slots t pkt d ~comp in
+    let seq = Pipeline.fire t.pl pkt.tok ~slots ~packet_len:(max 1 d.d_len) in
+    update_ras t pkt d ~comp;
+    let ras_snap = Ras.checkpoint t.ras in
+    for i = 0 to d.d_len - 1 do
+      Queue.add
+        {
+          f_content = pkt.contents.(i);
+          f_seq = seq;
+          f_slot = i;
+          f_pred_taken = d.d_slot = Some i;
+          f_pred_target = (if d.d_slot = Some i then d.d_next else 0);
+          f_ras = ras_snap;
+        }
+        t.fb
+    done;
+    t.inflight <- (match t.inflight with _ :: rest -> rest | [] -> []);
+    true
+  end
+
+(* --- frontend: per-cycle advance ------------------------------------------ *)
+
+let advance_frontend t =
+  (* Fire the oldest packet if it has traversed the predictor pipeline. *)
+  let fired = ref false in
+  let stalled =
+    match t.inflight with
+    | oldest :: _ when oldest.stage >= t.depth ->
+      let ok = try_fire t oldest in
+      if ok then fired := true;
+      not ok
+    | _ -> false
+  in
+  if not stalled then begin
+    (* Advance remaining packets one stage. Fetch happens before override
+       processing: in hardware the next packet is fetched in parallel with a
+       late-stage override, so a redirect at stage d kills the d-1 packets
+       behind it (the bubble cost of slow components). *)
+    List.iter (fun p -> p.stage <- min t.depth (p.stage + 1)) t.inflight;
+    (* the throttle only suppresses wrong-path fetch, never a fetch that is
+       back on the retired path *)
+    if
+      t.cycle >= t.fetch_resume
+      && List.length t.inflight < t.depth + 2
+      && (t.consec_wrong_path < t.cfg.Config.wrong_path_fetch_limit || on_true_path t)
+    then fetch_one t;
+    let rec process = function
+      | [] -> ()
+      | pkt :: rest ->
+        if List.memq pkt t.inflight && pkt.stage >= 2 then begin
+          let d = decide t pkt ~stage:pkt.stage in
+          if d.d_next <> pkt.acted_next then begin
+            if dbg then
+              Printf.eprintf "[%d] OVERRIDE pc=%x stage=%d %x->%x\n" t.cycle pkt.fp_pc pkt.stage
+                pkt.acted_next d.d_next;
+            (* Late-stage override: redirect fetch, killing younger packets. *)
+            squash_younger_inflight t pkt;
+            apply_decision pkt d;
+            (let bits = stage_dir_bits t pkt ~stage:pkt.stage ~len:d.d_len in
+             if bits <> Pipeline.applied_dir_bits t.pl pkt.tok then
+               Pipeline.revise_dir_bits t.pl pkt.tok bits);
+            t.fetch_pc <- d.d_next;
+            t.consec_wrong_path <- 0
+          end
+          else begin
+            let bits = stage_dir_bits t pkt ~stage:pkt.stage ~len:d.d_len in
+            if bits <> Pipeline.applied_dir_bits t.pl pkt.tok then begin
+              (* History divergence without a PC change (Section VI-B). *)
+              t.perf.Perf.history_divergences <- t.perf.Perf.history_divergences + 1;
+              if t.cfg.Config.repair_history_on_divergence then
+                Pipeline.revise_dir_bits t.pl pkt.tok bits;
+              apply_decision pkt d;
+              if
+                t.cfg.Config.repair_history_on_divergence
+                && t.cfg.Config.replay_on_history_divergence
+              then begin
+                t.perf.Perf.replays <- t.perf.Perf.replays + 1;
+                squash_younger_inflight t pkt;
+                t.fetch_pc <- d.d_next;
+                t.consec_wrong_path <- 0
+              end
+            end
+          end
+        end;
+        process rest
+    in
+    process t.inflight
+  end;
+  (not stalled && t.inflight <> []) || !fired
+
+(* --- backend: dispatch ----------------------------------------------------- *)
+
+let unit_pick busy ~ready =
+  let best = ref 0 in
+  for u = 1 to Array.length busy - 1 do
+    if busy.(u) < busy.(!best) then best := u
+  done;
+  let issue = max ready (busy.(!best) + 1) in
+  (!best, issue)
+
+let dispatch_one t (fbe : fb_entry) =
+  let dispatch_ready = t.cycle + 1 in
+  let timed ev ~wrong_path =
+    let ready =
+      List.fold_left (fun acc r -> max acc t.scoreboard.(r)) dispatch_ready ev.Trace.srcs
+    in
+    let busy, latency =
+      match ev.Trace.cls with
+      | Trace.Load ->
+        (* wrong-path loads have no architectural address: charge an L1 hit *)
+        ( t.mem_busy,
+          if wrong_path then Mem_model.default_latencies.Mem_model.l1
+          else Mem_model.load_latency t.mem ~addr:(Option.value ev.Trace.addr ~default:0) )
+      | Trace.Store ->
+        ( t.mem_busy,
+          if wrong_path then 1
+          else Mem_model.store_latency t.mem ~addr:(Option.value ev.Trace.addr ~default:0) )
+      | Trace.Fp -> (t.fp_busy, Trace.exec_latency Trace.Fp)
+      | Trace.Mul -> (t.alu_busy, Trace.exec_latency Trace.Mul)
+      | Trace.Div -> (t.alu_busy, Trace.exec_latency Trace.Div)
+      | Trace.Alu | Trace.Nop -> (t.alu_busy, 1)
+    in
+    let u, issue = unit_pick busy ~ready in
+    busy.(u) <- (match ev.Trace.cls with Trace.Div -> issue + 11 | _ -> issue);
+    let complete = issue + max 1 latency in
+    (* wrong-path destinations are renamed away and never reach the
+       architectural scoreboard *)
+    if not wrong_path then
+      (match ev.Trace.dst with Some r -> t.scoreboard.(r) <- complete | None -> ());
+    complete
+  in
+  let complete =
+    match fbe.f_content with
+    | Junk ->
+      (* wrong-path bytes with no program behind them: a quick filler *)
+      dispatch_ready + 1
+    | Decoded ev -> timed ev ~wrong_path:true
+    | Real ev -> timed ev ~wrong_path:false
+  in
+  let rentry =
+    {
+      content = fbe.f_content;
+      r_seq = fbe.f_seq;
+      r_slot = fbe.f_slot;
+      pred_taken = fbe.f_pred_taken;
+      pred_target = fbe.f_pred_target;
+      r_ras = fbe.f_ras;
+      complete;
+      resolved = true;
+    }
+  in
+  let is_branch =
+    match fbe.f_content with
+    | Real ev -> ev.Trace.branch <> None
+    | Decoded _ | Junk -> false
+  in
+  if is_branch then rentry.resolved <- false;
+  let rid = Cb.enqueue t.rob rentry in
+  if is_branch then t.pending_branches <- t.pending_branches @ [ rid ]
+
+let dispatch t =
+  let n = ref 0 in
+  while
+    !n < t.cfg.Config.decode_width
+    && (not (Queue.is_empty t.fb))
+    && not (Cb.is_full t.rob)
+  do
+    dispatch_one t (Queue.pop t.fb);
+    incr n
+  done;
+  !n > 0
+
+(* --- backend: branch resolution -------------------------------------------- *)
+
+let flush_backend_younger t rid =
+  (* Collect flushed correct-path events (ROB entries younger than [rid],
+     then the fetch buffer, then in-flight packets) and push them back. *)
+  let rob_events = ref [] in
+  Cb.iter_from t.rob (rid + 1) (fun _ e ->
+      match e.content with
+      | Real ev -> rob_events := ev :: !rob_events
+      | Decoded _ | Junk -> ());
+  let fb_events =
+    Queue.fold
+      (fun acc (f : fb_entry) ->
+        match f.f_content with Real ev -> ev :: acc | Decoded _ | Junk -> acc)
+      [] t.fb
+  in
+  let inflight_events = List.concat_map real_events_of_packet t.inflight in
+  Trace.Buffered.push_back t.stream
+    (List.rev !rob_events @ List.rev fb_events @ inflight_events);
+  Cb.drop_newer_than t.rob rid;
+  Queue.clear t.fb;
+  (* Pipeline.mispredict has already squashed all pending queries. *)
+  t.inflight <- [];
+  t.pending_branches <- List.filter (fun id -> id <= rid) t.pending_branches;
+  t.perf.Perf.flushes <- t.perf.Perf.flushes + 1
+
+let resolve_branches t =
+  let any = ref false in
+  let rec loop = function
+    | [] -> ()
+    | rid :: rest ->
+      let e = Cb.get t.rob rid in
+      if e.complete > t.cycle then loop rest
+      else begin
+        any := true;
+        let ev =
+          match e.content with Real ev -> ev | Decoded _ | Junk -> assert false
+        in
+        let info = Option.get ev.Trace.branch in
+        let actual_taken = info.Trace.taken in
+        let actual =
+          Types.resolved_branch ~kind:info.Trace.kind ~taken:actual_taken
+            ~target:info.Trace.target
+        in
+        e.resolved <- true;
+        t.pending_branches <- List.filter (fun id -> id <> rid) t.pending_branches;
+        let mispredicted =
+          e.pred_taken <> actual_taken
+          || (actual_taken && e.pred_target <> info.Trace.target)
+        in
+        if mispredicted then begin
+          if dbg then
+            Printf.eprintf "[%d] MISPREDICT pc=%x pred=(%b,%x) actual=(%b,%x)\n" t.cycle
+              ev.Trace.pc e.pred_taken e.pred_target actual_taken info.Trace.target;
+          if t.cfg.Config.ras_repair then Ras.restore t.ras e.r_ras;
+          t.perf.Perf.mispredicts <- t.perf.Perf.mispredicts + 1;
+          if info.Trace.kind = Types.Cond then
+            t.perf.Perf.cond_mispredicts <- t.perf.Perf.cond_mispredicts + 1;
+          Pipeline.mispredict t.pl ~seq:e.r_seq ~slot:e.r_slot actual;
+          flush_backend_younger t rid;
+          t.fetch_pc <- ev.Trace.next_pc;
+          t.consec_wrong_path <- 0;
+          t.fetch_resume <- max t.fetch_resume (t.cycle + 1)
+          (* younger pending branches are gone; stop *)
+        end
+        else begin
+          Pipeline.resolve t.pl ~seq:e.r_seq ~slot:e.r_slot actual;
+          loop rest
+        end
+      end
+  in
+  loop t.pending_branches;
+  !any
+
+(* --- backend: commit --------------------------------------------------------- *)
+
+let commit t =
+  let n = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !n < t.cfg.Config.commit_width do
+    match Cb.oldest t.rob with
+    | Some (_rid, e) when e.complete <= t.cycle && e.resolved ->
+      ignore (Cb.dequeue t.rob);
+      (match e.content with
+      | Real ev ->
+        if ev.Trace.cls <> Trace.Nop then
+          t.perf.Perf.instructions <- t.perf.Perf.instructions + 1;
+        (match ev.Trace.branch with
+        | Some info ->
+          t.perf.Perf.branches <- t.perf.Perf.branches + 1;
+          if info.Trace.kind = Types.Cond then
+            t.perf.Perf.cond_branches <- t.perf.Perf.cond_branches + 1
+        | None -> ())
+      | Decoded _ | Junk -> ());
+      (* Retire older history-file packets once a younger packet commits. *)
+      if e.r_seq > t.last_committed_seq then begin
+        let rec retire () =
+          match Pipeline.oldest_seq t.pl with
+          | Some s when s < e.r_seq ->
+            Pipeline.commit t.pl;
+            retire ()
+          | Some _ | None -> ()
+        in
+        retire ();
+        t.last_committed_seq <- e.r_seq
+      end;
+      incr n
+    | Some _ | None -> continue_ := false
+  done;
+  !n > 0
+
+(* --- top level ---------------------------------------------------------------- *)
+
+let drain_history t =
+  let rec retire () =
+    match Pipeline.oldest_seq t.pl with
+    | Some _ ->
+      Pipeline.commit t.pl;
+      retire ()
+    | None -> ()
+  in
+  retire ()
+
+let finished t =
+  Trace.Buffered.peek t.stream = None
+  && Queue.is_empty t.fb && Cb.is_empty t.rob
+  && List.for_all
+       (fun p ->
+         Array.for_all (function Junk | Decoded _ -> true | Real _ -> false) p.contents)
+       t.inflight
+
+let run ?max_cycles t ~max_insns =
+  let max_cycles = Option.value max_cycles ~default:((20 * max_insns) + 100_000) in
+  if not t.started then begin
+    t.started <- true;
+    (match Trace.Buffered.peek t.stream with
+    | Some ev -> t.fetch_pc <- ev.Trace.pc
+    | None -> ());
+    ()
+  end;
+  while
+    t.perf.Perf.instructions < max_insns && t.cycle < max_cycles && not (finished t)
+  do
+    t.cycle <- t.cycle + 1;
+    t.perf.Perf.cycles <- t.cycle;
+    if dbg && t.cycle mod 1000 = 0 then
+      Printf.eprintf
+        "[%d] state: fetch_pc=%x resume=%d inflight=%d (stages %s) fb=%d rob=%d hf=%d pending_br=%d insts=%d\n"
+        t.cycle t.fetch_pc t.fetch_resume (List.length t.inflight)
+        (String.concat "," (List.map (fun p -> string_of_int p.stage) t.inflight))
+        (Queue.length t.fb) (Cb.length t.rob) (Pipeline.inflight t.pl)
+        (List.length t.pending_branches) t.perf.Perf.instructions;
+    let resolved = resolve_branches t in
+    let committed = commit t in
+    let dispatched = dispatch t in
+    let frontend_active = advance_frontend t in
+    if not (resolved || committed || dispatched || frontend_active) then begin
+      (* Idle: everything is waiting on a future event. Jump to the
+         earliest one (the skipped cycles still count). *)
+      let candidates = ref [] in
+      if t.fetch_resume > t.cycle then candidates := t.fetch_resume :: !candidates;
+      (match Cb.oldest t.rob with
+      | Some (_, e) when e.complete > t.cycle -> candidates := e.complete :: !candidates
+      | Some _ | None -> ());
+      List.iter
+        (fun rid ->
+          let e = Cb.get t.rob rid in
+          if e.complete > t.cycle then candidates := e.complete :: !candidates)
+        t.pending_branches;
+      match !candidates with
+      | [] ->
+        (* Fully drained with fetch stranded off-path (a wrong-path decode
+           chain can leave fetch_pc in never-executed code with nothing left
+           to resolve — an artifact of not executing wrong-path semantics).
+           Recover by steering fetch back to the retired path. *)
+        (match Trace.Buffered.peek t.stream with
+        | Some ev
+          when Queue.is_empty t.fb && Cb.is_empty t.rob
+               && List.for_all
+                    (fun p ->
+                      Array.for_all
+                        (function Junk | Decoded _ -> true | Real _ -> false)
+                        p.contents)
+                    t.inflight ->
+          t.fetch_pc <- ev.Trace.pc;
+          t.consec_wrong_path <- 0
+        | Some _ | None -> ())
+      | c :: rest ->
+        let target = List.fold_left min c rest in
+        t.cycle <- max t.cycle (target - 1);
+        t.perf.Perf.cycles <- t.cycle
+    end
+  done;
+  drain_history t;
+  t.perf

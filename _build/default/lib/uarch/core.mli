@@ -1,0 +1,46 @@
+(** Cycle-level superscalar speculative core model (the BOOM stand-in).
+
+    The model executes the {e retired-path} instruction stream of a workload
+    while driving a COBRA predictor pipeline exactly as a hardware frontend
+    would:
+
+    - fetch follows {e predictions}, not the oracle stream: when the
+      predicted path diverges from the true path, wrong-path placeholder
+      packets are fetched (querying the predictor at the wrong PCs and
+      consuming frontend/backend bandwidth) until the mispredicted branch
+      resolves in the backend;
+    - later pipeline stages override earlier fetch decisions, squashing the
+      packets fetched in the shadow (the bubble cost of slow components);
+    - when a late stage revises the packet's history bits without moving the
+      PC, the speculative global history is repaired, and — depending on
+      {!Config.t.replay_on_history_divergence} — fetch is replayed with the
+      corrected history (paper Section VI-B);
+    - the backend dispatches in order, issues on a dataflow scoreboard with
+      functional-unit contention, resolves branches at completion (flushing
+      and refetching on mispredicts) and commits in order, driving the
+      history file's commit-time updates.
+
+    Flushed correct-path instructions are pushed back into the workload
+    stream and genuinely re-fetched, so every frontend penalty has its true
+    cost. *)
+
+type t
+
+val create :
+  ?decode:(int -> Cobra_isa.Trace.event option) ->
+  Config.t ->
+  Cobra.Pipeline.t ->
+  Cobra_isa.Trace.stream ->
+  t
+(** [decode] is the static instruction decode of the program image; when
+    provided, wrong-path packets contain real decoded instructions (kinds,
+    static targets, operand timing) instead of opaque placeholders, so
+    wrong-path fetch follows static jumps, pushes honest history bits and
+    exercises the return-address stack — the misspeculation realism of the
+    paper's Section VI-B. *)
+
+val run : ?max_cycles:int -> t -> max_insns:int -> Perf.t
+(** Simulate until [max_insns] instructions commit, the stream ends, or the
+    [max_cycles] safety bound (default [20 * max_insns + 100_000]) is hit. *)
+
+val perf : t -> Perf.t

@@ -1,0 +1,49 @@
+type t = {
+  mutable cycles : int;
+  mutable instructions : int;
+  mutable branches : int;
+  mutable cond_branches : int;
+  mutable mispredicts : int;
+  mutable cond_mispredicts : int;
+  mutable misfetches : int;
+  mutable history_divergences : int;
+  mutable replays : int;
+  mutable flushes : int;
+  mutable fetch_packets : int;
+  mutable wrong_path_packets : int;
+  mutable icache_stall_cycles : int;
+  mutable frontend_stall_cycles : int;
+}
+
+let create () =
+  {
+    cycles = 0;
+    instructions = 0;
+    branches = 0;
+    cond_branches = 0;
+    mispredicts = 0;
+    cond_mispredicts = 0;
+    misfetches = 0;
+    history_divergences = 0;
+    replays = 0;
+    flushes = 0;
+    fetch_packets = 0;
+    wrong_path_packets = 0;
+    icache_stall_cycles = 0;
+    frontend_stall_cycles = 0;
+  }
+
+let ipc t = if t.cycles = 0 then 0.0 else float_of_int t.instructions /. float_of_int t.cycles
+let mpki t = Cobra_util.Stats.mpki ~misses:t.mispredicts ~instructions:t.instructions
+
+let branch_accuracy t =
+  if t.branches = 0 then 1.0
+  else 1.0 -. (float_of_int t.mispredicts /. float_of_int t.branches)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "cycles=%d insts=%d ipc=%.3f branches=%d mispredicts=%d mpki=%.2f acc=%.2f%% flushes=%d \
+     misfetches=%d divergences=%d replays=%d"
+    t.cycles t.instructions (ipc t) t.branches t.mispredicts (mpki t)
+    (100.0 *. branch_accuracy t)
+    t.flushes t.misfetches t.history_divergences t.replays

@@ -1,0 +1,37 @@
+type t = { slots : int array; mutable sp : int; mutable live : int }
+
+let create ~entries =
+  if entries < 1 then invalid_arg "Ras.create: entries < 1";
+  { slots = Array.make entries 0; sp = 0; live = 0 }
+
+let push t addr =
+  t.slots.(t.sp) <- addr;
+  t.sp <- (t.sp + 1) mod Array.length t.slots;
+  t.live <- min (Array.length t.slots) (t.live + 1)
+
+let pop t =
+  if t.live = 0 then None
+  else begin
+    t.sp <- (t.sp - 1 + Array.length t.slots) mod Array.length t.slots;
+    t.live <- t.live - 1;
+    Some t.slots.(t.sp)
+  end
+
+let peek t =
+  if t.live = 0 then None
+  else Some t.slots.((t.sp - 1 + Array.length t.slots) mod Array.length t.slots)
+
+let depth t = t.live
+
+type snapshot = { s_sp : int; s_live : int; s_top : int }
+
+let checkpoint t =
+  { s_sp = t.sp; s_live = t.live; s_top = (match peek t with Some v -> v | None -> 0) }
+
+let restore t s =
+  t.sp <- s.s_sp;
+  t.live <- s.s_live;
+  if s.s_live > 0 then
+    t.slots.((s.s_sp - 1 + Array.length t.slots) mod Array.length t.slots) <- s.s_top
+
+let storage t = Cobra.Storage.make ~flop_bits:(Array.length t.slots * 48) ()

@@ -1,0 +1,24 @@
+(** Return-address stack.
+
+    The one predictor structure the paper keeps from the host BOOM core
+    (Section IV-C): calls push their fall-through address, returns pop it.
+    Overflow wraps (oldest entries are silently clobbered), as in real
+    fixed-depth implementations. *)
+
+type t
+
+val create : entries:int -> t
+val push : t -> int -> unit
+val pop : t -> int option
+val peek : t -> int option
+val depth : t -> int
+
+type snapshot
+(** Pointer + top-of-stack checkpoint (what a real repair scheme flops per
+    in-flight branch; deeper entries clobbered by wrong-path wrap-around are
+    not recovered). *)
+
+val checkpoint : t -> snapshot
+val restore : t -> snapshot -> unit
+
+val storage : t -> Cobra.Storage.t

@@ -1,0 +1,1 @@
+lib/util/bitpack.ml: Array Bits List Printf

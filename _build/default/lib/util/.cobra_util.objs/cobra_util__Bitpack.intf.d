@@ -1,0 +1,1 @@
+lib/util/bitpack.mli: Bits

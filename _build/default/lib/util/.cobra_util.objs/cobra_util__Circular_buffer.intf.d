@@ -1,0 +1,1 @@
+lib/util/circular_buffer.mli:

@@ -1,0 +1,11 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2_exact n =
+  if not (is_power_of_two n) then invalid_arg "Bitops.log2_exact: not a power of two";
+  let rec loop acc n = if n <= 1 then acc else loop (acc + 1) (n lsr 1) in
+  loop 0 n
+
+let bits_needed n =
+  if n < 1 then invalid_arg "Bitops.bits_needed: n < 1";
+  let rec loop acc v = if v >= n then acc else loop (acc + 1) (v lsl 1) in
+  loop 0 1

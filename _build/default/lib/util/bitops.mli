@@ -1,0 +1,10 @@
+(** Small integer/bit helpers shared by table-based structures. *)
+
+val is_power_of_two : int -> bool
+
+val log2_exact : int -> int
+(** [log2_exact n] for a power of two [n]; raises [Invalid_argument]
+    otherwise. *)
+
+val bits_needed : int -> int
+(** Bits needed to represent values in [0, n-1]; [bits_needed 1 = 0]. *)

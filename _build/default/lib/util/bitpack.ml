@@ -1,0 +1,46 @@
+let width_of layout = List.fold_left ( + ) 0 layout
+
+let pack ~width fields =
+  let total = width_of (List.map snd fields) in
+  if total <> width then
+    invalid_arg (Printf.sprintf "Bitpack.pack: fields cover %d bits, declared %d" total width);
+  let check (v, bits) =
+    if bits < 0 || bits > 62 then invalid_arg "Bitpack.pack: field width out of [0,62]";
+    if v < 0 || (bits < 62 && v >= 1 lsl bits) then
+      invalid_arg (Printf.sprintf "Bitpack.pack: value %d does not fit in %d bits" v bits)
+  in
+  if width <= 62 then begin
+    (* fast path: the whole vector fits one int *)
+    let acc = ref 0 and pos = ref 0 in
+    List.iter
+      (fun ((v, bits) as f) ->
+        check f;
+        acc := !acc lor (v lsl !pos);
+        pos := !pos + bits)
+      fields;
+    Bits.of_int ~width !acc
+  end
+  else begin
+    let bitvals = Array.make width false in
+    let pos = ref 0 in
+    List.iter
+      (fun ((v, bits) as f) ->
+        check f;
+        for i = 0 to bits - 1 do
+          bitvals.(!pos + i) <- (v lsr i) land 1 = 1
+        done;
+        pos := !pos + bits)
+      fields;
+    Bits.init width (fun i -> bitvals.(i))
+  end
+
+let unpack bits layout =
+  if width_of layout <> Bits.width bits then
+    invalid_arg "Bitpack.unpack: layout does not match vector width";
+  let pos = ref 0 in
+  List.map
+    (fun w ->
+      let v = Bits.extract_int bits ~lo:!pos ~len:w in
+      pos := !pos + w;
+      v)
+    layout

@@ -1,0 +1,17 @@
+(** Packing structured fields into metadata bitvectors.
+
+    COBRA metadata is an opaque bitvector of a declared width; components
+    pack their predict-time fields with {!pack} and recover them in later
+    events with {!unpack}, keeping the bit-accounting honest. *)
+
+val width_of : int list -> int
+(** Total width of a field layout. *)
+
+val pack : width:int -> (int * int) list -> Bits.t
+(** [pack ~width fields] packs [(value, bits)] pairs, first field in the low
+    bits. Raises [Invalid_argument] if a value does not fit its field or the
+    fields do not fill [width] exactly. *)
+
+val unpack : Bits.t -> int list -> int list
+(** [unpack bits layout] recovers the field values; [layout] must cover the
+    vector exactly. *)

@@ -1,0 +1,191 @@
+(* Bitvectors are stored little-endian in 62-bit limbs, so every limb fits a
+   non-negative OCaml [int]. Values are immutable; updates copy the (tiny)
+   limb array. *)
+
+let limb_bits = 62
+let limb_mask = (1 lsl limb_bits) - 1
+
+type t = { w : int; limbs : int array }
+
+let width t = t.w
+
+let limbs_for w = (w + limb_bits - 1) / limb_bits
+
+let zero w =
+  if w < 0 then invalid_arg "Bits.zero: negative width";
+  { w; limbs = Array.make (limbs_for w) 0 }
+
+(* Clear any stale bits above [w] in the top limb. *)
+let normalize t =
+  let n = limbs_for t.w in
+  if n = 0 then t
+  else begin
+    let top_bits = t.w - ((n - 1) * limb_bits) in
+    let mask = if top_bits >= limb_bits then limb_mask else (1 lsl top_bits) - 1 in
+    t.limbs.(n - 1) <- t.limbs.(n - 1) land mask;
+    t
+  end
+
+let of_int ~width:w v =
+  if v < 0 then invalid_arg "Bits.of_int: negative value";
+  let t = zero w in
+  if limbs_for w > 0 then t.limbs.(0) <- v land limb_mask;
+  if limbs_for w > 1 then t.limbs.(1) <- (v lsr limb_bits) land limb_mask;
+  normalize t
+
+let to_int t =
+  if limbs_for t.w = 0 then 0
+  else if t.w <= limb_bits then t.limbs.(0)
+  else t.limbs.(0)
+
+let check_index t i name =
+  if i < 0 || i >= t.w then invalid_arg (Printf.sprintf "Bits.%s: index %d out of [0,%d)" name i t.w)
+
+let get t i =
+  check_index t i "get";
+  (t.limbs.(i / limb_bits) lsr (i mod limb_bits)) land 1 = 1
+
+let set t i b =
+  check_index t i "set";
+  let limbs = Array.copy t.limbs in
+  let j = i / limb_bits and k = i mod limb_bits in
+  if b then limbs.(j) <- limbs.(j) lor (1 lsl k)
+  else limbs.(j) <- limbs.(j) land (lnot (1 lsl k));
+  { t with limbs }
+
+let shift_in_lsb t b =
+  if t.w = 0 then t
+  else begin
+    let n = limbs_for t.w in
+    let limbs = Array.make n 0 in
+    let carry = ref (if b then 1 else 0) in
+    for j = 0 to n - 1 do
+      let v = t.limbs.(j) in
+      limbs.(j) <- ((v lsl 1) lor !carry) land limb_mask;
+      carry := (v lsr (limb_bits - 1)) land 1
+    done;
+    normalize { t with limbs }
+  end
+
+(* Read up to a limb's worth of bits starting at [lo]; bits beyond the
+   width read as zero. *)
+let extract_int t ~lo ~len =
+  if len < 0 || len > limb_bits then invalid_arg "Bits.extract_int: len out of [0,62]";
+  if lo < 0 then invalid_arg "Bits.extract_int: negative lo";
+  if len = 0 then 0
+  else begin
+    let n = limbs_for t.w in
+    let j = lo / limb_bits and k = lo mod limb_bits in
+    let low = if j >= n then 0 else t.limbs.(j) lsr k in
+    let v =
+      if k + len <= limb_bits || j + 1 >= n then low
+      else low lor (t.limbs.(j + 1) lsl (limb_bits - k))
+    in
+    v land ((1 lsl len) - 1)
+  end
+
+let init w f =
+  let t = zero w in
+  let n = limbs_for w in
+  for j = 0 to n - 1 do
+    let base = j * limb_bits in
+    let top = min limb_bits (w - base) in
+    let limb = ref 0 in
+    for i = 0 to top - 1 do
+      if f (base + i) then limb := !limb lor (1 lsl i)
+    done;
+    t.limbs.(j) <- !limb
+  done;
+  t
+
+let extract t ~lo ~len =
+  if len < 0 then invalid_arg "Bits.extract: negative len";
+  if lo < 0 then invalid_arg "Bits.extract: negative lo";
+  let r = zero len in
+  let n = limbs_for len in
+  for j = 0 to n - 1 do
+    let base = j * limb_bits in
+    r.limbs.(j) <- extract_int t ~lo:(lo + base) ~len:(min limb_bits (len - base))
+  done;
+  r
+
+let concat ~hi ~lo =
+  let w = hi.w + lo.w in
+  let r = ref (zero w) in
+  for i = 0 to lo.w - 1 do
+    if get lo i then r := set !r i true
+  done;
+  for i = 0 to hi.w - 1 do
+    if get hi i then r := set !r (lo.w + i) true
+  done;
+  !r
+
+let logxor a b =
+  if a.w <> b.w then invalid_arg "Bits.logxor: width mismatch";
+  let limbs = Array.mapi (fun i v -> v lxor b.limbs.(i)) a.limbs in
+  { a with limbs }
+
+let fold_xor_sub t ~len n =
+  if n < 1 || n > limb_bits then invalid_arg "Bits.fold_xor: bits out of [1,62]";
+  let len = min len t.w in
+  let limbs = t.limbs in
+  let nlimbs = Array.length limbs in
+  (* track the limb position incrementally to avoid divisions *)
+  let acc = ref 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < len do
+    let chunk = min n (len - !i) in
+    let low = if !j >= nlimbs then 0 else limbs.(!j) lsr !k in
+    let v =
+      if !k + chunk <= limb_bits || !j + 1 >= nlimbs then low
+      else low lor (limbs.(!j + 1) lsl (limb_bits - !k))
+    in
+    acc := !acc lxor (v land ((1 lsl chunk) - 1));
+    i := !i + n;
+    k := !k + n;
+    if !k >= limb_bits then begin
+      k := !k - limb_bits;
+      incr j
+    end
+  done;
+  !acc
+
+let fold_xor t n = fold_xor_sub t ~len:t.w n
+
+let popcount t =
+  let count = ref 0 in
+  for i = 0 to t.w - 1 do
+    if get t i then incr count
+  done;
+  !count
+
+let equal a b = a.w = b.w && Array.for_all2 ( = ) a.limbs b.limbs
+
+let compare a b =
+  let c = Int.compare a.w b.w in
+  if c <> 0 then c
+  else
+    (* Compare from the most significant limb down. *)
+    let rec loop j =
+      if j < 0 then 0
+      else
+        let c = Int.compare a.limbs.(j) b.limbs.(j) in
+        if c <> 0 then c else loop (j - 1)
+    in
+    loop (limbs_for a.w - 1)
+
+let to_string t = String.init t.w (fun i -> if get t (t.w - 1 - i) then '1' else '0')
+
+let of_string s =
+  let w = String.length s in
+  let r = ref (zero w) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '1' -> r := set !r (w - 1 - i) true
+      | '0' -> ()
+      | _ -> invalid_arg "Bits.of_string: expected '0' or '1'")
+    s;
+  !r
+
+let pp ppf t = Format.fprintf ppf "%db'%s" t.w (to_string t)

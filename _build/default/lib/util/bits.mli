@@ -1,0 +1,67 @@
+(** Fixed-width immutable bitvectors.
+
+    Branch histories, tags and the COBRA metadata field are all modelled as
+    honest bitvectors with a declared width, so that storage accounting (and
+    hence the area model) reflects what an RTL implementation would flop. *)
+
+type t
+
+val width : t -> int
+(** Declared width in bits. *)
+
+val zero : int -> t
+(** [zero w] is the all-zeros vector of width [w]. Raises [Invalid_argument]
+    if [w < 0]. *)
+
+val of_int : width:int -> int -> t
+(** [of_int ~width v] keeps the low [width] bits of [v] ([v >= 0]). *)
+
+val to_int : t -> int
+(** Low [min width 62] bits as a non-negative [int]. *)
+
+val get : t -> int -> bool
+(** [get t i] is bit [i] (bit 0 = LSB). Raises [Invalid_argument] when out of
+    range. *)
+
+val set : t -> int -> bool -> t
+(** Functional single-bit update. *)
+
+val shift_in_lsb : t -> bool -> t
+(** [shift_in_lsb h b] shifts the vector left by one, inserting [b] at bit 0
+    and dropping the MSB — the canonical history-register update. *)
+
+val extract : t -> lo:int -> len:int -> t
+(** [extract t ~lo ~len] is bits [lo .. lo+len-1] as a fresh [len]-wide
+    vector. Bits beyond [width t] read as zero. *)
+
+val extract_int : t -> lo:int -> len:int -> int
+(** Like {!extract} but returned as an [int]; requires [len <= 62]. *)
+
+val concat : hi:t -> lo:t -> t
+(** [concat ~hi ~lo] places [hi] above [lo]; width is the sum. *)
+
+val logxor : t -> t -> t
+(** Bitwise xor; widths must match. *)
+
+val fold_xor : t -> int -> int
+(** [fold_xor t n] xor-folds the whole vector into an [n]-bit integer
+    ([1 <= n <= 62]) — the classic history-compression function. *)
+
+val fold_xor_sub : t -> len:int -> int -> int
+(** [fold_xor_sub t ~len n] folds only the low [len] bits (allocation-free
+    history compression). *)
+
+val init : int -> (int -> bool) -> t
+(** [init w f] builds a vector whose bit [i] is [f i]. *)
+
+val popcount : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val to_string : t -> string
+(** MSB-first string of ['0']/['1'] characters. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}. Raises [Invalid_argument] on other characters. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+(** Saturating counters.
+
+    Counters are represented as plain [int]s paired with an explicit bit
+    width, matching how they are stored in predictor SRAMs. Unsigned counters
+    live in [0, 2^bits - 1]; signed counters (perceptron weights, TAGE
+    usefulness) live in [-2^(bits-1), 2^(bits-1) - 1]. *)
+
+val max_value : bits:int -> int
+(** Largest unsigned value representable, [2^bits - 1]. *)
+
+val weakly_not_taken : bits:int -> int
+(** [2^(bits-1) - 1], the canonical initialisation just below the taken
+    threshold. *)
+
+val weakly_taken : bits:int -> int
+(** [2^(bits-1)]. *)
+
+val is_taken : bits:int -> int -> bool
+(** MSB set, i.e. value [>= 2^(bits-1)]. *)
+
+val confidence : bits:int -> int -> int
+(** Distance from the taken threshold; 0 means weakest. *)
+
+val increment : bits:int -> int -> int
+val decrement : bits:int -> int -> int
+
+val update : bits:int -> int -> taken:bool -> int
+(** Increment towards taken, decrement towards not-taken, saturating. *)
+
+val signed_min : bits:int -> int
+val signed_max : bits:int -> int
+
+val update_signed : bits:int -> int -> dir:int -> int
+(** [update_signed ~bits c ~dir] adds the sign of [dir] saturating into the
+    signed range. *)
+
+val is_valid : bits:int -> int -> bool
+(** Whether an unsigned value is in range — handy for assertions. *)

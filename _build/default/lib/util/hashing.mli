@@ -1,0 +1,26 @@
+(** Index and tag hashing used by predictor sub-components.
+
+    All functions are deterministic and documented so that tests can check
+    them against straightforward reference computations. *)
+
+val pc_bits : int -> int
+(** [pc_bits pc] strips the byte-offset bits of an instruction PC
+    (instructions are 4-byte aligned in BRISC), leaving the useful entropy. *)
+
+val fold_int : int -> width:int -> bits:int -> int
+(** [fold_int v ~width ~bits] xor-folds the low [width] bits of [v] into a
+    [bits]-bit value; [bits = 0] yields 0 (single-entry tables). *)
+
+val pc_index : pc:int -> bits:int -> int
+(** Table index from a PC alone: strip alignment then fold. *)
+
+val folded_history : Bits.t -> len:int -> bits:int -> int
+(** Compress the youngest [len] bits of a history into [bits] bits by
+    xor-folding — the classic TAGE index/tag compression. *)
+
+val mix2 : int -> int -> int
+(** Cheap non-linear mix of two values (used to decorrelate index and tag
+    hashes); result is non-negative. *)
+
+val combine : bits:int -> int list -> int
+(** xor-combine already-folded values into a [bits]-bit index. *)

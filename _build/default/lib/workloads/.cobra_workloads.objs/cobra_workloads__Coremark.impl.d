@@ -1,0 +1,1 @@
+lib/workloads/coremark.ml: Cobra_isa Gen Machine Printf Program

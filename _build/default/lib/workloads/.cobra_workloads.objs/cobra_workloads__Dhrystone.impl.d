@@ -1,0 +1,1 @@
+lib/workloads/dhrystone.ml: Cobra_isa Gen Insn List Machine Program

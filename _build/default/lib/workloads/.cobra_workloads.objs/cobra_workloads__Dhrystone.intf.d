@@ -1,0 +1,1 @@
+lib/workloads/dhrystone.mli: Cobra_isa

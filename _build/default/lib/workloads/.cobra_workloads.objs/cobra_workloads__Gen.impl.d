@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: Cobra_isa Machine Program

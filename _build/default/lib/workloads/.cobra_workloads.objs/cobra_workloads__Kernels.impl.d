@@ -1,0 +1,1 @@
+lib/workloads/kernels.ml: Cobra_isa Gen Insn List Machine Printf Program

@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Array Cobra_isa Cobra_util Fun Gen Insn List Machine Printf Program Trace

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Cobra_isa Coremark Dhrystone Kernels List Spec String

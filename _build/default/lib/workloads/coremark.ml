@@ -1,0 +1,124 @@
+open Cobra_isa
+open Program
+
+let description = "CoreMark-like: list find + matrix + state machine, hammock-rich"
+
+let x = 5
+let tmp = 6
+let ptr = 10
+let v = 11
+let t0 = 12
+let t1 = 13
+let acc = 14
+let st = 15 (* state machine state *)
+let i = 28
+let j_reg = 29
+
+(* memory: 64-entry linked list (next, value), 8x8 matrices *)
+let list_base = 0x200
+let mat_a = 0x400
+let mat_b = 0x480
+
+(* [if (v < 0) v = -v]: a 1-instruction hammock (short forward branch). *)
+let abs_hammock value =
+  [ bge value 0 (Printf.sprintf "abs_%d" value); sub value 0 value;
+    label (Printf.sprintf "abs_%d" value) ]
+
+(* [if (v > 255) v = 255]: clamp hammock. *)
+let clamp_hammock value limit_reg lbl =
+  [ blt value limit_reg lbl; add value limit_reg 0; label lbl ]
+
+let program =
+  assemble
+    (Gen.seed_rng ~state:x 0xC03E
+    @ [ li acc 0; li st 0 ]
+    @ Gen.forever ~label:"bench"
+        ~body:
+          ((* phase 1: walk the list, accumulate |v|, count matches *)
+           [ li ptr list_base; li i 64; label "list_loop"; lw v ptr 1 ]
+          @ abs_hammock v
+          @ [
+              add acc acc v;
+              lw ptr ptr 0;
+              addi i i (-1);
+              bne i 0 "list_loop";
+            ]
+          (* phase 2: matrix row sums with a clamp hammock *)
+          @ [ li i 0; label "mat_outer"; li j_reg 0; li t1 0; label "mat_inner" ]
+          @ [
+              slli t0 i 3;
+              add t0 t0 j_reg;
+              addi t0 t0 mat_a;
+              lw t0 t0 0;
+              add t1 t1 t0;
+              addi j_reg j_reg 1;
+              slti t0 j_reg 8;
+              bne t0 0 "mat_inner";
+            ]
+          @ [ li t0 255 ]
+          @ clamp_hammock t1 t0 "clamp1"
+          @ [
+              slli t0 i 3;
+              addi t0 t0 mat_b;
+              sw t1 t0 0;
+              addi i i 1;
+              slti t0 i 8;
+              bne t0 0 "mat_outer";
+            ]
+          (* phase 3: state machine over pseudo-random input *)
+          @ [ li i 16; label "sm_loop" ]
+          @ Gen.xorshift ~state:x ~tmp
+          @ [
+              andi t0 x 3;
+              (* switch (state, input) *)
+              beq st 0 "sm_s0";
+              slti t1 st 2;
+              bne t1 0 "sm_s1";
+              j "sm_s2";
+              label "sm_s0";
+              beq t0 0 "sm_stay0";
+              li st 1;
+              j "sm_next";
+              label "sm_stay0";
+              addi acc acc 1;
+              j "sm_next";
+              label "sm_s1";
+              slti t1 t0 2;
+              bne t1 0 "sm_to2";
+              li st 0;
+              j "sm_next";
+              label "sm_to2";
+              li st 2;
+              j "sm_next";
+              label "sm_s2";
+              li t1 3;
+              beq t0 t1 "sm_reset";
+              addi acc acc 2;
+              j "sm_next";
+              label "sm_reset";
+              li st 0;
+              label "sm_next";
+              addi i i (-1);
+              bne i 0 "sm_loop";
+            ]))
+
+let stream () =
+  let init m =
+    (* circular linked list with alternating-sign values *)
+    for k = 0 to 63 do
+      let next = list_base + (2 * ((k + 1) mod 64)) in
+      Machine.poke m ~addr:(list_base + (2 * k)) next;
+      Machine.poke m ~addr:(list_base + (2 * k) + 1)
+        (if k mod 3 = 0 then -(k * 5) else k * 3)
+    done;
+    for k = 0 to 63 do
+      Machine.poke m ~addr:(mat_a + k) (k * k mod 37)
+    done
+  in
+  Gen.stream_of_program ~init program
+
+(* One bench iteration is ~700 instructions; CoreMark iterations/second at
+   1 MHz = 1e6 * IPC / insts_per_iteration. *)
+let insts_per_iteration = 700.0
+
+let score_per_mhz ~ipc = 1.0e6 *. ipc /. insts_per_iteration /. 235.0

@@ -1,0 +1,19 @@
+(** CoreMark-like kernel (EEMBC): list traversal, small matrix work and a
+    state machine per iteration.
+
+    Deliberately rich in short-forwards "hammock" branches (e.g. the
+    absolute-value and clamp idioms), making it the paper's Section VI-C
+    showcase: with the SFB decode optimisation those hammocks stop being
+    predicted branches at all. *)
+
+val stream : unit -> Cobra_isa.Trace.stream
+
+(** The kernel's program image (static wrong-path decode). *)
+val program : Cobra_isa.Program.t
+
+val description : string
+
+val score_per_mhz : ipc:float -> float
+(** CoreMarks/MHz proxy: iterations completed per cycle x 1e3 / work per
+    iteration, derived from IPC and the kernel's instruction count per
+    iteration. *)

@@ -1,0 +1,93 @@
+open Cobra_isa
+open Program
+
+let description = "Dhrystone-like: small procedures, record copies, string compare"
+
+(* registers *)
+let a0 = 10 (* argument / return value *)
+let a1 = 11
+let t0 = 12
+let t1 = 13
+let t2 = 14
+let glob = 15 (* global record base *)
+let iter = 28
+
+(* Memory map (word addresses): two 8-word records and two 12-char strings. *)
+let rec1 = 0x100
+let rec2 = 0x120
+let str1 = 0x140
+let str2 = 0x160
+
+let save_ra = [ sw Insn.ra Insn.sp 0; addi Insn.sp Insn.sp 1 ]
+let restore_ra = [ addi Insn.sp Insn.sp (-1); lw Insn.ra Insn.sp 0 ]
+
+let program =
+  assemble
+    ([ li glob rec1; li iter 0; j "main_loop" ]
+    (* proc_copy: copy 8-word record rec1 -> rec2 *)
+    @ [ label "proc_copy" ]
+    @ List.concat
+        (List.init 8 (fun i -> [ lw t0 glob i; sw t0 a0 i ]))
+    @ [ addi t1 glob 3; lw t0 t1 0; addi t0 t0 1; sw t0 t1 0; ret ]
+    (* proc_compare: compare two 12-char strings, return 1 if equal *)
+    @ [
+        label "proc_compare";
+        li t0 0;
+        label "cmp_loop";
+        add t1 a0 t0;
+        lw t1 t1 0;
+        add t2 a1 t0;
+        lw t2 t2 0;
+        bne t1 t2 "cmp_differ";
+        addi t0 t0 1;
+        slti t1 t0 12;
+        bne t1 0 "cmp_loop";
+        li a0 1;
+        ret;
+        label "cmp_differ";
+        li a0 0;
+        ret;
+      ]
+    (* proc_classify: nested conditionals on a small integer *)
+    @ [
+        label "proc_classify";
+        slti t0 a0 10;
+        beq t0 0 "cls_big";
+        andi t0 a0 1;
+        beq t0 0 "cls_even";
+        addi a0 a0 3;
+        ret;
+        label "cls_even";
+        addi a0 a0 1;
+        ret;
+        label "cls_big";
+        srli a0 a0 1;
+        ret;
+      ]
+    (* proc_chain: calls classify twice (call depth 2) *)
+    @ [ label "proc_chain" ]
+    @ save_ra
+    @ [ call "proc_classify"; addi a0 a0 5; call "proc_classify" ]
+    @ restore_ra @ [ ret ]
+    (* main loop *)
+    @ [ label "main_loop" ]
+    @ save_ra
+    @ [ li a0 rec2; call "proc_copy" ]
+    @ [ li a0 str1; li a1 str2; call "proc_compare"; beq a0 0 "skip_inc"; addi iter iter 1;
+        label "skip_inc" ]
+    @ [ andi a0 iter 15; call "proc_chain" ]
+    @ restore_ra
+    @ [ addi iter iter 1; j "main_loop" ])
+
+let stream () =
+  let init m =
+    (* identical strings: the comparison loop runs to completion *)
+    for i = 0 to 11 do
+      Machine.poke m ~addr:(str1 + i) (65 + i);
+      Machine.poke m ~addr:(str2 + i) (65 + i)
+    done;
+    for i = 0 to 7 do
+      Machine.poke m ~addr:(rec1 + i) (i * 7)
+    done
+  in
+  Gen.stream_of_program ~init program

@@ -1,0 +1,16 @@
+(** Dhrystone-like synthetic systems-programming kernel.
+
+    Mirrors the structure of the classic benchmark (Weicker 1984) used in
+    the paper's Sections I and VI-B: a main loop calling a handful of small
+    procedures, record copies through memory, a short string-comparison
+    loop and simple conditionals — branch behaviour is highly regular, so a
+    trained predictor approaches perfect accuracy, and fetch-serialisation
+    or replay bubbles dominate any IPC changes (exactly why the paper uses
+    it for those experiments). *)
+
+val stream : unit -> Cobra_isa.Trace.stream
+
+(** The kernel's program image (static wrong-path decode). *)
+val program : Cobra_isa.Program.t
+
+val description : string

@@ -1,0 +1,242 @@
+open Cobra_isa
+open Program
+
+(* Register conventions inside kernels: x5 PRNG state, x6 scratch, x7..x15
+   kernel locals, x28..x30 loop counters. *)
+let x = 5
+let tmp = 6
+let r7 = 7
+let r8 = 8
+let acc = 9
+let c100 = 10
+
+let biased ~bias_percent ~seed () =
+  let program =
+    assemble
+      (Gen.seed_rng ~state:x seed
+      @ [ li c100 100; li acc 0 ]
+      @ Gen.forever ~label:"top"
+          ~body:
+            (Gen.xorshift ~state:x ~tmp
+            @ [
+                rem r7 x c100;
+                li r8 bias_percent;
+                blt r7 r8 "hit";
+                addi acc acc 1;
+                j "join";
+                label "hit";
+                addi acc acc 2;
+                label "join";
+              ]))
+  in
+  Gen.stream_of_program program
+
+let pattern_ttn () =
+  let program =
+    assemble
+      ([ li r7 0; li acc 0 ]
+      @ Gen.forever ~label:"top"
+          ~body:
+            [
+              (* r7 cycles 0,1,2; branch taken when r7 <> 0 *)
+              addi r7 r7 1;
+              slti r8 r7 3;
+              bne r8 0 "nowrap";
+              li r7 0;
+              label "nowrap";
+              beq r7 0 "not_taken";
+              addi acc acc 1;
+              label "not_taken";
+              addi acc acc 1;
+            ])
+  in
+  Gen.stream_of_program program
+
+let periodic_loop ~trips () =
+  let program =
+    assemble
+      ([ li acc 0 ]
+      @ Gen.forever ~label:"outer"
+          ~body:
+            (Gen.counted_loop ~counter:r7 ~trips ~label:"inner"
+               ~body:[ addi acc acc 1; xor r8 acc r7 ]))
+  in
+  Gen.stream_of_program program
+
+let aliasing ~sites ~seed () =
+  let site i =
+    if i mod 2 = 0 then
+      (* strongly biased site: always taken *)
+      [
+        beq Insn.zero Insn.zero (Printf.sprintf "s%d_t" i);
+        addi acc acc 3;
+        label (Printf.sprintf "s%d_t" i);
+        addi acc acc 1;
+      ]
+    else
+      (* data-random site: tests one PRNG bit *)
+      [
+        srli r7 x (i mod 24);
+        andi r7 r7 1;
+        beq r7 0 (Printf.sprintf "s%d_nt" i);
+        addi acc acc 1;
+        label (Printf.sprintf "s%d_nt" i);
+        addi acc acc 1;
+      ]
+  in
+  let body =
+    Gen.xorshift ~state:x ~tmp @ List.concat (List.init sites site)
+  in
+  let program =
+    assemble (Gen.seed_rng ~state:x seed @ [ li acc 0 ] @ Gen.forever ~label:"top" ~body)
+  in
+  Gen.stream_of_program program
+
+let calls ~depth () =
+  let fn i =
+    let name = Printf.sprintf "fn%d" i in
+    if i >= depth then
+      [ label name; addi acc acc 1; insn (Insn.Jalr (Insn.zero, Insn.ra, 0)) ]
+    else
+      [
+        label name;
+        (* save ra on the stack *)
+        sw Insn.ra Insn.sp 0;
+        addi Insn.sp Insn.sp 1;
+        addi acc acc 1;
+        call (Printf.sprintf "fn%d" (i + 1));
+        addi Insn.sp Insn.sp (-1);
+        lw Insn.ra Insn.sp 0;
+        insn (Insn.Jalr (Insn.zero, Insn.ra, 0));
+      ]
+  in
+  let program =
+    assemble
+      ([ li acc 0; j "top" ]
+      @ List.concat (List.init (depth + 1) fn)
+      @ Gen.forever ~label:"top" ~body:[ call "fn0"; addi acc acc 1 ])
+  in
+  Gen.stream_of_program program
+
+let indirect ~targets () =
+  if targets < 2 || targets > 8 then invalid_arg "Kernels.indirect: targets in [2,8]";
+  let table = 0x100 in
+  let handler i =
+    [ label (Printf.sprintf "h%d" i); addi acc acc (i + 1); j "next" ]
+  in
+  let program =
+    assemble
+      ([ li r7 0; li acc 0; j "next" ]
+      @ List.concat (List.init targets handler)
+      @ [
+          label "next";
+          (* rotate through the handler table *)
+          addi r7 r7 1;
+          slti r8 r7 targets;
+          bne r8 0 "no_wrap";
+          li r7 0;
+          label "no_wrap";
+          addi r8 r7 table;
+          lw r8 r8 0;
+          jalr Insn.zero r8 0;
+        ])
+  in
+  let init m =
+    for i = 0 to targets - 1 do
+      Machine.poke m ~addr:(table + i)
+        (Program.address_of program (Printf.sprintf "h%d" i))
+    done
+  in
+  Gen.stream_of_program ~init program
+
+let indirect_pure ~targets () =
+  if not (List.mem targets [ 2; 4; 8 ]) then
+    invalid_arg "Kernels.indirect_pure: targets must be 2, 4 or 8";
+  let table = 0x100 in
+  let handler i =
+    [ label (Printf.sprintf "p%d" i); addi acc acc (i + 1); j "pnext" ]
+  in
+  let program =
+    assemble
+      ([ li r7 0; li acc 0; j "pnext" ]
+      @ List.concat (List.init targets handler)
+      @ [
+          label "pnext";
+          addi r7 r7 1;
+          andi r7 r7 (targets - 1);
+          addi r8 r7 table;
+          lw r8 r8 0;
+          jalr Insn.zero r8 0;
+        ])
+  in
+  let init m =
+    for i = 0 to targets - 1 do
+      Machine.poke m ~addr:(table + i)
+        (Program.address_of program (Printf.sprintf "p%d" i))
+    done
+  in
+  Gen.stream_of_program ~init program
+
+let matrix () =
+  let a = 0x200 and b = 0x240 and c_base = 0x280 in
+  let program =
+    assemble
+      (Gen.forever ~label:"mm"
+         ~body:
+           (Gen.counted_loop ~counter:c100 ~trips:8 ~label:"mi"
+              ~body:
+                (Gen.counted_loop ~counter:r7 ~trips:8 ~label:"mj"
+                   ~body:
+                     ([ li acc 0 ]
+                     @ Gen.counted_loop ~counter:r8 ~trips:8 ~label:"mk"
+                         ~body:
+                           [
+                             slli x c100 3;
+                             add x x r8;
+                             addi x x a;
+                             lw x x 0;
+                             slli tmp r8 3;
+                             add tmp tmp r7;
+                             addi tmp tmp b;
+                             lw tmp tmp 0;
+                             mul x x tmp;
+                             add acc acc x;
+                           ]
+                     @ [
+                         slli x c100 3;
+                         add x x r7;
+                         addi x x c_base;
+                         sw acc x 0;
+                       ]))))
+  in
+  let init m =
+    for i = 0 to 63 do
+      Machine.poke m ~addr:(a + i) (i mod 9);
+      Machine.poke m ~addr:(b + i) ((i * 7) mod 11)
+    done
+  in
+  Gen.stream_of_program ~init program
+
+let correlated () =
+  let program =
+    assemble
+      (Gen.seed_rng ~state:x 0x1234
+      @ [ li acc 0 ]
+      @ Gen.forever ~label:"top"
+          ~body:
+            (Gen.xorshift ~state:x ~tmp
+            @ [
+                andi r7 x 1;
+                (* first branch: random *)
+                beq r7 0 "first_nt";
+                addi acc acc 1;
+                label "first_nt";
+                addi acc acc 1;
+                (* second branch: same condition — correlated *)
+                beq r7 0 "second_nt";
+                addi acc acc 1;
+                label "second_nt";
+                addi acc acc 1;
+              ]))
+  in
+  Gen.stream_of_program program

@@ -1,0 +1,43 @@
+(** Synthetic microkernels with controlled branch behaviour.
+
+    Used by unit tests and ablation benches to exercise one predictor
+    phenomenon at a time. Each returns a fresh infinite stream. *)
+
+open Cobra_isa
+
+val biased : bias_percent:int -> seed:int -> unit -> Trace.stream
+(** One branch site taken with the given probability (PRNG-driven). *)
+
+val pattern_ttn : unit -> Trace.stream
+(** One branch repeating taken-taken-not-taken — trivial for history
+    predictors, ~2/3 accuracy for bimodal counters. *)
+
+val periodic_loop : trips:int -> unit -> Trace.stream
+(** A fixed-trip inner loop inside an endless outer loop — the loop
+    predictor's target: the exit is periodic and invisible to counters. *)
+
+val aliasing : sites:int -> seed:int -> unit -> Trace.stream
+(** Many branch sites, half strongly biased and half random, stressing
+    untagged tables with destructive aliasing. *)
+
+val calls : depth:int -> unit -> Trace.stream
+(** Nested call/return chains (return-address-stack stress). *)
+
+val correlated : unit -> Trace.stream
+(** A random branch followed by a branch testing the same value — the
+    second is fully determined by one bit of global history. *)
+
+val indirect : targets:int -> unit -> Trace.stream
+(** A single indirect jump cycling deterministically through [targets]
+    handlers ([2..8]) — last-target BTBs cap at [1/targets] on it, while a
+    history-indexed target predictor (ITTAGE) can learn the rotation. *)
+
+val indirect_pure : targets:int -> unit -> Trace.stream
+(** Like {!indirect} but the rotation uses masking instead of a wrap branch,
+    so the program has {e no conditional branches at all}: the direction
+    history stays empty and only a path-history-indexed target predictor can
+    learn the rotation. [targets] must be a power of two in [2,8]. *)
+
+val matrix : unit -> Trace.stream
+(** Dense 8x8 matrix multiply: fixed-trip triple loop, loads, high ILP —
+    an easy, compute-bound control-flow profile. *)

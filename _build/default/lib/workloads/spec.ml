@@ -1,0 +1,498 @@
+open Cobra_isa
+open Program
+
+type kernel = {
+  name : string;
+  description : string;
+  make : unit -> Trace.stream;
+  decode : int -> Trace.event option;
+}
+
+(* Shared register conventions: x5 PRNG, x6 scratch, x10-x15 locals,
+   x16-x19 arguments/stack temporaries, x28-x30 loop counters. *)
+let x = 5
+let tmp = 6
+let r10 = 10
+let r11 = 11
+let r12 = 12
+let r13 = 13
+let r14 = 14
+let r15 = 15
+let r16 = 16
+let c0 = 28
+let c1 = 29
+let c2 = 30
+
+let save_ra = [ sw Insn.ra Insn.sp 0; addi Insn.sp Insn.sp 1 ]
+let restore_ra = [ addi Insn.sp Insn.sp (-1); lw Insn.ra Insn.sp 0 ]
+
+(* --- perlbench: interpreter dispatch --------------------------------------- *)
+
+let perlbench =
+  let n_ops = 8 in
+  let table = 0x100 in
+  let bytecode = 0x140 in
+  let bytecode_len = 48 in
+  let handler i =
+    let body =
+      match i with
+      | 0 -> [ addi r12 r12 1 ]
+      | 1 -> [ add r12 r12 r13; andi r13 r12 255 ]
+      | 2 -> [ slli r13 r13 1; xor r13 r13 r12 ]
+      | 3 -> [ beq r12 r13 "h3_eq"; addi r12 r12 2; label "h3_eq"; addi r13 r13 1 ]
+      | 4 -> [ sw r12 r14 0; addi r14 r14 1; andi r14 r14 63; addi r14 r14 0x180 ]
+      | 5 -> [ lw r12 r14 0 ]
+      | 6 -> [ srli r12 r12 1; or_ r13 r13 r12 ]
+      | _ -> [ sub r12 r13 r12 ]
+    in
+    (label (Printf.sprintf "op%d" i) :: body) @ [ j "dispatch_next" ]
+  in
+  let program =
+    assemble
+      ([ li r12 1; li r13 2; li r14 0x180; li c0 0; j "dispatch_next" ]
+      @ List.concat (List.init n_ops handler)
+      @ [
+          label "dispatch_next";
+          (* fetch opcode, load handler address, jump indirect *)
+          addi r10 c0 bytecode;
+          lw r11 r10 0;
+          addi r11 r11 table;
+          lw r11 r11 0;
+          addi c0 c0 1;
+          slti r10 c0 bytecode_len;
+          bne r10 0 "no_wrap";
+          li c0 0;
+          label "no_wrap";
+          jalr Insn.zero r11 0;
+        ])
+  in
+  let init m =
+    (* opcode runs of six: dispatch targets repeat, so a last-target BTB
+       predicts most dispatches, as it does for real interpreter loops *)
+    List.iteri
+      (fun i op -> Machine.poke m ~addr:(bytecode + i) op)
+      (List.init bytecode_len (fun i -> i / 6 * 5 mod n_ops));
+    for op = 0 to n_ops - 1 do
+      Machine.poke m ~addr:(table + op) (Program.address_of program (Printf.sprintf "op%d" op))
+    done
+  in
+  {
+    name = "perlbench";
+    description = "interpreter dispatch: indirect jumps + data-dependent conditionals";
+    make = (fun () -> Gen.stream_of_program ~init program);
+    decode = (fun pc -> Machine.static_decode program ~pc);
+  }
+
+(* --- gcc: many varied branch sites ----------------------------------------- *)
+
+let gcc =
+  let site i =
+    let t = Printf.sprintf "g%d_t" i and e = Printf.sprintf "g%d_e" i in
+    (* each site tests a different mix of value bits, giving sites with
+       biases from strongly-taken to noisy *)
+    [
+      srli r11 r10 (i mod 11);
+      andi r11 r11 ((i mod 3) + 1);
+      beq r11 0 t;
+      addi r12 r12 1;
+      j e;
+      label t;
+      addi r13 r13 1;
+      label e;
+    ]
+  in
+  let program =
+    assemble
+      (Gen.seed_rng ~state:x 0x6CC
+      @ [ li r12 0; li r13 0 ]
+      @ Gen.forever ~label:"top"
+          ~body:
+            (Gen.xorshift ~state:x ~tmp
+            @ [ add r10 x 0 ]
+            @ List.concat (List.init 24 site)
+            @ [ add r14 r12 r13; andi r14 r14 1023 ]))
+  in
+  {
+    name = "gcc";
+    description = "24 branch sites with heterogeneous biases over irregular data";
+    make = (fun () -> Gen.stream_of_program program);
+    decode = (fun pc -> Machine.static_decode program ~pc);
+  }
+
+(* --- mcf: cache-hostile pointer chase -------------------------------------- *)
+
+let mcf =
+  let nodes = 16384 in
+  let base = 0x4000 in
+  let program =
+    assemble
+      ([ li r10 base; li r12 0; li r13 0 ]
+      @ Gen.forever ~label:"chase"
+          ~body:
+            [
+              lw r11 r10 1;
+              (* value *)
+              andi r14 r11 1;
+              beq r14 0 "even";
+              add r12 r12 r11;
+              j "next";
+              label "even";
+              sub r13 r13 r11;
+              label "next";
+              slti r14 r11 0;
+              beq r14 0 "no_fix";
+              addi r12 r12 7;
+              label "no_fix";
+              lw r10 r10 0 (* follow next pointer *);
+            ])
+  in
+  let init m =
+    (* a random Hamiltonian cycle over [nodes] two-word records: the
+       footprint (128 KB) blows past L1/L2 *)
+    let rng = Cobra_util.Rng.create ~seed:0x3CF in
+    let perm = Array.init nodes Fun.id in
+    for i = nodes - 1 downto 1 do
+      let j = Cobra_util.Rng.int rng (i + 1) in
+      let t = perm.(i) in
+      perm.(i) <- perm.(j);
+      perm.(j) <- t
+    done;
+    for i = 0 to nodes - 1 do
+      let here = base + (2 * perm.(i)) in
+      let next = base + (2 * perm.((i + 1) mod nodes)) in
+      Machine.poke m ~addr:here next;
+      Machine.poke m ~addr:(here + 1) ((Cobra_util.Rng.int rng 400) - 200)
+    done
+  in
+  {
+    name = "mcf";
+    description = "pointer chase, 128 KB footprint, data-dependent branches";
+    make = (fun () -> Gen.stream_of_program ~init program);
+    decode = (fun pc -> Machine.static_decode program ~pc);
+  }
+
+(* --- omnetpp: binary heap event queue --------------------------------------- *)
+
+let omnetpp =
+  let heap = 0x800 in
+  let program =
+    assemble
+      (Gen.seed_rng ~state:x 0x03E7
+      @ [ li c1 64 (* heap size, fixed after warm fill *) ]
+      @ Gen.forever ~label:"events"
+          ~body:
+            ((* replace the root with a new random key, then sift down *)
+             Gen.xorshift ~state:x ~tmp
+            @ [
+                andi r10 x 1023;
+                sw r10 0 heap;
+                li r11 0 (* index *);
+                label "sift";
+                slli r12 r11 1;
+                addi r12 r12 1 (* left child *);
+                bge r12 c1 "sift_done";
+                (* pick the smaller child *)
+                addi r13 r12 1;
+                bge r13 c1 "only_left";
+                addi r14 r12 heap;
+                lw r14 r14 0;
+                addi r15 r13 heap;
+                lw r15 r15 0;
+                blt r14 r15 "only_left";
+                add r12 r13 0;
+                label "only_left";
+                (* compare with child *)
+                addi r14 r11 heap;
+                lw r15 r14 0;
+                addi r16 r12 heap;
+                lw r10 r16 0;
+                bge r10 r15 "sift_done";
+                (* swap *)
+                sw r10 r14 0;
+                sw r15 r16 0;
+                add r11 r12 0;
+                j "sift";
+                label "sift_done";
+              ]))
+  in
+  let init m =
+    let rng = Cobra_util.Rng.create ~seed:0x03E7 in
+    for i = 0 to 63 do
+      Machine.poke m ~addr:(heap + i) (Cobra_util.Rng.int rng 1024)
+    done
+  in
+  {
+    name = "omnetpp";
+    description = "binary-heap sift-down: data-dependent compares and loads";
+    make = (fun () -> Gen.stream_of_program ~init program);
+    decode = (fun pc -> Machine.static_decode program ~pc);
+  }
+
+(* --- xalancbmk: tree descent with recursion ---------------------------------- *)
+
+let xalancbmk =
+  let depth = 10 in
+  let program =
+    assemble
+      (Gen.seed_rng ~state:x 0xA1A
+      @ [ j "main" ]
+      (* descend(key in r10, depth in r11) *)
+      @ [ label "descend"; beq r11 0 "leaf" ]
+      @ save_ra
+      @ [
+          andi r12 r10 1;
+          srli r10 r10 1;
+          addi r11 r11 (-1);
+          beq r12 0 "go_left";
+          addi r13 r13 3;
+          call "descend";
+          j "descend_out";
+          label "go_left";
+          addi r13 r13 1;
+          call "descend";
+          label "descend_out";
+        ]
+      @ restore_ra
+      @ [ ret; label "leaf"; addi r13 r13 5; ret ]
+      @ [ label "main" ]
+      @ Gen.forever ~label:"queries"
+          ~body:
+            (Gen.xorshift ~state:x ~tmp
+            @ [ add r10 x 0; li r11 depth ]
+            @ save_ra @ [ call "descend" ] @ restore_ra))
+  in
+  {
+    name = "xalancbmk";
+    description = "depth-10 tree descent by key bits; call/return heavy";
+    make = (fun () -> Gen.stream_of_program program);
+    decode = (fun pc -> Machine.static_decode program ~pc);
+  }
+
+(* --- x264: dense predictable loops -------------------------------------------- *)
+
+let x264 =
+  let frame_a = 0x1000 in
+  let frame_b = 0x1100 in
+  let program =
+    assemble
+      ([ li r15 0 ]
+      @ Gen.forever ~label:"blocks"
+          ~body:
+            ((* SAD over a 16x16 block, fully unrolled inner 4 *)
+             [ li c0 0; li r14 0; label "rows" ]
+            @ List.concat
+                (List.init 4 (fun k ->
+                     [
+                       slli r10 c0 2;
+                       addi r10 r10 (frame_a + k);
+                       lw r11 r10 0;
+                       slli r10 c0 2;
+                       addi r10 r10 (frame_b + k);
+                       lw r12 r10 0;
+                       sub r13 r11 r12;
+                       bge r13 0 (Printf.sprintf "sad_pos_%d" k);
+                       sub r13 0 r13;
+                       label (Printf.sprintf "sad_pos_%d" k);
+                       add r14 r14 r13;
+                     ]))
+            @ [
+                addi c0 c0 1;
+                slti r10 c0 16;
+                bne r10 0 "rows";
+                add r15 r15 r14;
+                (* fp filter pass over 8 pixels *)
+                li c1 8;
+                label "filter";
+                fma r15 r14 c1;
+                addi c1 c1 (-1);
+                bne c1 0 "filter";
+              ]))
+  in
+  let init m =
+    for i = 0 to 255 do
+      Machine.poke m ~addr:(frame_a + i) (i mod 97);
+      Machine.poke m ~addr:(frame_b + i) ((i * 3) mod 89)
+    done
+  in
+  {
+    name = "x264";
+    description = "unrolled SAD loops: predictable branches, abs hammocks, high ILP";
+    make = (fun () -> Gen.stream_of_program ~init program);
+    decode = (fun pc -> Machine.static_decode program ~pc);
+  }
+
+(* --- deepsjeng: recursive search with cutoffs ----------------------------------- *)
+
+let deepsjeng =
+  let program =
+    assemble
+      (Gen.seed_rng ~state:x 0xD5E
+      @ [ j "main" ]
+      (* search(depth r10) -> r12 score *)
+      @ [ label "search"; bne r10 0 "not_leaf" ]
+      @ Gen.xorshift ~state:x ~tmp
+      @ [ andi r12 x 255; ret; label "not_leaf" ]
+      @ save_ra
+      @ [
+          sw r10 Insn.sp 0;
+          addi Insn.sp Insn.sp 1;
+          sw r13 Insn.sp 0;
+          addi Insn.sp Insn.sp 1;
+          li r13 0 (* best *);
+          (* move 1 *)
+          addi r10 r10 (-1);
+          call "search";
+          blt r12 r13 "no_improve1";
+          add r13 r12 0;
+          label "no_improve1";
+          (* alpha-beta-ish cutoff: skip move 2 on a high score *)
+          li r14 200;
+          bge r13 r14 "cutoff";
+          call "search";
+          blt r12 r13 "no_improve2";
+          add r13 r12 0;
+          label "no_improve2";
+          label "cutoff";
+          add r12 r13 0;
+          addi Insn.sp Insn.sp (-1);
+          lw r13 Insn.sp 0;
+          addi Insn.sp Insn.sp (-1);
+          lw r10 Insn.sp 0;
+        ]
+      @ restore_ra @ [ ret ]
+      @ [ label "main" ]
+      @ Gen.forever ~label:"games"
+          ~body:([ li r10 6 ] @ save_ra @ [ call "search" ] @ restore_ra
+                @ [ add r15 r15 r12 ]))
+  in
+  {
+    name = "deepsjeng";
+    description = "recursive 2-move search with score-dependent cutoffs";
+    make = (fun () -> Gen.stream_of_program program);
+    decode = (fun pc -> Machine.static_decode program ~pc);
+  }
+
+(* --- leela: random playouts ------------------------------------------------------ *)
+
+let leela =
+  let board = 0x2000 in
+  let program =
+    assemble
+      (Gen.seed_rng ~state:x 0x1EE1A
+      @ Gen.forever ~label:"playout"
+          ~body:
+            ([ li c0 32; label "moves" ]
+            @ Gen.xorshift ~state:x ~tmp
+            @ [
+                andi r10 x 255;
+                addi r11 r10 board;
+                lw r12 r11 0;
+                (* random pass/play decision: essentially unpredictable *)
+                andi r13 x 3;
+                beq r13 0 "pass";
+                addi r12 r12 1;
+                sw r12 r11 0;
+                (* capture check: biased branch on board occupancy *)
+                slti r14 r12 8;
+                bne r14 0 "no_capture";
+                sw Insn.zero r11 0;
+                addi r15 r15 1;
+                label "no_capture";
+                j "move_done";
+                label "pass";
+                addi r15 r15 0;
+                label "move_done";
+                addi c0 c0 (-1);
+                bne c0 0 "moves";
+              ]))
+  in
+  {
+    name = "leela";
+    description = "PRNG-driven playout decisions: genuinely hard branches";
+    make = (fun () -> Gen.stream_of_program program);
+    decode = (fun pc -> Machine.static_decode program ~pc);
+  }
+
+(* --- exchange2: deeply nested counted loops --------------------------------------- *)
+
+let exchange2 =
+  let program =
+    assemble
+      ([ li r15 0 ]
+      @ Gen.forever ~label:"puzzles"
+          ~body:
+            (Gen.counted_loop ~counter:c0 ~trips:9 ~label:"d1"
+               ~body:
+                 (Gen.counted_loop ~counter:c1 ~trips:5 ~label:"d2"
+                    ~body:
+                      (Gen.counted_loop ~counter:c2 ~trips:3 ~label:"d3"
+                         ~body:
+                           [
+                             add r10 c0 c1;
+                             add r10 r10 c2;
+                             andi r11 r10 7;
+                             beq r11 0 "skip";
+                             addi r15 r15 1;
+                             label "skip";
+                             xor r12 r15 r10;
+                           ]))))
+  in
+  {
+    name = "exchange2";
+    description = "nested 9x5x3 fixed-trip loops: loop-predictor friendly";
+    make = (fun () -> Gen.stream_of_program program);
+    decode = (fun pc -> Machine.static_decode program ~pc);
+  }
+
+(* --- xz: bit-serial with biased regions --------------------------------------------- *)
+
+let xz =
+  let data = 0x3000 in
+  let words = 256 in
+  let program =
+    assemble
+      ([ li c0 0; li r15 0 ]
+      @ Gen.forever ~label:"stream_words"
+          ~body:
+            [
+              addi r10 c0 data;
+              lw r11 r10 0;
+              li c1 24 (* bits per word *);
+              label "bits";
+              andi r12 r11 1;
+              srli r11 r11 1;
+              beq r12 0 "zero_bit";
+              slli r13 r13 1;
+              addi r13 r13 1;
+              andi r13 r13 4095;
+              j "bit_done";
+              label "zero_bit";
+              addi r15 r15 1;
+              label "bit_done";
+              addi c1 c1 (-1);
+              bne c1 0 "bits";
+              addi c0 c0 1;
+              andi c0 c0 (words - 1);
+            ])
+  in
+  let init m =
+    (* biased regions: long runs of mostly-zero words, then dense words *)
+    let rng = Cobra_util.Rng.create ~seed:0x72 in
+    for i = 0 to words - 1 do
+      let dense = i mod 64 >= 48 in
+      let v =
+        if dense then Cobra_util.Rng.int rng (1 lsl 24)
+        else Cobra_util.Rng.int rng 64 (* sparse low bits *)
+      in
+      Machine.poke m ~addr:(data + i) v
+    done
+  in
+  {
+    name = "xz";
+    description = "bit-serial loop, branch per data bit with biased regions";
+    make = (fun () -> Gen.stream_of_program ~init program);
+    decode = (fun pc -> Machine.static_decode program ~pc);
+  }
+
+let all =
+  [ perlbench; gcc; mcf; omnetpp; xalancbmk; x264; deepsjeng; leela; exchange2; xz ]

@@ -1,0 +1,52 @@
+(** SPECint2017-named kernels (the Fig 10 workload suite).
+
+    The paper runs the full SPECint17 speed suite with reference inputs for
+    trillions of cycles on FPGAs; that is not reproducible here, so each
+    benchmark is replaced by a BRISC kernel engineered to match the
+    {e branch character} the literature reports for it (see each kernel's
+    doc). Absolute MPKI/IPC are not expected to match the paper — the
+    relative ordering of predictor designs per workload class is the
+    reproduction target. *)
+
+type kernel = {
+  name : string;  (** SPEC benchmark name *)
+  description : string;  (** branch character being mimicked *)
+  make : unit -> Cobra_isa.Trace.stream;
+  decode : int -> Cobra_isa.Trace.event option;  (** static wrong-path decode *)
+}
+
+val perlbench : kernel
+(** Bytecode-interpreter dispatch loop: indirect jumps through a handler
+    table plus data-dependent conditionals. *)
+
+val gcc : kernel
+(** Many static branch sites with varied biases over irregular data. *)
+
+val mcf : kernel
+(** Pointer chasing with cache-hostile footprint and data-dependent,
+    hard-to-predict branches. *)
+
+val omnetpp : kernel
+(** Binary-heap event queue: data-dependent compares, pointerful loads. *)
+
+val xalancbmk : kernel
+(** Binary-tree descent with deep call/return chains (RAS stress). *)
+
+val x264 : kernel
+(** Dense fixed-trip loops over pixel arrays: predictable, high ILP. *)
+
+val deepsjeng : kernel
+(** Recursive alpha-beta-style search with data-dependent cutoffs. *)
+
+val leela : kernel
+(** Monte-Carlo playouts: PRNG-driven decisions, hard branches. *)
+
+val exchange2 : kernel
+(** Deeply nested small fixed-trip loops: loop-predictor heaven. *)
+
+val xz : kernel
+(** Bit-serial compression-style loop: branch per data bit with biased
+    regions. *)
+
+val all : kernel list
+(** The ten kernels in the paper's Fig 10 order. *)

@@ -1,0 +1,84 @@
+type entry = {
+  name : string;
+  description : string;
+  make : unit -> Cobra_isa.Trace.stream;
+  decode : (int -> Cobra_isa.Trace.event option) option;
+}
+
+let of_kernel (k : Spec.kernel) =
+  {
+    name = k.Spec.name;
+    description = k.Spec.description;
+    make = k.Spec.make;
+    decode = Some k.Spec.decode;
+  }
+
+let specint = List.map of_kernel Spec.all
+
+let microbenchmarks =
+  [
+    {
+      name = "dhrystone";
+      description = Dhrystone.description;
+      make = Dhrystone.stream;
+      decode = Some (fun pc -> Cobra_isa.Machine.static_decode Dhrystone.program ~pc);
+    };
+    {
+      name = "coremark";
+      description = Coremark.description;
+      make = Coremark.stream;
+      decode = Some (fun pc -> Cobra_isa.Machine.static_decode Coremark.program ~pc);
+    };
+    {
+      name = "biased90";
+      description = "single 90%-taken random branch";
+      make = Kernels.biased ~bias_percent:90 ~seed:7;
+      decode = None;
+    };
+    {
+      name = "pattern-ttn";
+      description = "taken-taken-not-taken pattern";
+      make = Kernels.pattern_ttn;
+      decode = None;
+    };
+    {
+      name = "loop7";
+      description = "fixed 7-trip inner loop";
+      make = Kernels.periodic_loop ~trips:7;
+      decode = None;
+    };
+    {
+      name = "aliasing";
+      description = "32 mixed-bias branch sites";
+      make = Kernels.aliasing ~sites:32 ~seed:3;
+      decode = None;
+    };
+    {
+      name = "calls";
+      description = "deep call/return chains";
+      make = Kernels.calls ~depth:6;
+      decode = None;
+    };
+    {
+      name = "correlated";
+      description = "branch pair correlated through history";
+      make = Kernels.correlated;
+      decode = None;
+    };
+    {
+      name = "indirect";
+      description = "indirect jump rotating through 4 handlers";
+      make = Kernels.indirect ~targets:4;
+      decode = None;
+    };
+    {
+      name = "matrix";
+      description = "8x8 matrix multiply, fixed-trip triple loop";
+      make = Kernels.matrix;
+      decode = None;
+    };
+  ]
+
+let all = specint @ microbenchmarks
+
+let find name = List.find (fun e -> String.equal e.name name) all

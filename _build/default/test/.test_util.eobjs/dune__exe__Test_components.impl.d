@@ -1,0 +1,1 @@
+test/test_components.ml: Alcotest Array Btb Cobra Cobra_components Cobra_util Component Gtag Hbim Indexing List Loop_pred Pipeline Printf Storage Tage Topology Tourney Types Ubtb

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Cobra Cobra_util Component Context Fun Gen Ghist_provider Lhist_provider List Pipeline Printf QCheck QCheck_alcotest Storage String Topology Types

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Cobra Cobra_eval Cobra_uarch Cobra_workloads Designs Experiment Figures List Printf Reference String Sweeps Tables

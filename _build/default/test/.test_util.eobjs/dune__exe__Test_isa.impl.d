@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Cobra Cobra_eval Cobra_isa Cobra_uarch Cobra_workloads Filename Fun Insn List Machine Option Program QCheck QCheck_alcotest Sys Trace Trace_file

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Bitops Cobra Cobra_components Cobra_isa Cobra_uarch Cobra_util Component List Perf Storage String Text_render Types

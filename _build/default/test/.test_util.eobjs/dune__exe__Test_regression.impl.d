@@ -1,0 +1,1 @@
+test/test_regression.ml: Alcotest Cobra_eval Cobra_uarch Cobra_workloads Float List Printf

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Area Cobra_eval Cobra_synth Energy List Printf QCheck QCheck_alcotest Sram_compiler Timing

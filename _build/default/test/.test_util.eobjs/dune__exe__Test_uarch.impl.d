@@ -1,0 +1,1 @@
+test/test_uarch.ml: Alcotest Cache Cobra Cobra_eval Cobra_isa Cobra_uarch Cobra_workloads Config Core Gen List Machine Mem_model Perf Printf Program QCheck QCheck_alcotest Ras Sfb

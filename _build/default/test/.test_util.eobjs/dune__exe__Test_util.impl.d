@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitpack Bits Circular_buffer Cobra_util Counter Fun Gen Hashing List Option QCheck QCheck_alcotest Rng Stats

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Cobra Cobra_isa Cobra_uarch Cobra_workloads List Option Printf String Suite

@@ -1,0 +1,261 @@
+open Cobra_isa
+module P = Program
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- instruction classification ------------------------------------------- *)
+
+let test_classify () =
+  let open Insn in
+  check Alcotest.bool "alu is not a branch" true (classify_jump (Alu (Add, 1, 2, 3)) = None);
+  check Alcotest.bool "branch is cond" true
+    (classify_jump (Branch (Eq, 1, 2, "x")) = Some Cobra.Types.Cond);
+  check Alcotest.bool "jal x0 is jump" true (classify_jump (Jal (zero, "x")) = Some Cobra.Types.Jump);
+  check Alcotest.bool "jal ra is call" true (classify_jump (Jal (ra, "x")) = Some Cobra.Types.Call);
+  check Alcotest.bool "jalr x0,ra is ret" true
+    (classify_jump (Jalr (zero, ra, 0)) = Some Cobra.Types.Ret);
+  check Alcotest.bool "jalr x0,other is ind" true
+    (classify_jump (Jalr (zero, 7, 0)) = Some Cobra.Types.Ind)
+
+let test_uses_defines () =
+  let open Insn in
+  check Alcotest.(list int) "store uses both" [ 4; 3 ] (uses (Store (3, 4, 0)));
+  check Alcotest.(option int) "store defines nothing" None (defines (Store (3, 4, 0)));
+  check Alcotest.(option int) "x0 writes discarded" None (defines (Li (0, 5)));
+  check Alcotest.(list int) "x0 sources dropped" [] (uses (Alu (Add, 3, 0, 0)))
+
+(* --- assembler --------------------------------------------------------------- *)
+
+let test_assemble_labels () =
+  let p = P.assemble ~base:0x1000 [ P.label "top"; P.addi 3 3 1; P.j "top" ] in
+  check Alcotest.int "length" 2 (P.length p);
+  check Alcotest.int "label address" 0x1000 (P.address_of p "top");
+  check Alcotest.int "jump target resolved" 0x1000 p.P.targets.(1)
+
+let test_assemble_forward_reference () =
+  let p = P.assemble [ P.beq 1 2 "end"; P.addi 3 3 1; P.label "end"; P.halt ] in
+  check Alcotest.int "forward target" (p.P.base + 8) p.P.targets.(0)
+
+let test_assemble_duplicate_label () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Program.assemble: duplicate label x") (fun () ->
+      ignore (P.assemble [ P.label "x"; P.nop; P.label "x" ]))
+
+let test_assemble_unknown_label () =
+  Alcotest.check_raises "unknown" (Invalid_argument "Program.assemble: unknown label nope")
+    (fun () -> ignore (P.assemble [ P.j "nope" ]))
+
+(* --- machine execution --------------------------------------------------------- *)
+
+let run_program ?(max = 1000) lines =
+  let m = Machine.create (P.assemble lines) in
+  let events = Machine.run m ~max_insns:max in
+  (m, events)
+
+let test_arithmetic () =
+  let m, _ =
+    run_program [ P.li 3 21; P.li 4 2; P.mul 5 3 4; P.addi 5 5 (-2); P.halt ]
+  in
+  check Alcotest.int "21*2-2" 40 (Machine.reg m 5)
+
+let test_division_by_zero_is_total () =
+  let m, _ = run_program [ P.li 3 7; P.li 4 0; P.div 5 3 4; P.rem 6 3 4; P.halt ] in
+  check Alcotest.int "div by zero yields 0" 0 (Machine.reg m 5);
+  check Alcotest.int "rem by zero yields 0" 0 (Machine.reg m 6)
+
+let test_branch_taken_and_fallthrough () =
+  let _, events =
+    run_program
+      [ P.li 3 1; P.beq 3 0 "skip"; P.addi 4 4 1; P.label "skip"; P.beq 3 3 "end";
+        P.addi 4 4 100; P.label "end"; P.halt ]
+  in
+  let branches = List.filter_map (fun e -> e.Trace.branch) events in
+  check Alcotest.(list bool) "directions" [ false; true ]
+    (List.map (fun b -> b.Trace.taken) branches)
+
+let test_memory_roundtrip () =
+  let m, events =
+    run_program [ P.li 3 0x50; P.li 4 42; P.sw 4 3 4; P.lw 5 3 4; P.halt ]
+  in
+  check Alcotest.int "loaded" 42 (Machine.reg m 5);
+  let addrs = List.filter_map (fun e -> e.Trace.addr) events in
+  (* byte addresses: word 0x54 -> 0x150 *)
+  check Alcotest.(list int) "addresses" [ 0x54 * 4; 0x54 * 4 ] addrs
+
+let test_call_ret_events () =
+  let _, events =
+    run_program
+      [ P.call "f"; P.halt; P.label "f"; P.addi 3 3 1; P.ret ]
+  in
+  let kinds = List.filter_map (fun e -> Option.map (fun b -> b.Trace.kind) e.Trace.branch) events in
+  check Alcotest.bool "call then ret" true (kinds = [ Cobra.Types.Call; Cobra.Types.Ret ])
+
+let test_next_pc_coherence () =
+  (* the invariant the core model relies on: each event's next_pc is the
+     next event's pc *)
+  let _, events =
+    run_program ~max:200
+      [ P.li 28 5; P.label "l"; P.addi 3 3 1; P.addi 28 28 (-1); P.bne 28 0 "l"; P.halt ]
+  in
+  let rec coherent = function
+    | a :: (b :: _ as rest) -> a.Trace.next_pc = b.Trace.pc && coherent rest
+    | _ -> true
+  in
+  check Alcotest.bool "pc chain" true (coherent events);
+  (* li + 5 iterations x (addi, addi, bne); halt emits no event *)
+  check Alcotest.int "executed" (1 + (5 * 3)) (List.length events)
+
+let test_halt_ends_stream () =
+  let m, events = run_program [ P.nop; P.halt ] in
+  check Alcotest.int "one event" 1 (List.length events);
+  check Alcotest.bool "halted" true (Machine.halted m);
+  check Alcotest.bool "stream empty" true (Machine.step m = None)
+
+(* --- streams --------------------------------------------------------------------- *)
+
+let test_buffered_push_back () =
+  let evs = List.init 5 (fun i -> Trace.plain ~pc:(0x100 + (4 * i)) ~cls:Trace.Alu) in
+  let b = Trace.Buffered.create (Trace.of_list evs) in
+  let e1 = Option.get (Trace.Buffered.next b) in
+  let e2 = Option.get (Trace.Buffered.next b) in
+  Trace.Buffered.push_back b [ e1; e2 ];
+  check Alcotest.int "re-delivered in order" e1.Trace.pc
+    (Option.get (Trace.Buffered.next b)).Trace.pc;
+  check Alcotest.int "then the second" e2.Trace.pc
+    (Option.get (Trace.Buffered.next b)).Trace.pc;
+  check Alcotest.int "pulled counts distinct events only" 2 (Trace.Buffered.pulled b)
+
+let test_peek_does_not_consume () =
+  let b = Trace.Buffered.create (Trace.of_list [ Trace.plain ~pc:4 ~cls:Trace.Alu ]) in
+  check Alcotest.bool "peek twice" true
+    (Trace.Buffered.peek b = Trace.Buffered.peek b);
+  check Alcotest.bool "next still delivers" true (Trace.Buffered.next b <> None);
+  check Alcotest.bool "then empty" true (Trace.Buffered.next b = None)
+
+let test_sfb_detection () =
+  let branch ~pc ~target ~taken =
+    {
+      (Trace.plain ~pc ~cls:Trace.Alu) with
+      Trace.branch = Some { Trace.kind = Cobra.Types.Cond; taken; target };
+      next_pc = (if taken then target else pc + 4);
+    }
+  in
+  check Alcotest.bool "short forward" true
+    (Trace.is_short_forward_branch (branch ~pc:0x100 ~target:0x110 ~taken:false));
+  check Alcotest.bool "backward is not" false
+    (Trace.is_short_forward_branch (branch ~pc:0x100 ~target:0xF0 ~taken:true));
+  check Alcotest.bool "long forward is not" false
+    (Trace.is_short_forward_branch (branch ~pc:0x100 ~target:0x200 ~taken:false))
+
+let test_static_decode () =
+  let p =
+    P.assemble ~base:0x1000
+      [ P.addi 3 3 1; P.beq 3 4 "end"; P.call "end"; P.lw 5 3 0; P.label "end"; P.ret ]
+  in
+  let d pc = Machine.static_decode p ~pc in
+  (* alu *)
+  let a = Option.get (d 0x1000) in
+  check Alcotest.bool "alu no branch" true (a.Trace.branch = None);
+  (* conditional: kind + static target, direction defaults to not-taken *)
+  let b = Option.get (d 0x1004) in
+  (match b.Trace.branch with
+  | Some info ->
+    check Alcotest.bool "cond kind" true (info.Trace.kind = Cobra.Types.Cond);
+    check Alcotest.int "static target" 0x1010 info.Trace.target;
+    check Alcotest.bool "direction unknown -> not taken" false info.Trace.taken
+  | None -> Alcotest.fail "expected branch");
+  (* call decodes as taken with its target *)
+  let c = Option.get (d 0x1008) in
+  (match c.Trace.branch with
+  | Some info ->
+    check Alcotest.bool "call kind" true (info.Trace.kind = Cobra.Types.Call);
+    check Alcotest.bool "uncond decodes taken" true info.Trace.taken
+  | None -> Alcotest.fail "expected call");
+  (* load class survives; outside the image decodes to None *)
+  check Alcotest.bool "load class" true ((Option.get (d 0x100C)).Trace.cls = Trace.Load);
+  check Alcotest.bool "outside image" true (d 0x2000 = None);
+  check Alcotest.bool "misaligned" true (d 0x1001 = None)
+
+let test_trace_file_roundtrip () =
+  let events = Trace.take (Cobra_workloads.Kernels.calls ~depth:3 ()) 300 in
+  let path = Filename.temp_file "cobra" ".trace" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      Trace_file.save ~path events;
+      let loaded = Trace_file.load ~path in
+      check Alcotest.int "same length" (List.length events) (List.length loaded);
+      check Alcotest.bool "identical events" true (events = loaded))
+
+let test_trace_file_comments_skipped () =
+  let parsed = Trace_file.event_of_string "# a comment" in
+  check Alcotest.bool "comment" true (parsed = None);
+  check Alcotest.bool "blank" true (Trace_file.event_of_string "   " = None)
+
+let test_trace_file_rejects_garbage () =
+  Alcotest.check_raises "garbage" (Failure "Trace_file: malformed line: zz") (fun () ->
+      ignore (Trace_file.event_of_string "zz"))
+
+let test_trace_file_stream_replays_through_core () =
+  let events = Trace.take (Cobra_workloads.Kernels.periodic_loop ~trips:5 ()) 2_000 in
+  let path = Filename.temp_file "cobra" ".trace" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      Trace_file.save ~path events;
+      let pl = Cobra_eval.Designs.pipeline Cobra_eval.Designs.b2 in
+      let core =
+        Cobra_uarch.Core.create Cobra_uarch.Config.default pl
+          (Trace_file.load_stream ~path)
+      in
+      let perf = Cobra_uarch.Core.run core ~max_insns:10_000 in
+      check Alcotest.int "all replayed instructions commit" 2_000
+        perf.Cobra_uarch.Perf.instructions)
+
+let prop_machine_deterministic =
+  QCheck.Test.make ~name:"machine runs are deterministic" ~count:20
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let mk () = Cobra_workloads.Kernels.biased ~bias_percent:70 ~seed () in
+      let a = Trace.take (mk ()) 500 and b = Trace.take (mk ()) 500 in
+      a = b)
+
+let () =
+  Alcotest.run "cobra_isa"
+    [
+      ( "insn",
+        [
+          Alcotest.test_case "classify" `Quick test_classify;
+          Alcotest.test_case "uses/defines" `Quick test_uses_defines;
+        ] );
+      ( "assembler",
+        [
+          Alcotest.test_case "labels" `Quick test_assemble_labels;
+          Alcotest.test_case "forward reference" `Quick test_assemble_forward_reference;
+          Alcotest.test_case "duplicate label" `Quick test_assemble_duplicate_label;
+          Alcotest.test_case "unknown label" `Quick test_assemble_unknown_label;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "division total" `Quick test_division_by_zero_is_total;
+          Alcotest.test_case "branches" `Quick test_branch_taken_and_fallthrough;
+          Alcotest.test_case "memory" `Quick test_memory_roundtrip;
+          Alcotest.test_case "call/ret" `Quick test_call_ret_events;
+          Alcotest.test_case "pc coherence" `Quick test_next_pc_coherence;
+          Alcotest.test_case "halt" `Quick test_halt_ends_stream;
+          qcheck prop_machine_deterministic;
+        ] );
+      ( "streams",
+        [
+          Alcotest.test_case "push back" `Quick test_buffered_push_back;
+          Alcotest.test_case "peek" `Quick test_peek_does_not_consume;
+          Alcotest.test_case "sfb detection" `Quick test_sfb_detection;
+        ] );
+      ("static decode", [ Alcotest.test_case "decode" `Quick test_static_decode ]);
+      ( "trace_file",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_trace_file_roundtrip;
+          Alcotest.test_case "comments" `Quick test_trace_file_comments_skipped;
+          Alcotest.test_case "garbage" `Quick test_trace_file_rejects_garbage;
+          Alcotest.test_case "replay through core" `Quick
+            test_trace_file_stream_replays_through_core;
+        ] );
+    ]

@@ -1,0 +1,59 @@
+(* Accuracy/IPC regression bands for the TAGE-L design on every workload.
+
+   Runs are fully deterministic, so these bands would only move if the
+   framework's semantics change; the bands are wide enough (+-0.05 accuracy,
+   +-25% IPC) to admit deliberate tuning but catch functional regressions
+   (a broken repair path, a mis-trained component, a timing bug). Bands
+   measured at 20 000 instructions per run. *)
+
+module Perf = Cobra_uarch.Perf
+
+let check = Alcotest.check
+
+(* (workload, expected accuracy, expected IPC) *)
+let expectations =
+  [
+    ("perlbench", 0.883, 1.09);
+    ("gcc", 0.770, 0.82);
+    ("mcf", 0.711, 0.15);
+    ("omnetpp", 0.903, 1.62);
+    ("xalancbmk", 0.808, 0.97);
+    ("x264", 0.979, 1.49);
+    ("deepsjeng", 0.942, 1.68);
+    ("leela", 0.875, 1.26);
+    ("exchange2", 0.974, 2.10);
+    ("xz", 0.888, 1.42);
+    ("dhrystone", 0.981, 2.10);
+    ("coremark", 0.943, 1.59);
+    ("biased90", 0.909, 0.96);
+    ("pattern-ttn", 0.999, 1.59);
+    ("loop7", 0.999, 1.85);
+    ("aliasing", 0.762, 0.90);
+    ("calls", 1.000, 1.53);
+    ("correlated", 0.836, 1.17);
+    ("indirect", 0.666, 0.50);
+    ("matrix", 0.966, 1.78);
+  ]
+
+let acc_tolerance = 0.05
+let ipc_rel_tolerance = 0.25
+
+let regression_case (workload, exp_acc, exp_ipc) =
+  Alcotest.test_case workload `Slow (fun () ->
+      let entry = Cobra_workloads.Suite.find workload in
+      let r = Cobra_eval.Experiment.run ~insns:20_000 Cobra_eval.Designs.tage_l entry in
+      let acc = Perf.branch_accuracy r.Cobra_eval.Experiment.perf in
+      let ipc = Perf.ipc r.Cobra_eval.Experiment.perf in
+      check Alcotest.bool
+        (Printf.sprintf "accuracy %.4f within %.4f +- %.2f" acc exp_acc acc_tolerance)
+        true
+        (Float.abs (acc -. exp_acc) <= acc_tolerance);
+      check Alcotest.bool
+        (Printf.sprintf "ipc %.3f within %.3f +- %.0f%%" ipc exp_ipc
+           (100.0 *. ipc_rel_tolerance))
+        true
+        (Float.abs (ipc -. exp_ipc) <= exp_ipc *. ipc_rel_tolerance))
+
+let () =
+  Alcotest.run "cobra_regression"
+    [ ("tage-l bands", List.map regression_case expectations) ]
