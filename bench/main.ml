@@ -3,20 +3,16 @@
    repository's implementation, then runs Bechamel microbenchmarks of the
    framework itself.
 
-   Scale with COBRA_INSNS (default 100_000 instructions per run). Pass
-   section names as arguments to run a subset, e.g.
-   [dune exec bench/main.exe -- table_1 figure_10]. *)
+   Scale with COBRA_INSNS (default 100_000 instructions per run) and
+   COBRA_JOBS (parallel simulation workers; 1 reproduces the serial
+   harness). Pass section names as arguments to run a subset, e.g.
+   [dune exec bench/main.exe -- table_1 figure_10]; [--list] prints the
+   valid section names. *)
 
 open Cobra_eval
 
-let section_enabled =
-  let requested = List.tl (Array.to_list Sys.argv) in
-  fun name -> requested = [] || List.mem name requested
-
 let banner name =
   Printf.printf "\n================ %s ================\n%!" name
-
-let section name f = if section_enabled name then begin banner name; f () end
 
 let timed label f =
   let t0 = Unix.gettimeofday () in
@@ -140,28 +136,55 @@ let bechamel () =
 
 (* --- main ---------------------------------------------------------------------- *)
 
+let sections =
+  [
+    ("table_1", table_1);
+    ("table_2", table_2);
+    ("table_3", table_3);
+    ("figure_7", figure_7);
+    ("figure_8", figure_8);
+    ("figure_9", figure_9);
+    ("figure_10", figure_10);
+    ("ablation_serialized_fetch", ablation_serialized_fetch);
+    ("ablation_tage_latency", ablation_tage_latency);
+    ("ablation_history_repair", ablation_history_repair);
+    ("ablation_sfb", ablation_sfb);
+    ("sweep_storage", sweep_storage);
+    ("sweep_ubtb", sweep_ubtb);
+    ("sweep_fetch_width", sweep_fetch_width);
+    ("sweep_indexing", sweep_indexing);
+    ("sweep_ittage", sweep_ittage);
+    ("sweep_ras", sweep_ras);
+    ("sweep_sc", sweep_sc);
+    ("sweep_core_size", sweep_core_size);
+    ("sweep_families", sweep_families);
+    ("software_vs_hardware", software_vs_hardware);
+    ("energy", energy);
+    ("bechamel", bechamel);
+  ]
+
+let section_names = List.map fst sections
+
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.exists (fun a -> a = "--list" || a = "-l") args then begin
+    List.iter print_endline section_names;
+    exit 0
+  end;
+  (match List.filter (fun a -> not (List.mem_assoc a sections)) args with
+  | [] -> ()
+  | unknown ->
+    Printf.eprintf "error: unknown section%s %s\nvalid sections:\n%s\n"
+      (if List.length unknown = 1 then "" else "s")
+      (String.concat ", " (List.map (Printf.sprintf "%S") unknown))
+      (String.concat "\n" (List.map (fun n -> "  " ^ n) section_names));
+    exit 2);
+  let enabled name = args = [] || List.mem name args in
   Printf.printf "COBRA benchmark harness (insns per run: %d)\n" Experiment.default_insns;
-  section "table_1" table_1;
-  section "table_2" table_2;
-  section "table_3" table_3;
-  section "figure_7" figure_7;
-  section "figure_8" figure_8;
-  section "figure_9" figure_9;
-  section "figure_10" figure_10;
-  section "ablation_serialized_fetch" ablation_serialized_fetch;
-  section "ablation_tage_latency" ablation_tage_latency;
-  section "ablation_history_repair" ablation_history_repair;
-  section "ablation_sfb" ablation_sfb;
-  section "sweep_storage" sweep_storage;
-  section "sweep_ubtb" sweep_ubtb;
-  section "sweep_fetch_width" sweep_fetch_width;
-  section "sweep_indexing" sweep_indexing;
-  section "sweep_ittage" sweep_ittage;
-  section "sweep_ras" sweep_ras;
-  section "sweep_sc" sweep_sc;
-  section "sweep_core_size" sweep_core_size;
-  section "sweep_families" sweep_families;
-  section "software_vs_hardware" software_vs_hardware;
-  section "energy" energy;
-  section "bechamel" bechamel
+  List.iter
+    (fun (name, f) ->
+      if enabled name then begin
+        banner name;
+        f ()
+      end)
+    sections

@@ -195,6 +195,78 @@ let replay_cmd =
   Cmd.v (Cmd.info "replay" ~doc:"Run a design over a saved trace file")
     Term.(term_result (const replay $ design_arg $ path_arg $ insns_arg))
 
+(* --- sweep ------------------------------------------------------------------- *)
+
+let sweeps : (string * (?insns:int -> unit -> string)) list =
+  [
+    ("storage", Sweeps.tage_storage_sweep);
+    ("ubtb", Sweeps.ubtb_value);
+    ("fetch-width", Sweeps.fetch_width_sweep);
+    ("indexing", Sweeps.indexing_ablation);
+    ("ittage", Sweeps.indirect_predictor);
+    ("ras", Sweeps.ras_repair);
+    ("sc", Sweeps.statistical_corrector_value);
+    ("core-size", Sweeps.core_size);
+    ("families", Sweeps.gehl_vs_tage);
+  ]
+
+let sweep_names = List.map fst sweeps
+
+let sweep_cmd =
+  let names =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"SWEEP"
+             ~doc:"Sweeps to run (default: all). See $(b,--list) for the valid names.")
+  in
+  let list_flag = Arg.(value & flag & info [ "list" ] ~doc:"List sweep names and exit.") in
+  let insns =
+    Arg.(value & opt (some int) None
+         & info [ "n"; "insns" ] ~docv:"N"
+             ~doc:"Instructions per run (default: \\$COBRA_INSNS or 100000).")
+  in
+  let jobs_opt =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"JOBS"
+             ~doc:"Parallel simulation workers (default: \\$COBRA_JOBS or the machine's \
+                   recommended domain count; 1 is fully serial).")
+  in
+  let no_cache =
+    Arg.(value & flag
+         & info [ "no-cache" ] ~doc:"Recompute every run, ignoring the on-disk result cache.")
+  in
+  let run names list_flag insns jobs no_cache =
+    if list_flag then begin
+      List.iter print_endline sweep_names;
+      Ok ()
+    end
+    else begin
+      (match jobs with Some j -> Unix.putenv "COBRA_JOBS" (string_of_int j) | None -> ());
+      if no_cache then Unix.putenv "COBRA_CACHE" "0";
+      match List.filter (fun n -> not (List.mem_assoc n sweeps)) names with
+      | _ :: _ as unknown ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown sweep%s %s (have: %s)"
+               (if List.length unknown = 1 then "" else "s")
+               (String.concat ", " (List.map (Printf.sprintf "%S") unknown))
+               (String.concat ", " sweep_names)))
+      | [] ->
+        let selected =
+          match names with
+          | [] -> sweeps
+          | _ -> List.filter (fun (n, _) -> List.mem n names) sweeps
+        in
+        List.iter (fun (_, f) -> print_string (f ?insns ())) selected;
+        Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run design-space sweeps through the parallel, cache-aware runner \
+          (COBRA_JOBS/COBRA_CACHE/COBRA_EVENTS control it)")
+    Term.(term_result (const run $ names $ list_flag $ insns $ jobs_opt $ no_cache))
+
 let tables_cmd =
   let run () =
     print_string (Tables.table_1 ());
@@ -209,6 +281,7 @@ let main =
   Cmd.group
     (Cmd.info "cobra" ~version:"1.0.0"
        ~doc:"COBRA: composition of hardware branch predictors (cycle-level model)")
-    [ list_cmd; run_cmd; topology_cmd; storage_cmd; tables_cmd; trace_cmd; replay_cmd ]
+    [ list_cmd; run_cmd; topology_cmd; storage_cmd; tables_cmd; trace_cmd; replay_cmd;
+      sweep_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -21,6 +21,11 @@ let default_config =
     predecode_history_correction = true;
   }
 
+let config_spec c =
+  Printf.sprintf "fw=%d;gh=%d;lh=%d;lhe=%d;hf=%d;path=%d;predecode=%b" c.fetch_width
+    c.ghist_bits c.lhist_bits c.lhist_entries c.history_entries c.path_bits
+    c.predecode_history_correction
+
 type token = int
 
 type pending = {

@@ -45,6 +45,10 @@ type config = {
           Section VI-B experiment improves upon. *)
 }
 
+val config_spec : config -> string
+(** A stable one-line rendering of every field, used to key the on-disk
+    result cache. *)
+
 val default_config : config
 (** 4-wide fetch, 64-bit global history, 256 x 32-bit local histories,
     32-entry history file. *)

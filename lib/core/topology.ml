@@ -77,6 +77,18 @@ let rec to_expression = function
     Printf.sprintf "%s > [%s]" (Component.label sel)
       (String.concat ", " (List.map to_expression subs))
 
+let component_spec (c : Component.t) =
+  Printf.sprintf "%s{fam=%s,lat=%d,meta=%d,sram=%d,flop=%d,gates=%d}" c.Component.name
+    (Format.asprintf "%a" Component.pp_family c.Component.family)
+    c.Component.latency c.Component.meta_bits c.Component.storage.Storage.sram_bits
+    c.Component.storage.Storage.flop_bits c.Component.storage.Storage.logic_gates
+
+let rec spec = function
+  | Node c -> component_spec c
+  | Override (hi, lo) -> Printf.sprintf "(%s > %s)" (spec hi) (spec lo)
+  | Arbitrate (sel, subs) ->
+    Printf.sprintf "%s > [%s]" (component_spec sel) (String.concat "; " (List.map spec subs))
+
 (* The running composite provider at stage [d] is the highest-priority
    component with latency <= d; later components in the priority list that
    are also ready may still show through for fields the provider leaves

@@ -39,6 +39,16 @@ val validate : t -> (unit, string) result
     contain at least one component with latency [<= n], otherwise the
     selector would read an undefined [predict_in] (paper Section III-F). *)
 
+val spec : t -> string
+(** A parameter-sensitive description of the topology used to key the
+    on-disk result cache: the expression structure with each component's
+    family, latency, metadata width and storage footprint. Unlike
+    {!to_expression} it distinguishes same-named components whose sizing
+    differs (e.g. two TAGE configurations with different table geometry).
+    Runtime knobs that leave all of those unchanged (e.g. an indexing
+    source with identical table sizes) must be keyed separately by the
+    caller. *)
+
 val to_expression : t -> string
 (** The paper's algebraic notation, e.g.
     ["LOOP_3 > TAGE_3 > BTB_2 > BIM_2 > UBTB_1"]. *)

@@ -31,12 +31,14 @@ let tage_latency ?insns () =
   let timing latency = Cobra_synth.Timing.tage_path ~latency ~tables:7 ~tag_bits:9 () in
   let t2 = timing 2 and t3 = timing 3 in
   let workloads = spec_subset () in
-  let run latency =
-    List.map
-      (fun w -> Experiment.run ?insns (Designs.tage_l_with_latency latency) w)
+  let jobs latency =
+    List.map (fun w -> Experiment.job ?insns (Designs.tage_l_with_latency latency) w)
       workloads
   in
-  let r2 = run 2 and r3 = run 3 in
+  let all = Experiment.run_jobs ~label:"ablation:VI-A" (jobs 2 @ jobs 3) in
+  let n = List.length workloads in
+  let r2 = List.filteri (fun i _ -> i < n) all
+  and r3 = List.filteri (fun i _ -> i >= n) all in
   let mean_ipc rs = Stats.harmonic_mean (List.map (fun r -> Perf.ipc r.Experiment.perf) rs) in
   let mean_acc rs =
     Stats.mean (List.map (fun r -> 100.0 *. Perf.branch_accuracy r.Experiment.perf) rs)
@@ -88,7 +90,7 @@ let history_repair ?insns () =
      - repair: the register is repaired on divergences, in-flight
                predictions are not replayed (the paper's original design);
      - replay: repairing also replays fetch (the paper's alternate). *)
-  let run mode =
+  let jobs mode =
     let config =
       match mode with
       | `None ->
@@ -109,11 +111,22 @@ let history_repair ?insns () =
         }
       | `Repair | `Replay -> Designs.tage_l.Designs.pipeline_config
     in
-    List.map (fun w -> Experiment.run ?insns ~config ~pipeline_config Designs.tage_l w)
+    List.map (fun w -> Experiment.job ?insns ~config ~pipeline_config Designs.tage_l w)
       workloads
   in
-  let none = run `None in
-  let no_replay = run `Repair and replay = run `Replay in
+  let dhry_job cfg_replay =
+    Experiment.job ?insns
+      ~config:{ Config.default with Config.replay_on_history_divergence = cfg_replay }
+      Designs.tage_l (dhrystone ())
+  in
+  let all =
+    Experiment.run_jobs ~label:"ablation:VI-B"
+      (jobs `None @ jobs `Repair @ jobs `Replay @ [ dhry_job false; dhry_job true ])
+  in
+  let n = List.length workloads in
+  let slice lo hi = List.filteri (fun i _ -> i >= lo && i < hi) all in
+  let none = slice 0 n in
+  let no_replay = slice n (2 * n) and replay = slice (2 * n) (3 * n) in
   let mean_ipc rs = Stats.harmonic_mean (List.map (fun r -> Perf.ipc r.Experiment.perf) rs) in
   let total_mispredicts rs =
     List.fold_left (fun acc r -> acc + r.Experiment.perf.Perf.mispredicts) 0 rs
@@ -121,12 +134,7 @@ let history_repair ?insns () =
   let ipc_none = mean_ipc none and ipc_nr = mean_ipc no_replay and ipc_r = mean_ipc replay in
   let mp_none = total_mispredicts none in
   let mp_nr = total_mispredicts no_replay and mp_r = total_mispredicts replay in
-  let dhry cfg_replay =
-    Experiment.run ?insns
-      ~config:{ Config.default with Config.replay_on_history_divergence = cfg_replay }
-      Designs.tage_l (dhrystone ())
-  in
-  let dhry_nr = dhry false and dhry_r = dhry true in
+  let dhry_nr = List.nth all (3 * n) and dhry_r = List.nth all ((3 * n) + 1) in
   let rows =
     List.map2
       (fun (a, b) c ->
@@ -169,15 +177,22 @@ let history_repair ?insns () =
 (* --- VI-C: short-forward-branch predication ------------------------------------ *)
 
 let short_forward_branch ?insns () =
-  let run sfb =
+  let job sfb =
     let config = { Config.default with Config.sfb_optimization = sfb } in
     let transform =
-      if sfb then Cobra_uarch.Sfb.transform ~max_offset:Config.default.Config.sfb_max_offset
-      else Fun.id
+      if sfb then
+        Some
+          ( Printf.sprintf "sfb:%d" Config.default.Config.sfb_max_offset,
+            Cobra_uarch.Sfb.transform ~max_offset:Config.default.Config.sfb_max_offset )
+      else None
     in
-    Experiment.run ?insns ~config ~transform Designs.tage_l (coremark ())
+    Experiment.job ?insns ~config ?transform Designs.tage_l (coremark ())
   in
-  let off = run false and on = run true in
+  let off, on =
+    match Experiment.run_jobs ~label:"ablation:VI-C" [ job false; job true ] with
+    | [ off; on ] -> (off, on)
+    | _ -> assert false
+  in
   let acc r = 100.0 *. Perf.branch_accuracy r.Experiment.perf in
   let score r = Cobra_workloads.Coremark.score_per_mhz ~ipc:(Perf.ipc r.Experiment.perf) in
   {
@@ -207,11 +222,15 @@ let short_forward_branch ?insns () =
 (* --- Section I: serialized fetch ------------------------------------------------ *)
 
 let serialized_fetch ?insns () =
-  let run serialize =
+  let job serialize =
     let config = { Config.default with Config.serialize_fetch = serialize } in
-    Experiment.run ?insns ~config Designs.tage_l (dhrystone ())
+    Experiment.job ?insns ~config Designs.tage_l (dhrystone ())
   in
-  let wide = run false and serial = run true in
+  let wide, serial =
+    match Experiment.run_jobs ~label:"ablation:I-intro" [ job false; job true ] with
+    | [ wide; serial ] -> (wide, serial)
+    | _ -> assert false
+  in
   let ipc_w = Perf.ipc wide.Experiment.perf and ipc_s = Perf.ipc serial.Experiment.perf in
   {
     id = "I-intro";

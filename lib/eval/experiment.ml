@@ -20,10 +20,99 @@ let run ?(insns = default_insns) ?(config = Cobra_uarch.Config.default) ?pipelin
   let perf = Cobra_uarch.Core.run core ~max_insns:insns in
   { design = design.Designs.name; workload = workload.Cobra_workloads.Suite.name; perf }
 
+(* --- parallel grids ----------------------------------------------------------- *)
+
+type job = {
+  job_design : Designs.t;
+  job_workload : Cobra_workloads.Suite.entry;
+  job_insns : int;
+  job_config : Cobra_uarch.Config.t;
+  job_pipeline_config : Cobra.Pipeline.config option;
+  job_transform : (string * (Cobra_isa.Trace.stream -> Cobra_isa.Trace.stream)) option;
+}
+
+let job ?(insns = default_insns) ?(config = Cobra_uarch.Config.default) ?pipeline_config
+    ?transform design workload =
+  {
+    job_design = design;
+    job_workload = workload;
+    job_insns = insns;
+    job_config = config;
+    job_pipeline_config = pipeline_config;
+    job_transform = transform;
+  }
+
+let job_key j =
+  [
+    "design:" ^ j.job_design.Designs.name;
+    "topology:" ^ Cobra.Topology.spec (j.job_design.Designs.make ());
+    "workload:" ^ j.job_workload.Cobra_workloads.Suite.name;
+    "config:" ^ Cobra_uarch.Config.spec j.job_config;
+    "pipeline:"
+    ^ Cobra.Pipeline.config_spec
+        (Option.value j.job_pipeline_config
+           ~default:j.job_design.Designs.pipeline_config);
+    "insns:" ^ string_of_int j.job_insns;
+    "transform:" ^ (match j.job_transform with None -> "none" | Some (tag, _) -> tag);
+  ]
+
+let to_runner_job j =
+  {
+    Cobra_runner.key = job_key j;
+    run =
+      (fun () ->
+        let transform = match j.job_transform with None -> Fun.id | Some (_, f) -> f in
+        (run ~insns:j.job_insns ~config:j.job_config
+           ?pipeline_config:j.job_pipeline_config ~transform j.job_design j.job_workload)
+          .perf);
+  }
+
+let run_jobs_results ?label jobs =
+  let outcomes = Cobra_runner.run_perfs ?label (List.map to_runner_job jobs) in
+  List.map2
+    (fun j outcome ->
+      Result.map
+        (fun perf ->
+          {
+            design = j.job_design.Designs.name;
+            workload = j.job_workload.Cobra_workloads.Suite.name;
+            perf;
+          })
+        outcome)
+    jobs outcomes
+
+let run_jobs ?label jobs =
+  List.map2
+    (fun j outcome ->
+      match outcome with
+      | Ok r -> r
+      | Error (e : Cobra_runner.error) ->
+        failwith
+          (Format.asprintf "Experiment: %s on %s: %a%s" j.job_design.Designs.name
+             j.job_workload.Cobra_workloads.Suite.name Cobra_runner.pp_error e
+             (if e.Cobra_runner.backtrace = "" then ""
+              else "\n" ^ e.Cobra_runner.backtrace)))
+    jobs
+    (run_jobs_results ?label jobs)
+
 let run_matrix ?insns ?config designs workloads =
-  List.concat_map
-    (fun w -> List.map (fun d -> run ?insns ?config d w) designs)
-    workloads
+  run_jobs ~label:"run_matrix"
+    (List.concat_map
+       (fun w -> List.map (fun d -> job ?insns ?config d w) designs)
+       workloads)
+
+let find_opt results ~design ~workload =
+  List.find_opt
+    (fun r -> String.equal r.design design && String.equal r.workload workload)
+    results
 
 let find results ~design ~workload =
-  List.find (fun r -> String.equal r.design design && String.equal r.workload workload) results
+  match find_opt results ~design ~workload with
+  | Some r -> r
+  | None ->
+    failwith
+      (Printf.sprintf
+         "Experiment.find: no result for design %S on workload %S (have: %s)" design
+         workload
+         (String.concat ", "
+            (List.map (fun r -> Printf.sprintf "%s/%s" r.design r.workload) results)))

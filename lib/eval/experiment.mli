@@ -1,7 +1,11 @@
 (** Experiment runner: a design x workload x core-configuration grid.
 
     Each run elaborates a fresh pipeline (untrained components) and a fresh
-    core, so results are independent and deterministic. *)
+    core, so results are independent and deterministic. Grids ([run_jobs],
+    [run_matrix]) are executed through {!Cobra_runner}: in parallel across
+    [COBRA_JOBS] domains, consulting the on-disk result cache (disable with
+    [COBRA_CACHE=0]), with per-job retry and failure isolation.
+    [COBRA_JOBS=1] reproduces the serial harness bit-for-bit. *)
 
 type result = {
   design : string;
@@ -21,6 +25,33 @@ val run :
   Designs.t ->
   Cobra_workloads.Suite.entry ->
   result
+(** A single run in the calling domain, bypassing pool and cache. *)
+
+type job
+(** One grid cell: a design/workload pair plus its configuration, ready to
+    be dispatched to the runner. *)
+
+val job :
+  ?insns:int ->
+  ?config:Cobra_uarch.Config.t ->
+  ?pipeline_config:Cobra.Pipeline.config ->
+  ?transform:(string * (Cobra_isa.Trace.stream -> Cobra_isa.Trace.stream)) ->
+  Designs.t ->
+  Cobra_workloads.Suite.entry ->
+  job
+(** [transform] carries a tag naming the stream transformation — the tag
+    participates in the cache key (functions cannot be digested). *)
+
+val run_jobs_results :
+  ?label:string -> job list -> (result, Cobra_runner.error) Stdlib.result list
+(** Run a grid through the pool + cache. Outcomes are in submission order;
+    a job that keeps raising after its retry budget surfaces as [Error]
+    without aborting the rest of the grid. *)
+
+val run_jobs : ?label:string -> job list -> result list
+(** Like {!run_jobs_results} but raises [Failure] (naming the design,
+    workload and exception) on the first failed job — after the whole grid
+    has been given the chance to run. *)
 
 val run_matrix :
   ?insns:int ->
@@ -29,7 +60,11 @@ val run_matrix :
   Cobra_workloads.Suite.entry list ->
   result list
 (** Results grouped workload-major (all designs for workload 1, then
-    workload 2, ...). *)
+    workload 2, ...) — the order is deterministic regardless of worker
+    count. *)
+
+val find_opt : result list -> design:string -> workload:string -> result option
 
 val find : result list -> design:string -> workload:string -> result
-(** Raises [Not_found]. *)
+(** Raises [Failure] naming the missing design/workload pair and the
+    results actually present. *)

@@ -6,22 +6,66 @@ module Config = Cobra_uarch.Config
 
 let default_insns () = Experiment.default_insns
 
-let run_topology ?(config = Config.default) ?(pipeline_config = Pipeline.default_config)
-    ~insns topo workload =
-  let pl = Pipeline.create pipeline_config topo in
-  let stream = (workload : Cobra_workloads.Suite.entry).Cobra_workloads.Suite.make () in
-  let core =
-    Cobra_uarch.Core.create ?decode:workload.Cobra_workloads.Suite.decode config pl stream
+(* --- runner plumbing --------------------------------------------------------- *)
+
+(* One grid cell of a sweep. [make_topo] elaborates fresh components so that
+   parallel jobs share no mutable state and a retried job restarts clean.
+   [row] must be unique within the sweep's (row, workload) grid: it keys the
+   result cache alongside the topology spec, covering knobs the spec cannot
+   see (e.g. indexing sources with identical table sizes). *)
+type jobdef = {
+  row : string;
+  config : Config.t;
+  pipeline_config : Pipeline.config;
+  make_topo : unit -> Topology.t;
+  workload : Cobra_workloads.Suite.entry;
+}
+
+let jobdef ?(config = Config.default) ?(pipeline_config = Pipeline.default_config) ~row
+    ~workload make_topo =
+  { row; config; pipeline_config; make_topo; workload }
+
+let run_grid ~name ~insns defs =
+  let to_job d =
+    {
+      Cobra_runner.key =
+        [
+          "sweep:" ^ name;
+          "row:" ^ d.row;
+          "topology:" ^ Topology.spec (d.make_topo ());
+          "workload:" ^ d.workload.Cobra_workloads.Suite.name;
+          "config:" ^ Config.spec d.config;
+          "pipeline:" ^ Pipeline.config_spec d.pipeline_config;
+          "insns:" ^ string_of_int insns;
+        ];
+      run =
+        (fun () ->
+          let pl = Pipeline.create d.pipeline_config (d.make_topo ()) in
+          let stream = d.workload.Cobra_workloads.Suite.make () in
+          let core =
+            Cobra_uarch.Core.create ?decode:d.workload.Cobra_workloads.Suite.decode
+              d.config pl stream
+          in
+          Cobra_uarch.Core.run core ~max_insns:insns);
+    }
   in
-  let perf = Cobra_uarch.Core.run core ~max_insns:insns in
-  (perf, pl)
+  let outcomes = Cobra_runner.run_perfs ~label:("sweep:" ^ name) (List.map to_job defs) in
+  List.map2
+    (fun d outcome ->
+      match outcome with
+      | Ok perf -> perf
+      | Error e ->
+        failwith
+          (Format.asprintf "Sweeps.%s: row %S on %s: %a" name d.row
+             d.workload.Cobra_workloads.Suite.name Cobra_runner.pp_error e))
+    defs outcomes
 
 (* --- TAGE storage sweep ------------------------------------------------------- *)
 
 let tage_storage_sweep ?insns () =
   let insns = Option.value insns ~default:(default_insns ()) in
   let workload = Cobra_workloads.Suite.find "gcc" in
-  let rows =
+  let points =
     List.map
       (fun index_bits ->
         let tcfg =
@@ -33,13 +77,23 @@ let tage_storage_sweep ?insns () =
                 [ 4; 6; 10; 16; 26; 42; 64 ];
           }
         in
-        let topo =
-          Topology.over (Tage.make tcfg)
-            (Topology.over
-               (Btb.make (Btb.default ~name:"BTB"))
-               (Topology.node (Hbim.make (Hbim.default ~name:"BIM" ~indexing:Indexing.Pc))))
-        in
-        let perf, _ = run_topology ~insns topo workload in
+        (index_bits, tcfg))
+      [ 7; 8; 9; 10; 11; 12 ]
+  in
+  let defs =
+    List.map
+      (fun (index_bits, tcfg) ->
+        jobdef ~row:(Printf.sprintf "index_bits=%d" index_bits) ~workload (fun () ->
+            Topology.over (Tage.make tcfg)
+              (Topology.over
+                 (Btb.make (Btb.default ~name:"BTB"))
+                 (Topology.node (Hbim.make (Hbim.default ~name:"BIM" ~indexing:Indexing.Pc))))))
+      points
+  in
+  let perfs = run_grid ~name:"tage_storage" ~insns defs in
+  let rows =
+    List.map2
+      (fun (index_bits, tcfg) perf ->
         [
           Printf.sprintf "2^%d x 7" index_bits;
           Printf.sprintf "%.1f KB" (float_of_int (Tage.storage_bits tcfg) /. 8192.0);
@@ -47,7 +101,7 @@ let tage_storage_sweep ?insns () =
           Text.float_cell (Perf.mpki perf);
           Text.float_cell (Perf.ipc perf);
         ])
-      [ 7; 8; 9; 10; 11; 12 ]
+      points perfs
   in
   Text.table ~title:"Sweep: TAGE storage budget (gcc-like workload)"
     ~header:[ "entries"; "TAGE KB"; "accuracy%"; "MPKI"; "IPC" ]
@@ -64,7 +118,7 @@ let ubtb_value ?insns () =
     let bim = Hbim.make (Hbim.default ~name:"BIM" ~indexing:Indexing.Pc) in
     Topology.over tage (Topology.over btb (Topology.node bim))
   in
-  let with_ubtb =
+  let with_ubtb () =
     Topology.over
       (Tage.make (Tage.default ~name:"TAGE"))
       (Topology.over
@@ -73,17 +127,19 @@ let ubtb_value ?insns () =
             (Hbim.make (Hbim.default ~name:"BIM" ~indexing:Indexing.Pc))
             (Topology.node (Ubtb.make (Ubtb.default ~name:"UBTB")))))
   in
+  let named = [ ("TAGE_3 > BTB_2 > BIM_2", base_parts); ("... > UBTB_1", with_ubtb) ] in
+  let defs = List.map (fun (name, mk) -> jobdef ~row:name ~workload mk) named in
+  let perfs = run_grid ~name:"ubtb_value" ~insns defs in
   let rows =
-    List.map
-      (fun (name, topo) ->
-        let perf, _ = run_topology ~insns topo workload in
+    List.map2
+      (fun (name, _) perf ->
         [
           name;
           Text.float_cell (Perf.ipc perf);
           Text.float_cell ~decimals:2 (100.0 *. Perf.branch_accuracy perf);
           string_of_int perf.Perf.cycles;
         ])
-      [ ("TAGE_3 > BTB_2 > BIM_2", base_parts ()); ("... > UBTB_1", with_ubtb) ]
+      named perfs
   in
   Text.table
     ~title:"Ablation: 1-cycle uBTB head (dhrystone; taken redirects at Fetch-1 vs Fetch-2)"
@@ -95,27 +151,33 @@ let ubtb_value ?insns () =
 let fetch_width_sweep ?insns () =
   let insns = Option.value insns ~default:(default_insns ()) in
   let workload = Cobra_workloads.Suite.find "dhrystone" in
-  let rows =
+  let widths = [ 1; 2; 4; 8 ] in
+  let defs =
     List.map
       (fun w ->
-        let topo =
-          Topology.over
-            (Tage.make { (Tage.default ~name:"TAGE") with Tage.fetch_width = w })
-            (Topology.over
-               (Btb.make { (Btb.default ~name:"BTB") with Btb.fetch_width = w })
-               (Topology.node
-                  (Hbim.make
-                     { (Hbim.default ~name:"BIM" ~indexing:Indexing.Pc) with
-                       Hbim.fetch_width = w })))
-        in
         let pipeline_config = { Pipeline.default_config with Pipeline.fetch_width = w } in
         let config =
           { Config.default with Config.fetch_width = w; decode_width = w; commit_width = w }
         in
-        let perf, _ = run_topology ~config ~pipeline_config ~insns topo workload in
+        jobdef ~config ~pipeline_config ~row:(Printf.sprintf "width=%d" w) ~workload
+          (fun () ->
+            Topology.over
+              (Tage.make { (Tage.default ~name:"TAGE") with Tage.fetch_width = w })
+              (Topology.over
+                 (Btb.make { (Btb.default ~name:"BTB") with Btb.fetch_width = w })
+                 (Topology.node
+                    (Hbim.make
+                       { (Hbim.default ~name:"BIM" ~indexing:Indexing.Pc) with
+                         Hbim.fetch_width = w })))))
+      widths
+  in
+  let perfs = run_grid ~name:"fetch_width" ~insns defs in
+  let rows =
+    List.map2
+      (fun w perf ->
         [ string_of_int w; Text.float_cell (Perf.ipc perf);
           Text.float_cell ~decimals:2 (100.0 *. Perf.branch_accuracy perf) ])
-      [ 1; 2; 4; 8 ]
+      widths perfs
   in
   Text.table ~title:"Sweep: fetch width (superscalar prediction, Section II)"
     ~header:[ "width"; "IPC"; "accuracy%" ]
@@ -126,22 +188,29 @@ let fetch_width_sweep ?insns () =
 let indexing_ablation ?insns () =
   let insns = Option.value insns ~default:(default_insns ()) in
   let workload = Cobra_workloads.Suite.find "correlated" in
-  let rows =
+  let variants =
+    [
+      ("pc", Indexing.Pc);
+      ("ghist[10]", Indexing.Ghist 10);
+      ("hash(pc^ghist[10])", Indexing.Hash [ Indexing.Pc; Indexing.Ghist 10 ]);
+    ]
+  in
+  let defs =
     List.map
       (fun (name, indexing) ->
-        let topo =
-          Topology.over
-            (Hbim.make { (Hbim.default ~name:"BIM" ~indexing) with Hbim.entries = 4096 })
-            (Topology.node (Btb.make (Btb.default ~name:"BTB")))
-        in
-        let perf, _ = run_topology ~insns topo workload in
+        jobdef ~row:name ~workload (fun () ->
+            Topology.over
+              (Hbim.make { (Hbim.default ~name:"BIM" ~indexing) with Hbim.entries = 4096 })
+              (Topology.node (Btb.make (Btb.default ~name:"BTB")))))
+      variants
+  in
+  let perfs = run_grid ~name:"indexing" ~insns defs in
+  let rows =
+    List.map2
+      (fun (name, _) perf ->
         [ name; Text.float_cell ~decimals:2 (100.0 *. Perf.branch_accuracy perf);
           Text.float_cell (Perf.mpki perf) ])
-      [
-        ("pc", Indexing.Pc);
-        ("ghist[10]", Indexing.Ghist 10);
-        ("hash(pc^ghist[10])", Indexing.Hash [ Indexing.Pc; Indexing.Ghist 10 ]);
-      ]
+      variants perfs
   in
   Text.table ~title:"Ablation: HBIM indexing source (correlated kernel, Section III-G1)"
     ~header:[ "indexing"; "accuracy%"; "MPKI" ]
@@ -158,26 +227,37 @@ let indirect_predictor ?insns () =
       (tage_l ())
   in
   let pipeline_config = Designs.tage_l.Designs.pipeline_config in
-  let rows =
+  let named =
+    [
+      ("TAGE-L", tage_l);
+      ("ITTAGE(ghist) > TAGE-L", with_ittage ~path:false);
+      ("ITTAGE(phist) > TAGE-L", with_ittage ~path:true);
+    ]
+  in
+  let cells =
     List.concat_map
       (fun wname ->
         let workload = Cobra_workloads.Suite.find wname in
-        List.map
-          (fun (name, topo) ->
-            let perf, _ = run_topology ~pipeline_config ~insns topo workload in
-            [
-              wname;
-              name;
-              Text.float_cell (Perf.ipc perf);
-              Text.float_cell ~decimals:2 (100.0 *. Perf.branch_accuracy perf);
-              Text.float_cell (Perf.mpki perf);
-            ])
-          [
-            ("TAGE-L", tage_l ());
-            ("ITTAGE(ghist) > TAGE-L", with_ittage ~path:false ());
-            ("ITTAGE(phist) > TAGE-L", with_ittage ~path:true ());
-          ])
+        List.map (fun (name, mk) -> (wname, name, mk, workload)) named)
       [ "perlbench"; "indirect" ]
+  in
+  let defs =
+    List.map
+      (fun (_, name, mk, workload) -> jobdef ~pipeline_config ~row:name ~workload mk)
+      cells
+  in
+  let perfs = run_grid ~name:"indirect" ~insns defs in
+  let rows =
+    List.map2
+      (fun (wname, name, _, _) perf ->
+        [
+          wname;
+          name;
+          Text.float_cell (Perf.ipc perf);
+          Text.float_cell ~decimals:2 (100.0 *. Perf.branch_accuracy perf);
+          Text.float_cell (Perf.mpki perf);
+        ])
+      cells perfs
   in
   Text.table
     ~title:
@@ -198,21 +278,25 @@ let statistical_corrector_value ?insns () =
       (Statistical_corrector.make (Statistical_corrector.default ~name:"SC"))
       (tage_l ())
   in
+  let named = [ ("TAGE-L", tage_l); ("SC_3 > TAGE-L", with_sc) ] in
+  let cells =
+    List.concat_map (fun w -> List.map (fun (name, mk) -> (w, name, mk)) named) workloads
+  in
+  let defs =
+    List.map (fun (w, name, mk) -> jobdef ~pipeline_config ~row:name ~workload:w mk) cells
+  in
+  let perfs = run_grid ~name:"statistical_corrector" ~insns defs in
   let rows =
-    List.concat_map
-      (fun w ->
-        List.map
-          (fun (name, topo) ->
-            let perf, _ = run_topology ~pipeline_config ~insns topo w in
-            [
-              w.Cobra_workloads.Suite.name;
-              name;
-              Text.float_cell ~decimals:2 (100.0 *. Perf.branch_accuracy perf);
-              Text.float_cell (Perf.mpki perf);
-              Text.float_cell (Perf.ipc perf);
-            ])
-          [ ("TAGE-L", tage_l ()); ("SC_3 > TAGE-L", with_sc ()) ])
-      workloads
+    List.map2
+      (fun ((w : Cobra_workloads.Suite.entry), name, _) perf ->
+        [
+          w.Cobra_workloads.Suite.name;
+          name;
+          Text.float_cell ~decimals:2 (100.0 *. Perf.branch_accuracy perf);
+          Text.float_cell (Perf.mpki perf);
+          Text.float_cell (Perf.ipc perf);
+        ])
+      cells perfs
   in
   Text.table
     ~title:"Extension: statistical corrector over TAGE-L (towards full TAGE-SC-L)"
@@ -239,12 +323,17 @@ let gehl_vs_tage ?insns () =
       ("TAGE_3", fun () -> Tage.make (Tage.default ~name:"TAGE"));
     ]
   in
-  let rows =
+  let defs =
     List.map
-      (fun (name, mk) ->
+      (fun (name, mk) -> jobdef ~row:name ~workload (fun () -> over_btb (mk ())))
+      contenders
+  in
+  let perfs = run_grid ~name:"cbp_families" ~insns defs in
+  let rows =
+    List.map2
+      (fun (name, mk) perf ->
         let c = mk () in
         let kb = Cobra.Storage.kilobytes c.Cobra.Component.storage in
-        let perf, _ = run_topology ~insns (over_btb c) workload in
         [
           name ^ " > BTB_2 > BIM_2";
           Printf.sprintf "%.1f KB" kb;
@@ -252,7 +341,7 @@ let gehl_vs_tage ?insns () =
           Text.float_cell (Perf.mpki perf);
           Text.float_cell (Perf.ipc perf);
         ])
-      contenders
+      contenders perfs
   in
   Text.table
     ~title:"Extension: CBP-era predictor families head-to-head (gcc-like workload)"
@@ -293,44 +382,66 @@ let core_size ?insns () =
         } );
     ]
   in
-  let run_size (design : Designs.t) config =
-    (* rebuild the design's components at the matching fetch width *)
-    let fw = config.Config.fetch_width in
-    let topo =
-      match design.Designs.name with
-      | "B2" ->
-        Topology.over
-          (Gtag.make { (Gtag.default ~name:"GTAG") with Gtag.fetch_width = fw })
-          (Topology.over
-             (Btb.make { (Btb.default ~name:"BTB") with Btb.fetch_width = fw })
-             (Topology.node
-                (Hbim.make
-                   { (Hbim.default ~name:"BIM" ~indexing:Indexing.Pc) with
-                     Hbim.fetch_width = fw })))
-      | _ ->
-        Topology.over
-          (Tage.make { (Tage.default ~name:"TAGE") with Tage.fetch_width = fw })
-          (Topology.over
-             (Btb.make { (Btb.default ~name:"BTB") with Btb.fetch_width = fw })
-             (Topology.over
-                (Hbim.make
-                   { (Hbim.default ~name:"BIM" ~indexing:Indexing.Pc) with
-                     Hbim.fetch_width = fw })
-                (Topology.node
-                   (Ubtb.make { (Ubtb.default ~name:"UBTB") with Ubtb.fetch_width = fw }))))
-    in
-    let pipeline_config = { Pipeline.default_config with Pipeline.fetch_width = fw } in
-    fst (run_topology ~config ~pipeline_config ~insns topo workload)
+  (* rebuild the design's components at the matching fetch width *)
+  let topo_for (design : Designs.t) fw () =
+    match design.Designs.name with
+    | "B2" ->
+      Topology.over
+        (Gtag.make { (Gtag.default ~name:"GTAG") with Gtag.fetch_width = fw })
+        (Topology.over
+           (Btb.make { (Btb.default ~name:"BTB") with Btb.fetch_width = fw })
+           (Topology.node
+              (Hbim.make
+                 { (Hbim.default ~name:"BIM" ~indexing:Indexing.Pc) with
+                   Hbim.fetch_width = fw })))
+    | _ ->
+      Topology.over
+        (Tage.make { (Tage.default ~name:"TAGE") with Tage.fetch_width = fw })
+        (Topology.over
+           (Btb.make { (Btb.default ~name:"BTB") with Btb.fetch_width = fw })
+           (Topology.over
+              (Hbim.make
+                 { (Hbim.default ~name:"BIM" ~indexing:Indexing.Pc) with
+                   Hbim.fetch_width = fw })
+              (Topology.node
+                 (Ubtb.make { (Ubtb.default ~name:"UBTB") with Ubtb.fetch_width = fw }))))
+  in
+  let cells =
+    List.concat_map
+      (fun (size_name, config) ->
+        List.map
+          (fun (design : Designs.t) -> (size_name, config, design))
+          [ Designs.b2; Designs.tage_l ])
+      sizes
+  in
+  let defs =
+    List.map
+      (fun (size_name, config, (design : Designs.t)) ->
+        let fw = config.Config.fetch_width in
+        let pipeline_config = { Pipeline.default_config with Pipeline.fetch_width = fw } in
+        jobdef ~config ~pipeline_config
+          ~row:(Printf.sprintf "%s/%s" size_name design.Designs.name)
+          ~workload (topo_for design fw))
+      cells
+  in
+  let perfs = run_grid ~name:"core_size" ~insns defs in
+  let by_cell = List.combine cells perfs in
+  let perf_of size_name design_name =
+    snd
+      (List.find
+         (fun ((s, _, (d : Designs.t)), _) ->
+           String.equal s size_name && String.equal d.Designs.name design_name)
+         by_cell)
   in
   let rows =
     List.map
-      (fun (name, config) ->
-        let tage = run_size Designs.tage_l config and b2 = run_size Designs.b2 config in
+      (fun (size_name, _) ->
+        let b2 = perf_of size_name "B2" and tage = perf_of size_name "TAGE-L" in
         let gain =
           100.0 *. (Perf.ipc tage -. Perf.ipc b2) /. Float.max 1e-9 (Perf.ipc b2)
         in
         [
-          name;
+          size_name;
           Text.float_cell (Perf.ipc b2);
           Text.float_cell (Perf.ipc tage);
           Printf.sprintf "%+.1f%%" gain;
@@ -345,25 +456,29 @@ let core_size ?insns () =
 (* --- RAS repair ------------------------------------------------------------------------ *)
 
 let ras_repair ?insns () =
-  let insns = Option.value insns ~default:(default_insns ()) in
   let workloads = List.map Cobra_workloads.Suite.find [ "xalancbmk"; "deepsjeng" ] in
+  let cells =
+    List.concat_map (fun w -> List.map (fun repair -> (w, repair)) [ false; true ]) workloads
+  in
+  let jobs =
+    List.map
+      (fun (w, repair) ->
+        let config = { Config.default with Config.ras_repair = repair } in
+        Experiment.job ?insns ~config Designs.tage_l w)
+      cells
+  in
+  let results = Experiment.run_jobs ~label:"sweep:ras_repair" jobs in
   let rows =
-    List.concat_map
-      (fun w ->
-        List.map
-          (fun repair ->
-            let config = { Config.default with Config.ras_repair = repair } in
-            let r = Experiment.run ~insns ~config Designs.tage_l w in
-            [
-              r.Experiment.workload;
-              (if repair then "checkpointed" else "no repair");
-              Text.float_cell (Perf.ipc r.Experiment.perf);
-              Text.float_cell ~decimals:2
-                (100.0 *. Perf.branch_accuracy r.Experiment.perf);
-              string_of_int r.Experiment.perf.Perf.mispredicts;
-            ])
-          [ false; true ])
-      workloads
+    List.map2
+      (fun (_, repair) (r : Experiment.result) ->
+        [
+          r.Experiment.workload;
+          (if repair then "checkpointed" else "no repair");
+          Text.float_cell (Perf.ipc r.Experiment.perf);
+          Text.float_cell ~decimals:2 (100.0 *. Perf.branch_accuracy r.Experiment.perf);
+          string_of_int r.Experiment.perf.Perf.mispredicts;
+        ])
+      cells results
   in
   Text.table ~title:"Extension: RAS checkpoint repair on flushes (call-heavy workloads)"
     ~header:[ "workload"; "RAS"; "IPC"; "accuracy%"; "mispredicts" ]

@@ -1,0 +1,83 @@
+module Pool = Pool
+module Cache = Cache
+module Progress = Progress
+
+type error = Pool.error = {
+  job : int;
+  attempts : int;
+  message : string;
+  backtrace : string;
+}
+
+let pp_error ppf e =
+  Format.fprintf ppf "job %d failed after %d attempt%s: %s" e.job e.attempts
+    (if e.attempts = 1 then "" else "s")
+    e.message
+
+type job = {
+  key : string list;
+  run : unit -> Cobra_uarch.Perf.t;
+}
+
+let default_attempts () =
+  let retries =
+    match Sys.getenv_opt "COBRA_RETRIES" with
+    | Some s -> ( try max 0 (int_of_string (String.trim s)) with Failure _ -> 1)
+    | None -> 1
+  in
+  1 + retries
+
+let run_perfs ?(label = "runner") ?jobs ?attempts ?progress specs =
+  let n = List.length specs in
+  let arr = Array.of_list specs in
+  let attempts = match attempts with Some a -> a | None -> default_attempts () in
+  let owned = Option.is_none progress in
+  let progress =
+    match progress with
+    | Some p -> p
+    | None -> Progress.create ~label ~total:n ()
+  in
+  let use_cache = Cache.enabled () in
+  let keys = Array.map (fun j -> Cache.key j.key) arr in
+  let cached = Array.make n false in
+  let started = Array.make n 0.0 in
+  let thunk i () =
+    let j = arr.(i) in
+    let k = keys.(i) in
+    match if use_cache then Cache.load k else None with
+    | Some perf ->
+      cached.(i) <- true;
+      Progress.emit progress (Progress.Cache_hit { job = i; key = Cache.hex k });
+      perf
+    | None ->
+      let perf = j.run () in
+      if use_cache then Cache.store k perf;
+      perf
+  in
+  let on_start i =
+    started.(i) <- Unix.gettimeofday ();
+    Progress.emit progress (Progress.Start { job = i; key = Cache.hex keys.(i) })
+  in
+  let on_retry i ~attempt exn =
+    (* a failed attempt may have left a partial thunk state; the job rebuilds
+       everything, but make sure a retry never reuses a half-written entry *)
+    cached.(i) <- false;
+    Progress.emit progress
+      (Progress.Retry { job = i; attempt; message = Printexc.to_string exn })
+  in
+  let on_finish i ~ok =
+    Progress.emit progress
+      (Progress.Finish
+         {
+           job = i;
+           ok;
+           cached = cached.(i);
+           elapsed = Unix.gettimeofday () -. started.(i);
+         })
+  in
+  let results =
+    Pool.map ?jobs ~attempts ~on_start ~on_retry ~on_finish
+      (List.init n (fun i -> thunk i))
+  in
+  if owned then Progress.finish progress;
+  results

@@ -1,0 +1,129 @@
+type event =
+  | Start of { job : int; key : string }
+  | Cache_hit of { job : int; key : string }
+  | Retry of { job : int; attempt : int; message : string }
+  | Finish of { job : int; ok : bool; cached : bool; elapsed : float }
+
+type t = {
+  label : string;
+  total : int;
+  live : bool;
+  t0 : float;
+  lock : Mutex.t;
+  mutable events : out_channel option;
+  mutable done_ : int;
+  mutable hits : int;
+  mutable failures : int;
+  mutable retries : int;
+  mutable closed : bool;
+}
+
+let default_live () =
+  match Sys.getenv_opt "COBRA_PROGRESS" with
+  | Some "1" -> true
+  | Some "0" -> false
+  | Some _ | None -> ( try Unix.isatty Unix.stderr with _ -> false)
+
+let create ?(label = "jobs") ?events_path ?live ~total () =
+  let events_path =
+    match events_path with Some p -> Some p | None -> Sys.getenv_opt "COBRA_EVENTS"
+  in
+  let events =
+    match events_path with
+    | Some p when String.trim p <> "" -> (
+      try Some (open_out_gen [ Open_append; Open_creat ] 0o644 p) with _ -> None)
+    | Some _ | None -> None
+  in
+  {
+    label;
+    total;
+    live = (match live with Some l -> l | None -> default_live ());
+    t0 = Unix.gettimeofday ();
+    lock = Mutex.create ();
+    events;
+    done_ = 0;
+    hits = 0;
+    failures = 0;
+    retries = 0;
+    closed = false;
+  }
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_event t e =
+  let common kind job rest =
+    Printf.sprintf "{\"ts\": %.6f, \"label\": \"%s\", \"event\": \"%s\", \"job\": %d%s}"
+      (Unix.gettimeofday ()) (json_escape t.label) kind job rest
+  in
+  match e with
+  | Start { job; key } -> common "start" job (Printf.sprintf ", \"key\": \"%s\"" (json_escape key))
+  | Cache_hit { job; key } ->
+    common "cache_hit" job (Printf.sprintf ", \"key\": \"%s\"" (json_escape key))
+  | Retry { job; attempt; message } ->
+    common "retry" job
+      (Printf.sprintf ", \"attempt\": %d, \"error\": \"%s\"" attempt (json_escape message))
+  | Finish { job; ok; cached; elapsed } ->
+    common "finish" job
+      (Printf.sprintf ", \"ok\": %b, \"cached\": %b, \"elapsed\": %.6f" ok cached elapsed)
+
+let status_line t =
+  let elapsed = Unix.gettimeofday () -. t.t0 in
+  let eta =
+    if t.done_ = 0 || t.done_ >= t.total then ""
+    else
+      let per_job = elapsed /. float_of_int t.done_ in
+      Printf.sprintf ", ETA %.0fs" (per_job *. float_of_int (t.total - t.done_))
+  in
+  Printf.sprintf "[%s %d/%d, %d hits, %d failures%s]" t.label t.done_ t.total t.hits
+    t.failures eta
+
+let render t = Printf.eprintf "\r%s%!" (status_line t)
+
+(* called with the lock held *)
+let record t e =
+  (match e with
+  | Start _ -> ()
+  | Cache_hit _ -> t.hits <- t.hits + 1
+  | Retry _ -> t.retries <- t.retries + 1
+  | Finish { ok; _ } ->
+    t.done_ <- t.done_ + 1;
+    if not ok then t.failures <- t.failures + 1);
+  (match t.events with
+  | Some oc -> ( try output_string oc (json_of_event t e ^ "\n"); flush oc with _ -> ())
+  | None -> ());
+  match e with (Finish _ | Cache_hit _ | Retry _) when t.live -> render t | _ -> ()
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let emit t e = with_lock t (fun () -> record t e)
+let jobs_done t = with_lock t (fun () -> t.done_)
+let hits t = with_lock t (fun () -> t.hits)
+let failures t = with_lock t (fun () -> t.failures)
+
+let finish t =
+  with_lock t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        if t.live then Printf.eprintf "\r%s\n%!" (status_line t)
+        else if t.failures > 0 then Printf.eprintf "%s\n%!" (status_line t);
+        match t.events with
+        | Some oc ->
+          t.events <- None;
+          (try close_out oc with _ -> ())
+        | None -> ()
+      end)

@@ -1,0 +1,36 @@
+(** Telemetry sink for runner jobs.
+
+    A [Progress.t] collects timestamped job events coming concurrently from
+    worker domains (all entry points are mutex-guarded), maintains the
+    done/hit/failure counters, renders a live
+    [\[label done/total, hits, failures, ETA\]] line to stderr, and can
+    mirror every event as a JSON line to a file for later analysis.
+
+    Live rendering defaults to "stderr is a tty"; [COBRA_PROGRESS=1] forces
+    it on and [COBRA_PROGRESS=0] off. The events file defaults to the
+    [COBRA_EVENTS] environment variable, when set.
+
+    JSON-lines schema (one object per line):
+    [{"ts": <unix-seconds>, "label": "...", "event":
+      "start"|"cache_hit"|"retry"|"finish", "job": <int>, ...}] with
+    ["key"] on start/cache_hit, ["attempt"] and ["error"] on retry, and
+    ["ok"], ["cached"], ["elapsed"] on finish. *)
+
+type t
+
+type event =
+  | Start of { job : int; key : string }
+  | Cache_hit of { job : int; key : string }
+  | Retry of { job : int; attempt : int; message : string }
+  | Finish of { job : int; ok : bool; cached : bool; elapsed : float }
+
+val create : ?label:string -> ?events_path:string -> ?live:bool -> total:int -> unit -> t
+val emit : t -> event -> unit
+
+val jobs_done : t -> int
+val hits : t -> int
+val failures : t -> int
+
+val finish : t -> unit
+(** Render the final line (newline-terminated) and close the events file.
+    Idempotent. *)

@@ -37,6 +37,14 @@ let default =
     wrong_path_fetch_limit = 16;
   }
 
+let spec t =
+  Printf.sprintf
+    "fw=%d;fb=%d;ras=%d;dw=%d;cw=%d;rob=%d;alu=%d;mem=%d;fp=%d;replay=%b;repair=%b;rasr=%b;ser=%b;sfb=%b;sfbo=%d;wpl=%d"
+    t.fetch_width t.fetch_buffer t.ras_entries t.decode_width t.commit_width t.rob_entries
+    t.int_alus t.mem_ports t.fp_units t.replay_on_history_divergence
+    t.repair_history_on_divergence t.ras_repair t.serialize_fetch t.sfb_optimization
+    t.sfb_max_offset t.wrong_path_fetch_limit
+
 let rows t =
   [
     ("Frontend", Printf.sprintf "%d-byte wide fetch" (4 * t.fetch_width));

@@ -37,5 +37,9 @@ val default : t
 (** The paper's 4-wide BOOM: 4-wide fetch/decode/commit, 32-entry fetch
     buffer, 128-entry ROB, 4 ALU + 2 MEM + 2 FP pipes, history replay on. *)
 
+val spec : t -> string
+(** A stable one-line rendering of every field, used to key the on-disk
+    result cache — any field change changes the spec. *)
+
 val rows : t -> (string * string) list
 (** Table II-style description rows. *)
