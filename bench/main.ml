@@ -26,6 +26,10 @@ let table_1 () = print_string (Tables.table_1 ())
 let table_2 () = print_string (Tables.table_2 ())
 let table_3 () = print_string (Tables.table_3 ())
 
+let table_attribution () =
+  print_string
+    (timed "table_attribution" (fun () -> Tables.table_attribution ()))
+
 (* --- figures ------------------------------------------------------------- *)
 
 let figure_7 () = print_string (Figures.figure_7 ())
@@ -141,6 +145,7 @@ let sections =
     ("table_1", table_1);
     ("table_2", table_2);
     ("table_3", table_3);
+    ("table_attribution", table_attribution);
     ("figure_7", figure_7);
     ("figure_8", figure_8);
     ("figure_9", figure_9);

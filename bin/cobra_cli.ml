@@ -208,6 +208,7 @@ let sweeps : (string * (?insns:int -> unit -> string)) list =
     ("sc", Sweeps.statistical_corrector_value);
     ("core-size", Sweeps.core_size);
     ("families", Sweeps.gehl_vs_tage);
+    ("attribution", Sweeps.attribution);
   ]
 
 let sweep_names = List.map fst sweeps
@@ -267,6 +268,53 @@ let sweep_cmd =
           (COBRA_JOBS/COBRA_CACHE/COBRA_EVENTS control it)")
     Term.(term_result (const run $ names $ list_flag $ insns $ jobs_opt $ no_cache))
 
+(* --- stats ------------------------------------------------------------------- *)
+
+let stats_cmd =
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON instead of tables.")
+  in
+  let csv_flag =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit the report as CSV instead of tables.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the report to $(docv) instead of stdout.")
+  in
+  let run design workload insns json csv out =
+    let ( let* ) = Result.bind in
+    let* d = lookup_design design in
+    let* w = lookup_workload workload in
+    let* () =
+      if json && csv then Error (`Msg "--json and --csv are mutually exclusive")
+      else Ok ()
+    in
+    let _, report = Experiment.run_with_stats ~insns d w in
+    let text =
+      if json then Cobra_stats.Json.to_string (Cobra_stats.Report.to_json report) ^ "\n"
+      else if csv then Cobra_stats.Report.to_csv report
+      else Cobra_stats.Report.render report
+    in
+    (match out with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc);
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a design with the statistics collector attached and print per-component \
+          mispredict attribution, arbitration tallies, hard-branch tables and interval \
+          series (also available passively on any run via COBRA_STATS=1)")
+    Term.(
+      term_result
+        (const run $ design_arg $ workload_arg $ insns_arg $ json_flag $ csv_flag
+         $ out_arg))
+
 let tables_cmd =
   let run () =
     print_string (Tables.table_1 ());
@@ -282,6 +330,6 @@ let main =
     (Cmd.info "cobra" ~version:"1.0.0"
        ~doc:"COBRA: composition of hardware branch predictors (cycle-level model)")
     [ list_cmd; run_cmd; topology_cmd; storage_cmd; tables_cmd; trace_cmd; replay_cmd;
-      sweep_cmd ]
+      sweep_cmd; stats_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -5,6 +5,26 @@ type event = {
   culprit : int option;
 }
 
+type event_kind = Predict | Fire | Mispredict | Repair | Update
+
+let all_event_kinds = [ Predict; Fire; Mispredict; Repair; Update ]
+
+let event_kind_name = function
+  | Predict -> "predict"
+  | Fire -> "fire"
+  | Mispredict -> "mispredict"
+  | Repair -> "repair"
+  | Update -> "update"
+
+let event_kind_index = function
+  | Predict -> 0
+  | Fire -> 1
+  | Mispredict -> 2
+  | Repair -> 3
+  | Update -> 4
+
+let pp_event_kind ppf k = Format.pp_print_string ppf (event_kind_name k)
+
 type family =
   | Counter_table
   | Btb

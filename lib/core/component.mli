@@ -26,6 +26,20 @@ type event = {
   culprit : int option;  (** mispredicted slot, for [mispredict]/[repair] *)
 }
 
+type event_kind = Predict | Fire | Mispredict | Repair | Update
+(** The five prediction events of the component contract, as an enumerable
+    label — the axis of the per-component event counters kept by
+    [Cobra_stats]. *)
+
+val all_event_kinds : event_kind list
+(** In [event_kind_index] order. *)
+
+val event_kind_name : event_kind -> string
+val event_kind_index : event_kind -> int
+(** A dense [0..4] index for counter arrays. *)
+
+val pp_event_kind : Format.formatter -> event_kind -> unit
+
 type family =
   | Counter_table
   | Btb

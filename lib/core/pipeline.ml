@@ -34,11 +34,34 @@ type pending = {
   p_max_len : int;
   p_ctx : Context.t;
   p_metas : Bits.t array;
+  p_raw : Types.prediction array option;
+      (* per-component raw predictions, recorded only while an observer is
+         attached (attribution needs to know who said what, not just the
+         merged composite) *)
   p_stages : Types.prediction array;
   mutable p_dir_bits : bool list;
   mutable p_path_bits : bool list;
   mutable p_lhist_pushes : (int * Bits.t) list; (* (pc, prior), push order *)
 }
+
+(** Out-of-band notifications for an attached statistics collector. The
+    pipeline stays oblivious to what the observer does with them; with no
+    observer attached the only cost is a [None] check per entry point. *)
+type observation =
+  | Predicted of { token : token; pc : int; max_len : int }
+  | Fired of {
+      seq : int;
+      pc : int;
+      packet_len : int;
+      final : Types.prediction;  (* last-stage composite *)
+      raw : Types.prediction array option;  (* indexed by component id *)
+      slots : Types.resolved array;  (* predicted outcomes *)
+    }
+  | Resolved of { seq : int; slot : int; actual : Types.resolved }
+  | Mispredicted of { seq : int; slot : int; actual : Types.resolved }
+  | Repaired of { seq : int }
+  | Committed of { seq : int; packet_len : int; slots : Types.resolved array }
+  | Squashed of { packets : int }
 
 type t = {
   cfg : config;
@@ -51,6 +74,7 @@ type t = {
   hf : History_file.t;
   mutable pending : pending list; (* oldest first *)
   mutable next_token : token;
+  mutable observer : (observation -> unit) option;
 }
 
 let component_id t (c : Component.t) =
@@ -77,7 +101,12 @@ let create cfg topo =
         ~ghist_bits:cfg.ghist_bits ~lhist_bits:cfg.lhist_bits;
     pending = [];
     next_token = 0;
+    observer = None;
   }
+
+let set_observer t obs = t.observer <- obs
+let observed t = t.observer <> None
+let observe t ev = match t.observer with Some f -> f ev | None -> ()
 
 let config t = t.cfg
 let topology t = t.topo
@@ -122,6 +151,8 @@ let is_silent pred = Array.for_all (fun o -> o == Types.empty_opinion) pred
    array of composites, indexed by stage-1. *)
 let evaluate t (ctx : Context.t) =
   let metas = Array.make (Array.length t.comps) (Bits.zero 0) in
+  let raw = if observed t then Some (Array.make (Array.length t.comps) [||]) else None in
+  let record id pred = match raw with Some r -> r.(id) <- pred | None -> () in
   let width = ctx.Context.fetch_width in
   let overlay below ~latency pred =
     if is_silent pred then below
@@ -136,7 +167,9 @@ let evaluate t (ctx : Context.t) =
     | Topology.Node c ->
       let pred, meta = c.predict ctx ~pred_in:[ below.(clamp_stage c.latency) ] in
       check_meta c meta;
-      metas.(component_id t c) <- meta;
+      let id = component_id t c in
+      metas.(id) <- meta;
+      record id pred;
       overlay below ~latency:c.latency pred
     | Topology.Override (hi, lo) -> eval hi (eval lo below)
     | Topology.Arbitrate (sel, subs) ->
@@ -144,7 +177,9 @@ let evaluate t (ctx : Context.t) =
       let pred_in = List.map (fun a -> a.(clamp_stage sel.Component.latency)) sub_arrays in
       let pred, meta = sel.predict ctx ~pred_in in
       check_meta sel meta;
-      metas.(component_id t sel) <- meta;
+      let sel_id = component_id t sel in
+      metas.(sel_id) <- meta;
+      record sel_id pred;
       (* The selector overrides the fields it has opinions on (the chosen
          direction); everything else — e.g. a BTB target on the default
          path — keeps showing through from the first sub-topology. *)
@@ -152,7 +187,7 @@ let evaluate t (ctx : Context.t) =
   in
   let bottom = Array.make t.depth (Types.no_prediction ~width) in
   let stages = eval t.topo bottom in
-  (stages, metas)
+  (stages, metas, raw)
 
 (* --- frontend side ------------------------------------------------------ *)
 
@@ -226,7 +261,7 @@ let predict t ~pc ~max_len =
       ~phist:(if t.cfg.path_bits = 0 then Bits.zero 0 else Ghist_provider.value t.path)
       ()
   in
-  let stages, metas = evaluate t ctx in
+  let stages, metas, raw = evaluate t ctx in
   let stage1 = stages.(0) in
   let nf = Types.next_fetch stage1 ~pc ~max_len in
   let dir_bits = Types.direction_bits stage1 ~packet_len:nf.Types.packet_len in
@@ -247,6 +282,7 @@ let predict t ~pc ~max_len =
       p_max_len = max_len;
       p_ctx = ctx;
       p_metas = metas;
+      p_raw = raw;
       p_stages = stages;
       p_dir_bits = dir_bits;
       p_path_bits = path_bits;
@@ -254,6 +290,7 @@ let predict t ~pc ~max_len =
     }
   in
   t.pending <- t.pending @ [ p ];
+  observe t (Predicted { token; pc; max_len });
   token
 
 let find_pending t token =
@@ -291,7 +328,8 @@ let squash_from t token =
   List.iter (fun p -> unwind_lhist_pushes t p.p_lhist_pushes) (List.rev squashed);
   Ghist_provider.drop_pending_from t.ghist depth;
   if t.cfg.path_bits > 0 then Ghist_provider.drop_pending_from t.path depth;
-  t.pending <- keep
+  t.pending <- keep;
+  if squashed <> [] then observe t (Squashed { packets = List.length squashed })
 
 let squash_all_pending t =
   match t.pending with [] -> () | p :: _ -> squash_from t p.p_token
@@ -393,6 +431,16 @@ let fire t token ~slots ~packet_len =
   Array.iteri
     (fun id (c : Component.t) -> c.fire (event_of_entry entry ~id ~slots:pslots ~culprit:None))
     t.comps;
+  observe t
+    (Fired
+       {
+         seq;
+         pc = p.p_pc;
+         packet_len;
+         final = p.p_stages.(t.depth - 1);
+         raw = p.p_raw;
+         slots = pslots;
+       });
   seq
 
 (* --- backend side ------------------------------------------------------- *)
@@ -403,7 +451,8 @@ let check_slot t ~slot =
 let resolve t ~seq ~slot resolved =
   check_slot t ~slot;
   let entry = History_file.get t.hf seq in
-  entry.e_slots.(slot).actual <- Some resolved
+  entry.e_slots.(slot).actual <- Some resolved;
+  observe t (Resolved { seq; slot; actual = resolved })
 
 (* Re-apply corrected local-history state for the mispredicted entry: undo
    its speculative pushes, then push the (now partly resolved) directions of
@@ -424,15 +473,16 @@ let mispredict t ~seq ~slot resolved =
      is final — younger packets' restored speculative state must not
      clobber it. *)
   let younger = ref [] in
-  History_file.iter_from t.hf (seq + 1) (fun _s e -> younger := e :: !younger);
+  History_file.iter_from t.hf (seq + 1) (fun s e -> younger := (s, e) :: !younger);
   let younger_oldest_first = List.rev !younger in
   List.iter
-    (fun (e : History_file.entry) ->
+    (fun ((yseq, e) : int * History_file.entry) ->
       let pslots = predicted_slots e in
       Array.iteri
         (fun id (c : Component.t) ->
           c.repair (event_of_entry e ~id ~slots:pslots ~culprit:None))
-        t.comps)
+        t.comps;
+      observe t (Repaired { seq = yseq }))
     younger_oldest_first;
   (* Fast update for the offending packet. *)
   let resolved_view = effective_slots entry in
@@ -440,8 +490,11 @@ let mispredict t ~seq ~slot resolved =
     (fun id (c : Component.t) ->
       c.mispredict (event_of_entry entry ~id ~slots:resolved_view ~culprit:(Some slot)))
     t.comps;
+  observe t (Mispredicted { seq; slot; actual = resolved });
   squash_all_pending t;
-  List.iter (fun (e : History_file.entry) -> unwind_lhist_pushes t e.e_lhist_pushes) !younger;
+  List.iter
+    (fun ((_, e) : int * History_file.entry) -> unwind_lhist_pushes t e.e_lhist_pushes)
+    !younger;
   History_file.drop_newer_than t.hf seq;
   (* The packet is cut at the culprit: younger slots were squashed (either
      the branch was taken, or the not-taken refetch starts a new packet). *)
@@ -461,12 +514,13 @@ let mispredict t ~seq ~slot resolved =
 let commit t =
   match History_file.dequeue t.hf with
   | None -> invalid_arg "Pipeline.commit: history file empty"
-  | Some (_seq, entry) ->
+  | Some (seq, entry) ->
     let slots = effective_slots entry in
     Array.iteri
       (fun id (c : Component.t) ->
         c.update (event_of_entry entry ~id ~slots ~culprit:None))
-      t.comps
+      t.comps;
+    observe t (Committed { seq; packet_len = entry.e_packet_len; slots })
 
 let inflight t = History_file.length t.hf
 let oldest_seq t = Option.map fst (History_file.oldest t.hf)

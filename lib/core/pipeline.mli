@@ -138,6 +138,40 @@ val commit : t -> unit
 val inflight : t -> int
 val oldest_seq : t -> int option
 
+(** {1 Observation (statistics collectors)}
+
+    A single optional observer receives out-of-band notifications at every
+    protocol step. The pipeline is oblivious to what the observer does; with
+    no observer attached the only cost is a [None] check per entry point
+    (and per-component raw predictions are not recorded at all). This is the
+    hook [Cobra_stats] attaches to — kept generic so [lib/core] does not
+    depend on the stats library. *)
+
+type observation =
+  | Predicted of { token : token; pc : int; max_len : int }
+  | Fired of {
+      seq : int;
+      pc : int;
+      packet_len : int;
+      final : Types.prediction;  (** last-stage composite *)
+      raw : Types.prediction array option;
+          (** per-component raw predictions, indexed by position in
+              {!components}; [None] when no observer was attached at predict
+              time *)
+      slots : Types.resolved array;  (** predicted outcomes *)
+    }
+  | Resolved of { seq : int; slot : int; actual : Types.resolved }
+  | Mispredicted of { seq : int; slot : int; actual : Types.resolved }
+  | Repaired of { seq : int }
+  | Committed of { seq : int; packet_len : int; slots : Types.resolved array }
+  | Squashed of { packets : int }
+
+val set_observer : t -> (observation -> unit) option -> unit
+(** Attach (or detach, with [None]) the observer. At most one at a time. *)
+
+val observed : t -> bool
+(** True when an observer is attached. *)
+
 (** {1 Introspection (tests, debugging)} *)
 
 val ghist_value : t -> Cobra_util.Bits.t

@@ -9,16 +9,58 @@ let default_insns =
   | Some s -> (try int_of_string s with Failure _ -> 100_000)
   | None -> 100_000
 
-let run ?(insns = default_insns) ?(config = Cobra_uarch.Config.default) ?pipeline_config
-    ?(transform = Fun.id) (design : Designs.t) (workload : Cobra_workloads.Suite.entry) =
+let elaborate ?(config = Cobra_uarch.Config.default) ?pipeline_config ?(transform = Fun.id)
+    (design : Designs.t) (workload : Cobra_workloads.Suite.entry) =
   let pcfg = Option.value pipeline_config ~default:design.Designs.pipeline_config in
   let pl = Cobra.Pipeline.create pcfg (design.Designs.make ()) in
   let stream = transform (workload.Cobra_workloads.Suite.make ()) in
   let core =
     Cobra_uarch.Core.create ?decode:workload.Cobra_workloads.Suite.decode config pl stream
   in
+  (pl, core)
+
+let run_with_stats ?(insns = default_insns) ?config ?pipeline_config ?transform
+    (design : Designs.t) (workload : Cobra_workloads.Suite.entry) =
+  let pl, core = elaborate ?config ?pipeline_config ?transform design workload in
+  let coll =
+    Cobra_stats.Collector.create ~interval_width:(Cobra_stats.Env.interval ()) pl
+  in
+  Cobra_uarch.Core.set_sampler core
+    (Some
+       (fun () ->
+         let p = Cobra_uarch.Core.perf core in
+         Cobra_stats.Collector.sample coll ~insns:p.Cobra_uarch.Perf.instructions
+           ~cycles:p.Cobra_uarch.Perf.cycles ~mispredicts:p.Cobra_uarch.Perf.mispredicts));
   let perf = Cobra_uarch.Core.run core ~max_insns:insns in
-  { design = design.Designs.name; workload = workload.Cobra_workloads.Suite.name; perf }
+  Cobra_stats.Collector.flush coll ~insns:perf.Cobra_uarch.Perf.instructions
+    ~cycles:perf.Cobra_uarch.Perf.cycles ~mispredicts:perf.Cobra_uarch.Perf.mispredicts;
+  Cobra_stats.Collector.detach coll;
+  let report =
+    Cobra_stats.Collector.report ~design:design.Designs.name
+      ~workload:workload.Cobra_workloads.Suite.name
+      ~perf:(Cobra_uarch.Perf.counters perf)
+      ~top:(Cobra_stats.Env.top ()) coll
+  in
+  ( { design = design.Designs.name; workload = workload.Cobra_workloads.Suite.name; perf },
+    report )
+
+let run ?(insns = default_insns) ?config ?pipeline_config ?transform (design : Designs.t)
+    (workload : Cobra_workloads.Suite.entry) =
+  if Cobra_stats.Env.enabled () then begin
+    let result, report =
+      run_with_stats ~insns ?config ?pipeline_config ?transform design workload
+    in
+    (try ignore (Cobra_stats.Export.write ~dir:(Cobra_stats.Env.dir ()) report)
+     with Sys_error _ | Unix.Unix_error _ -> ());
+    Cobra_stats.Sink.publish report;
+    result
+  end
+  else begin
+    (* stats disabled: the collection machinery is never elaborated *)
+    let _pl, core = elaborate ?config ?pipeline_config ?transform design workload in
+    let perf = Cobra_uarch.Core.run core ~max_insns:insns in
+    { design = design.Designs.name; workload = workload.Cobra_workloads.Suite.name; perf }
+  end
 
 (* --- parallel grids ----------------------------------------------------------- *)
 

@@ -25,7 +25,23 @@ val run :
   Designs.t ->
   Cobra_workloads.Suite.entry ->
   result
-(** A single run in the calling domain, bypassing pool and cache. *)
+(** A single run in the calling domain, bypassing pool and cache. When
+    [COBRA_STATS] is enabled, a {!Cobra_stats.Collector} rides along: the
+    report is exported to [COBRA_STATS_DIR] as JSON + CSV and published to
+    {!Cobra_stats.Sink} (the parallel runner forwards it into its telemetry
+    stream). With stats disabled no collection machinery is elaborated. *)
+
+val run_with_stats :
+  ?insns:int ->
+  ?config:Cobra_uarch.Config.t ->
+  ?pipeline_config:Cobra.Pipeline.config ->
+  ?transform:(Cobra_isa.Trace.stream -> Cobra_isa.Trace.stream) ->
+  Designs.t ->
+  Cobra_workloads.Suite.entry ->
+  result * Cobra_stats.Report.t
+(** Like {!run} but always collects statistics (regardless of
+    [COBRA_STATS]) and returns the report instead of exporting or
+    publishing it — the entry point for tests and the [cobra stats] CLI. *)
 
 type job
 (** One grid cell: a design/workload pair plus its configuration, ready to

@@ -17,7 +17,7 @@ let mpki_proxy r ~instructions = Cobra_util.Stats.mpki ~misses:r.mispredicts ~in
 
 (* One branch per packet, in retired order, final-stage prediction, update
    immediately at commit of the very next event: the trace-based idiom. *)
-let run ?insns (design : Designs.t) (workload : Cobra_workloads.Suite.entry) =
+let run ?insns ?observe (design : Designs.t) (workload : Cobra_workloads.Suite.entry) =
   let insns = Option.value insns ~default:Experiment.default_insns in
   let pl = Pipeline.create design.Designs.pipeline_config (design.Designs.make ()) in
   let width = design.Designs.pipeline_config.Pipeline.fetch_width in
@@ -42,6 +42,7 @@ let run ?insns (design : Designs.t) (workload : Cobra_workloads.Suite.entry) =
           | Some t -> t
           | None -> Types.is_unconditional info.Trace.kind
         in
+        (match observe with Some f -> f ev ~taken_pred | None -> ());
         let target_pred = Option.value final.Types.o_target ~default:(-1) in
         let wrong =
           taken_pred <> info.Trace.taken

@@ -23,9 +23,17 @@ type result = {
 val accuracy : result -> float
 val mpki_proxy : result -> instructions:int -> float
 
-val run : ?insns:int -> Designs.t -> Cobra_workloads.Suite.entry -> result
+val run :
+  ?insns:int ->
+  ?observe:(Cobra_isa.Trace.event -> taken_pred:bool -> unit) ->
+  Designs.t ->
+  Cobra_workloads.Suite.entry ->
+  result
 (** Simulate [insns] instructions' worth of trace through the design's
-    composed pipeline, trace-based-style. *)
+    composed pipeline, trace-based-style. [observe] fires per branch event
+    with the model's direction prediction before any update — the hook
+    differential tests use to compare this model prediction-for-prediction
+    against an independent reference. *)
 
 val comparison_report : ?insns:int -> unit -> string
 (** Per design x benchmark subset: software-model accuracy vs the

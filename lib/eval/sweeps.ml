@@ -46,7 +46,41 @@ let run_grid ~name ~insns defs =
             Cobra_uarch.Core.create ?decode:d.workload.Cobra_workloads.Suite.decode
               d.config pl stream
           in
-          Cobra_uarch.Core.run core ~max_insns:insns);
+          if not (Cobra_stats.Env.enabled ()) then
+            Cobra_uarch.Core.run core ~max_insns:insns
+          else begin
+            (* same passive collection as Experiment.run, with the sweep row
+               standing in for the design name *)
+            let coll =
+              Cobra_stats.Collector.create
+                ~interval_width:(Cobra_stats.Env.interval ()) pl
+            in
+            Cobra_uarch.Core.set_sampler core
+              (Some
+                 (fun () ->
+                   let p = Cobra_uarch.Core.perf core in
+                   Cobra_stats.Collector.sample coll
+                     ~insns:p.Cobra_uarch.Perf.instructions
+                     ~cycles:p.Cobra_uarch.Perf.cycles
+                     ~mispredicts:p.Cobra_uarch.Perf.mispredicts));
+            let perf = Cobra_uarch.Core.run core ~max_insns:insns in
+            Cobra_stats.Collector.flush coll ~insns:perf.Cobra_uarch.Perf.instructions
+              ~cycles:perf.Cobra_uarch.Perf.cycles
+              ~mispredicts:perf.Cobra_uarch.Perf.mispredicts;
+            Cobra_stats.Collector.detach coll;
+            let report =
+              Cobra_stats.Collector.report
+                ~design:(name ^ ":" ^ d.row)
+                ~workload:d.workload.Cobra_workloads.Suite.name
+                ~perf:(Cobra_uarch.Perf.counters perf)
+                ~top:(Cobra_stats.Env.top ()) coll
+            in
+            (try
+               ignore (Cobra_stats.Export.write ~dir:(Cobra_stats.Env.dir ()) report)
+             with Sys_error _ | Unix.Unix_error _ -> ());
+            Cobra_stats.Sink.publish report;
+            perf
+          end);
     }
   in
   let outcomes = Cobra_runner.run_perfs ~label:("sweep:" ^ name) (List.map to_job defs) in
@@ -482,4 +516,40 @@ let ras_repair ?insns () =
   in
   Text.table ~title:"Extension: RAS checkpoint repair on flushes (call-heavy workloads)"
     ~header:[ "workload"; "RAS"; "IPC"; "accuracy%"; "mispredicts" ]
+    ~rows ()
+
+(* --- per-design attribution summary (Cobra_stats) ----------------------------- *)
+
+let attribution ?insns () =
+  let insns = Option.value insns ~default:(default_insns ()) in
+  let workload = Cobra_workloads.Suite.find "gcc" in
+  let rows =
+    List.concat_map
+      (fun (d : Designs.t) ->
+        let _, report = Experiment.run_with_stats ~insns d workload in
+        let total = report.Cobra_stats.Report.total_mispredicts in
+        let first = ref true in
+        List.map
+          (fun (bucket, n) ->
+            let name = if !first then d.Designs.name else "" in
+            let tot = if !first then string_of_int total else "" in
+            first := false;
+            [
+              name;
+              tot;
+              bucket;
+              string_of_int n;
+              (if total = 0 then "0.0%"
+               else Printf.sprintf "%.1f%%" (100.0 *. float_of_int n /. float_of_int total));
+            ])
+          report.Cobra_stats.Report.buckets)
+      Designs.all
+  in
+  Text.table
+    ~title:
+      (Printf.sprintf
+         "Mispredict attribution per composed design on gcc (%d insns): which \
+          sub-component caused each flush"
+         insns)
+    ~header:[ "design"; "total"; "bucket"; "caused"; "share" ]
     ~rows ()

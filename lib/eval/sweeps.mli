@@ -41,3 +41,7 @@ val core_size : ?insns:int -> unit -> string
     the machine grows from a 1-wide in-order-ish core to the paper's 4-wide
     and an 8-wide "mega" configuration — deeper speculation makes mispredicts
     dearer and good prediction more valuable. *)
+
+val attribution : ?insns:int -> unit -> string
+(** Per-design mispredict attribution buckets (component names plus
+    default/frontend pseudo-buckets) on gcc, via [Cobra_stats]. *)

@@ -49,3 +49,72 @@ let table_3 () =
         [ "Numbers"; "paper Fig 10 read-offs"; "paper Fig 10 read-offs"; "measured here" ];
       ]
     ()
+
+(* --- per-component mispredict attribution (the Cobra_stats tentpole) ------ *)
+
+let pct ~total n =
+  if total = 0 then "0.0%"
+  else Printf.sprintf "%.1f%%" (100.0 *. float_of_int n /. float_of_int total)
+
+let table_attribution ?insns ?(design = "Tourney") ?(workload = "gcc") () =
+  let d = Designs.find design in
+  let w = Cobra_workloads.Suite.find workload in
+  let result, report = Experiment.run_with_stats ?insns d w in
+  let total = report.Cobra_stats.Report.total_mispredicts in
+  let comp_rows =
+    List.map
+      (fun (r : Cobra_stats.Report.component_row) ->
+        [
+          r.Cobra_stats.Report.cr_name;
+          string_of_int r.Cobra_stats.Report.cr_caused;
+          pct ~total r.Cobra_stats.Report.cr_caused;
+          string_of_int r.Cobra_stats.Report.cr_saved;
+        ])
+      report.Cobra_stats.Report.components
+  in
+  let pseudo_rows =
+    report.Cobra_stats.Report.buckets
+    |> List.filter (fun (k, _) ->
+           not
+             (List.exists
+                (fun (r : Cobra_stats.Report.component_row) ->
+                  r.Cobra_stats.Report.cr_name = k)
+                report.Cobra_stats.Report.components))
+    |> List.map (fun (k, n) -> [ k; string_of_int n; pct ~total n; "-" ])
+  in
+  let main =
+    Text.table
+      ~title:
+        (Printf.sprintf
+           "Per-component mispredict attribution: %s on %s (%d mispredicts over %d insns)"
+           design workload total result.perf.Cobra_uarch.Perf.instructions)
+      ~header:[ "component"; "caused"; "share"; "saved" ]
+      ~rows:(comp_rows @ pseudo_rows) ()
+  in
+  let arb =
+    match report.Cobra_stats.Report.arbitrations with
+    | [] -> ""
+    | arbs ->
+      let rows =
+        List.concat_map
+          (fun (a : Cobra_stats.Report.arb_row) ->
+            List.map
+              (fun (s : Cobra_stats.Report.arb_sub_row) ->
+                [
+                  a.Cobra_stats.Report.ar_selector;
+                  s.Cobra_stats.Report.as_name;
+                  string_of_int s.Cobra_stats.Report.as_won;
+                  string_of_int s.Cobra_stats.Report.as_won_right;
+                  string_of_int s.Cobra_stats.Report.as_won_wrong;
+                  string_of_int s.Cobra_stats.Report.as_right;
+                  string_of_int s.Cobra_stats.Report.as_wrong;
+                ])
+              a.Cobra_stats.Report.ar_subs)
+          arbs
+      in
+      "\n"
+      ^ Text.table ~title:"Arbitration: who won, who was right (conditional decisions)"
+          ~header:[ "selector"; "sub"; "won"; "won right"; "won wrong"; "right"; "wrong" ]
+          ~rows ()
+  in
+  main ^ arb

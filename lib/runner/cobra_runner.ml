@@ -75,9 +75,27 @@ let run_perfs ?(label = "runner") ?jobs ?attempts ?progress specs =
            elapsed = Unix.gettimeofday () -. started.(i);
          })
   in
+  (* Forward statistics reports published by jobs (when COBRA_STATS is on)
+     into this grid's telemetry stream, chaining to any sink already
+     installed by an outer orchestrator. *)
+  let prev_sink = Cobra_stats.Sink.current () in
+  Cobra_stats.Sink.set
+    (Some
+       (fun r ->
+         Progress.emit progress
+           (Progress.Stats
+              {
+                design = r.Cobra_stats.Report.design;
+                workload = r.Cobra_stats.Report.workload;
+                summary = Cobra_stats.Report.summary r;
+              });
+         match prev_sink with Some f -> f r | None -> ()));
   let results =
-    Pool.map ?jobs ~attempts ~on_start ~on_retry ~on_finish
-      (List.init n (fun i -> thunk i))
+    Fun.protect
+      ~finally:(fun () -> Cobra_stats.Sink.set prev_sink)
+      (fun () ->
+        Pool.map ?jobs ~attempts ~on_start ~on_retry ~on_finish
+          (List.init n (fun i -> thunk i)))
   in
   if owned then Progress.finish progress;
   results

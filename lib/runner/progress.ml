@@ -3,6 +3,7 @@ type event =
   | Cache_hit of { job : int; key : string }
   | Retry of { job : int; attempt : int; message : string }
   | Finish of { job : int; ok : bool; cached : bool; elapsed : float }
+  | Stats of { design : string; workload : string; summary : string }
 
 type t = {
   label : string;
@@ -78,24 +79,46 @@ let json_of_event t e =
   | Finish { job; ok; cached; elapsed } ->
     common "finish" job
       (Printf.sprintf ", \"ok\": %b, \"cached\": %b, \"elapsed\": %.6f" ok cached elapsed)
+  | Stats { design; workload; summary } ->
+    Printf.sprintf
+      "{\"ts\": %.6f, \"label\": \"%s\", \"event\": \"stats\", \"design\": \"%s\", \
+       \"workload\": \"%s\", \"summary\": \"%s\"}"
+      (Unix.gettimeofday ()) (json_escape t.label) (json_escape design)
+      (json_escape workload) (json_escape summary)
+
+(* Every derived figure (rate, ETA) must stay finite on degenerate inputs:
+   zero-job grids, the first event arriving at elapsed ~ 0, clock skew. *)
+let safe_div a b = if b > 0.0 then a /. b else 0.0
+
+let rate_of t ~elapsed = safe_div (float_of_int t.done_) elapsed
+
+let eta_of t ~elapsed =
+  if t.done_ = 0 || t.done_ >= t.total then None
+  else
+    let per_job = safe_div elapsed (float_of_int t.done_) in
+    let eta = per_job *. float_of_int (t.total - t.done_) in
+    if Float.is_finite eta && eta >= 0.0 then Some eta else None
 
 let status_line t =
-  let elapsed = Unix.gettimeofday () -. t.t0 in
-  let eta =
-    if t.done_ = 0 || t.done_ >= t.total then ""
-    else
-      let per_job = elapsed /. float_of_int t.done_ in
-      Printf.sprintf ", ETA %.0fs" (per_job *. float_of_int (t.total - t.done_))
+  let elapsed = Float.max 0.0 (Unix.gettimeofday () -. t.t0) in
+  let rate =
+    let r = rate_of t ~elapsed in
+    if r > 0.0 then Printf.sprintf ", %.1f/s" r else ""
   in
-  Printf.sprintf "[%s %d/%d, %d hits, %d failures%s]" t.label t.done_ t.total t.hits
-    t.failures eta
+  let eta =
+    match eta_of t ~elapsed with
+    | Some eta -> Printf.sprintf ", ETA %.0fs" eta
+    | None -> ""
+  in
+  Printf.sprintf "[%s %d/%d, %d hits, %d failures%s%s]" t.label t.done_ t.total t.hits
+    t.failures rate eta
 
 let render t = Printf.eprintf "\r%s%!" (status_line t)
 
 (* called with the lock held *)
 let record t e =
   (match e with
-  | Start _ -> ()
+  | Start _ | Stats _ -> ()
   | Cache_hit _ -> t.hits <- t.hits + 1
   | Retry _ -> t.retries <- t.retries + 1
   | Finish { ok; _ } ->
@@ -114,6 +137,16 @@ let emit t e = with_lock t (fun () -> record t e)
 let jobs_done t = with_lock t (fun () -> t.done_)
 let hits t = with_lock t (fun () -> t.hits)
 let failures t = with_lock t (fun () -> t.failures)
+let retries t = with_lock t (fun () -> t.retries)
+
+let summary_json t =
+  let elapsed = Float.max 0.0 (Unix.gettimeofday () -. t.t0) in
+  Printf.sprintf
+    "{\"ts\": %.6f, \"label\": \"%s\", \"event\": \"summary\", \"total\": %d, \"done\": \
+     %d, \"hits\": %d, \"failures\": %d, \"retries\": %d, \"elapsed\": %.6f, \"rate\": \
+     %.6f}"
+    (Unix.gettimeofday ()) (json_escape t.label) t.total t.done_ t.hits t.failures
+    t.retries elapsed (rate_of t ~elapsed)
 
 let finish t =
   with_lock t (fun () ->
@@ -124,6 +157,9 @@ let finish t =
         match t.events with
         | Some oc ->
           t.events <- None;
-          (try close_out oc with _ -> ())
+          (try
+             output_string oc (summary_json t ^ "\n");
+             close_out oc
+           with _ -> ())
         | None -> ()
       end)

@@ -12,9 +12,12 @@
 
     JSON-lines schema (one object per line):
     [{"ts": <unix-seconds>, "label": "...", "event":
-      "start"|"cache_hit"|"retry"|"finish", "job": <int>, ...}] with
-    ["key"] on start/cache_hit, ["attempt"] and ["error"] on retry, and
-    ["ok"], ["cached"], ["elapsed"] on finish. *)
+      "start"|"cache_hit"|"retry"|"finish"|"stats"|"summary", ...}] with
+    ["job"] and ["key"] on start/cache_hit, ["job"], ["attempt"] and
+    ["error"] on retry, ["job"], ["ok"], ["cached"], ["elapsed"] on finish,
+    ["design"], ["workload"], ["summary"] on stats, and the final counters
+    plus ["elapsed"] and ["rate"] on the summary line written by
+    {!finish}. *)
 
 type t
 
@@ -23,6 +26,9 @@ type event =
   | Cache_hit of { job : int; key : string }
   | Retry of { job : int; attempt : int; message : string }
   | Finish of { job : int; ok : bool; cached : bool; elapsed : float }
+  | Stats of { design : string; workload : string; summary : string }
+      (** out-of-band statistics report announcement (no counter changes);
+          mirrored to the events file as an ["event": "stats"] line *)
 
 val create : ?label:string -> ?events_path:string -> ?live:bool -> total:int -> unit -> t
 val emit : t -> event -> unit
@@ -30,7 +36,15 @@ val emit : t -> event -> unit
 val jobs_done : t -> int
 val hits : t -> int
 val failures : t -> int
+val retries : t -> int
+
+val status_line : t -> string
+(** The live one-line rendering. Every derived figure (rate, ETA) is
+    division-guarded: zero-job grids, a first event at elapsed ~ 0 and
+    clock skew all yield finite values, never [nan]/[inf]. *)
 
 val finish : t -> unit
-(** Render the final line (newline-terminated) and close the events file.
-    Idempotent. *)
+(** Render the final line (newline-terminated), append an
+    ["event": "summary"] JSON line (totals, elapsed, rate — all divisions
+    guarded so degenerate grids yield finite values) and close the events
+    file. Idempotent. *)

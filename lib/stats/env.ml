@@ -1,0 +1,23 @@
+let truthy v =
+  match String.lowercase_ascii (String.trim v) with
+  | "" | "0" | "false" | "no" | "off" -> false
+  | _ -> true
+
+let enabled () =
+  match Sys.getenv_opt "COBRA_STATS" with None -> false | Some v -> truthy v
+
+let dir () =
+  match Sys.getenv_opt "COBRA_STATS_DIR" with
+  | Some d when String.trim d <> "" -> d
+  | Some _ | None -> "_cobra_stats"
+
+let int_env name ~default =
+  match Sys.getenv_opt name with
+  | Some v -> (
+    match int_of_string_opt (String.trim v) with
+    | Some n when n > 0 -> n
+    | Some _ | None -> default)
+  | None -> default
+
+let top () = int_env "COBRA_STATS_TOP" ~default:20
+let interval () = int_env "COBRA_STATS_INTERVAL" ~default:1000

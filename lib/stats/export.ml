@@ -1,0 +1,33 @@
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c | _ -> '-')
+    s
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then (
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+
+(* Atomic write: temp file in the destination directory, then rename. *)
+let write_file path contents =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ".cobra_stats" ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents);
+  Sys.rename tmp path
+
+let basename (r : Report.t) =
+  Printf.sprintf "%s__%s"
+    (sanitize (if r.Report.design = "" then "design" else r.Report.design))
+    (sanitize (if r.Report.workload = "" then "workload" else r.Report.workload))
+
+let write ~dir r =
+  ensure_dir dir;
+  let base = Filename.concat dir (basename r) in
+  let json_path = base ^ ".json" in
+  let csv_path = base ^ ".csv" in
+  write_file json_path (Json.to_string (Report.to_json r) ^ "\n");
+  write_file csv_path (Report.to_csv r);
+  (json_path, csv_path)

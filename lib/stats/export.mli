@@ -1,0 +1,9 @@
+(** Report file export. *)
+
+val write : dir:string -> Report.t -> string * string
+(** Write [<design>__<workload>.json] and [.csv] into [dir] (created when
+    missing), atomically via temp-file + rename — safe under the parallel
+    runner. Returns [(json_path, csv_path)]. *)
+
+val basename : Report.t -> string
+(** The sanitized [<design>__<workload>] stem. *)

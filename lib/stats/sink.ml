@@ -1,0 +1,17 @@
+let lock = Mutex.create ()
+let sink : (Report.t -> unit) option ref = ref None
+
+let set s =
+  Mutex.lock lock;
+  sink := s;
+  Mutex.unlock lock
+
+let current () =
+  Mutex.lock lock;
+  let s = !sink in
+  Mutex.unlock lock;
+  s
+
+(* The callback runs outside the lock: it may itself take locks (e.g. the
+   runner's progress mutex) and must not deadlock against [set]. *)
+let publish r = match current () with Some f -> f r | None -> ()

@@ -1,0 +1,17 @@
+(** A process-global, mutex-guarded report sink.
+
+    Experiments publish their finished reports here; whoever orchestrates
+    the run (the parallel runner, the CLI) installs a callback to forward
+    them into its own telemetry stream. Keeping the channel global avoids
+    threading a sink value through every job type. *)
+
+val set : (Report.t -> unit) option -> unit
+(** Install (or clear) the sink. Callers replacing an existing sink should
+    save {!current} and restore it when done. *)
+
+val current : unit -> (Report.t -> unit) option
+
+val publish : Report.t -> unit
+(** Invoke the installed sink, if any. The callback runs outside the sink's
+    own lock. May be called concurrently from worker domains; the callback
+    must be thread-safe. *)

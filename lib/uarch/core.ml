@@ -64,6 +64,9 @@ type t = {
   mutable last_committed_seq : int;
   mutable started : bool;
   mutable consec_wrong_path : int;
+  mutable sampler : (unit -> unit) option;
+      (* per-cycle callback for statistics collectors; kept generic so the
+         core model does not depend on the stats library *)
 }
 
 let create ?(decode = fun _ -> None) cfg pl stream =
@@ -93,9 +96,11 @@ let create ?(decode = fun _ -> None) cfg pl stream =
     last_committed_seq = -1;
     started = false;
     consec_wrong_path = 0;
+    sampler = None;
   }
 
 let perf t = t.perf
+let set_sampler t s = t.sampler <- s
 
 (* --- fetch decisions ------------------------------------------------------ *)
 
@@ -722,6 +727,7 @@ let run ?max_cycles t ~max_insns =
     let committed = commit t in
     let dispatched = dispatch t in
     let frontend_active = advance_frontend t in
+    (match t.sampler with Some f -> f () | None -> ());
     if not (resolved || committed || dispatched || frontend_active) then begin
       (* Idle: everything is waiting on a future event. Jump to the
          earliest one (the skipped cycles still count). *)

@@ -44,3 +44,9 @@ val run : ?max_cycles:int -> t -> max_insns:int -> Perf.t
     [max_cycles] safety bound (default [20 * max_insns + 100_000]) is hit. *)
 
 val perf : t -> Perf.t
+
+val set_sampler : t -> (unit -> unit) option -> unit
+(** Attach a per-cycle callback, invoked once per simulated cycle of {!run}
+    (after resolve/commit/dispatch/frontend). Statistics collectors use it
+    to drive interval metrics off {!perf}; [None] (the default) costs one
+    match per cycle. *)

@@ -40,6 +40,24 @@ let branch_accuracy t =
   if t.branches = 0 then 1.0
   else 1.0 -. (float_of_int t.mispredicts /. float_of_int t.branches)
 
+let counters t =
+  [
+    ("cycles", t.cycles);
+    ("instructions", t.instructions);
+    ("branches", t.branches);
+    ("cond_branches", t.cond_branches);
+    ("mispredicts", t.mispredicts);
+    ("cond_mispredicts", t.cond_mispredicts);
+    ("misfetches", t.misfetches);
+    ("history_divergences", t.history_divergences);
+    ("replays", t.replays);
+    ("flushes", t.flushes);
+    ("fetch_packets", t.fetch_packets);
+    ("wrong_path_packets", t.wrong_path_packets);
+    ("icache_stall_cycles", t.icache_stall_cycles);
+    ("frontend_stall_cycles", t.frontend_stall_cycles);
+  ]
+
 let pp ppf t =
   Format.fprintf ppf
     "cycles=%d insts=%d ipc=%.3f branches=%d mispredicts=%d mpki=%.2f acc=%.2f%% flushes=%d \

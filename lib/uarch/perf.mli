@@ -26,4 +26,7 @@ val mpki : t -> float
 val branch_accuracy : t -> float
 (** Fraction of committed branches not mispredicted. *)
 
+val counters : t -> (string * int) list
+(** Every raw counter as a stable [(name, value)] list, for export. *)
+
 val pp : Format.formatter -> t -> unit

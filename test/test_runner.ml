@@ -244,6 +244,54 @@ let test_warm_run_hits_cache () =
                 (perf_fields b.Experiment.perf))
             cold warm))
 
+(* The acceptance matrix for worker-count independence: the same grid under
+   COBRA_JOBS in {1, 2, 8} with the cache disabled must produce bit-identical
+   Perf counters in the same order, and identical telemetry (job/finish
+   counts, zero retries, zero failures) in the events stream. *)
+let test_jobs_determinism_and_telemetry () =
+  no_cache (fun () ->
+      let ws = List.map Cobra_workloads.Suite.find [ "loop7"; "calls" ] in
+      let run_at jobs =
+        let events =
+          Filename.concat (fresh_dir ()) (Printf.sprintf "events.%d.jsonl" jobs)
+        in
+        let results =
+          with_env
+            [ ("COBRA_JOBS", string_of_int jobs); ("COBRA_EVENTS", events) ]
+            (fun () -> Experiment.run_matrix ~insns:2_000 Designs.all ws)
+        in
+        let lines = In_channel.with_open_text events In_channel.input_lines in
+        (results, lines)
+      in
+      let baseline, baseline_lines = run_at 1 in
+      check Alcotest.int "grid size" 6 (List.length baseline);
+      List.iter
+        (fun jobs ->
+          let results, lines = run_at jobs in
+          let label fmt = Printf.sprintf fmt jobs in
+          List.iter2
+            (fun (a : Experiment.result) (b : Experiment.result) ->
+              check Alcotest.string (label "jobs=%d: design order") a.Experiment.design
+                b.Experiment.design;
+              check Alcotest.string (label "jobs=%d: workload order")
+                a.Experiment.workload b.Experiment.workload;
+              check Alcotest.(list int)
+                (label "jobs=%d: bit-identical counters")
+                (perf_fields a.Experiment.perf)
+                (perf_fields b.Experiment.perf))
+            baseline results;
+          let count p ls = List.length (List.filter p ls) in
+          let finishes = count (fun l -> contains l "\"event\": \"finish\"") in
+          let retries = count (fun l -> contains l "\"event\": \"retry\"") in
+          check Alcotest.int (label "jobs=%d: one finish per job") (finishes baseline_lines)
+            (finishes lines);
+          check Alcotest.int (label "jobs=%d: no retries") 0 (retries lines);
+          let summary = List.find (fun l -> contains l "\"event\": \"summary\"") lines in
+          check Alcotest.bool (label "jobs=%d: summary counts all jobs done") true
+            (contains summary "\"done\": 6" && contains summary "\"failures\": 0"
+           && contains summary "\"retries\": 0"))
+        [ 2; 8 ])
+
 let test_find_reports_missing_pair () =
   no_cache (fun () ->
       let ws = [ Cobra_workloads.Suite.find "loop7" ] in
@@ -276,6 +324,8 @@ let () =
       ( "warm runs",
         [
           Alcotest.test_case "cache hits" `Slow test_warm_run_hits_cache;
+          Alcotest.test_case "jobs determinism + telemetry" `Slow
+            test_jobs_determinism_and_telemetry;
           Alcotest.test_case "find diagnostics" `Quick test_find_reports_missing_pair;
         ] );
     ]

@@ -1,0 +1,324 @@
+(* Tests for the Cobra_stats subsystem: the attribution invariant across
+   every design, JSON/CSV round-trips through their own parsers, bounded
+   interval series, export gating via COBRA_STATS, and the Progress
+   rate/ETA guards on degenerate inputs. *)
+
+module Stats = Cobra_stats
+module Json = Cobra_stats.Json
+module Report = Cobra_stats.Report
+module Interval = Cobra_stats.Interval
+module Progress = Cobra_runner.Progress
+module Perf = Cobra_uarch.Perf
+open Cobra_eval
+
+let check = Alcotest.check
+
+let contains haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec go i = i + n <= m && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let with_env pairs f =
+  let old = List.map (fun (k, _) -> (k, Sys.getenv_opt k)) pairs in
+  List.iter (fun (k, v) -> Unix.putenv k v) pairs;
+  Fun.protect f ~finally:(fun () ->
+      List.iter
+        (fun (k, v) -> Unix.putenv k (match v with Some v -> v | None -> ""))
+        old)
+
+let counter = ref 0
+
+let fresh_dir () =
+  incr counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cobra_stats_test.%d.%d" (Unix.getpid ()) !counter)
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let run_design ?(workload = "gcc") ?(insns = 8_000) name =
+  Experiment.run_with_stats ~insns (Designs.find name)
+    (Cobra_workloads.Suite.find workload)
+
+(* --- the acceptance invariant ------------------------------------------------ *)
+
+let test_attribution_sums_exactly () =
+  List.iter
+    (fun (d : Designs.t) ->
+      let r, report = run_design d.Designs.name in
+      let total = r.Experiment.perf.Perf.mispredicts in
+      check Alcotest.int
+        (d.Designs.name ^ ": report total equals Perf.mispredicts")
+        total report.Report.total_mispredicts;
+      check Alcotest.int
+        (d.Designs.name ^ ": bucket sum equals total mispredicts")
+        total (Report.attributed report);
+      (* per-component caused counts are the component part of the buckets *)
+      (* buckets are sparse: a component missing from the list caused 0 *)
+      List.iter
+        (fun (row : Report.component_row) ->
+          let b =
+            Option.value
+              (List.assoc_opt row.Report.cr_name report.Report.buckets)
+              ~default:0
+          in
+          check Alcotest.int
+            (d.Designs.name ^ ": bucket matches caused for " ^ row.Report.cr_name)
+            row.Report.cr_caused b)
+        report.Report.components;
+      check Alcotest.bool (d.Designs.name ^ ": design recorded") true
+        (String.equal report.Report.design d.Designs.name))
+    Designs.all
+
+let test_event_counters_are_consistent () =
+  let r, report = run_design "Tourney" in
+  let p = r.Experiment.perf in
+  List.iter
+    (fun (row : Report.component_row) ->
+      let ev k = row.Report.cr_events.(Cobra.Component.event_kind_index k) in
+      let name = row.Report.cr_name in
+      check Alcotest.bool (name ^ ": fired <= predicted") true
+        (ev Cobra.Component.Fire <= ev Cobra.Component.Predict);
+      check Alcotest.int (name ^ ": one mispredict event per Perf.mispredict")
+        p.Perf.mispredicts (ev Cobra.Component.Mispredict);
+      check Alcotest.bool (name ^ ": commits <= fires") true
+        (ev Cobra.Component.Update <= ev Cobra.Component.Fire))
+    report.Report.components;
+  (* the selector's arbitration tallies cover only resolved conditionals *)
+  List.iter
+    (fun (arb : Report.arb_row) ->
+      List.iter
+        (fun (s : Report.arb_sub_row) ->
+          check Alcotest.int
+            (s.Report.as_name ^ ": wins split into right + wrong")
+            s.Report.as_won
+            (s.Report.as_won_right + s.Report.as_won_wrong))
+        arb.Report.ar_subs)
+    report.Report.arbitrations
+
+(* --- round-trips -------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let _, report = run_design "Tourney" ~insns:6_000 in
+  let text = Json.to_string (Report.to_json report) in
+  match Json.of_string text with
+  | Error e -> Alcotest.failf "emitted JSON does not parse: %s" e
+  | Ok j -> (
+    match Report.of_json j with
+    | Error e -> Alcotest.failf "parsed JSON does not rebuild a report: %s" e
+    | Ok report' ->
+      check Alcotest.string "JSON round-trip is the identity" text
+        (Json.to_string (Report.to_json report')))
+
+let test_csv_roundtrip () =
+  List.iter
+    (fun name ->
+      let _, report = run_design name ~insns:6_000 in
+      let text = Report.to_csv report in
+      match Report.of_csv text with
+      | Error e -> Alcotest.failf "%s: emitted CSV does not parse: %s" name e
+      | Ok report' ->
+        check Alcotest.string
+          (name ^ ": CSV round-trip is the identity")
+          text (Report.to_csv report');
+        check Alcotest.int
+          (name ^ ": totals survive the CSV round-trip")
+          report.Report.total_mispredicts report'.Report.total_mispredicts)
+    [ "Tourney"; "B2" ]
+
+let test_json_parser_basics () =
+  let ok s = Json.of_string s |> Result.get_ok in
+  check Alcotest.int "nested int member" 42
+    (let j = ok {|{"a": {"b": [1, 42]}}|} in
+     match Json.member "a" j with
+     | Some inner -> (
+       match Json.list_member "b" inner with [ _; Json.Int n ] -> n | _ -> -1)
+     | None -> -1);
+  check Alcotest.(option string) "string escapes" (Some "a\"b\\c\nd")
+    (Json.to_str (ok {|"a\"b\\c\nd"|}));
+  check Alcotest.bool "negative and float numbers" true
+    (match Json.to_list (ok "[-3, 2.5, 1e2]") with
+    | Some [ Json.Int -3; Json.Float 2.5; Json.Float 100.0 ] -> true
+    | Some _ | None -> false);
+  check Alcotest.bool "garbage is an error" true
+    (Result.is_error (Json.of_string "{nope"));
+  check Alcotest.bool "trailing garbage is an error" true
+    (Result.is_error (Json.of_string "1 2"))
+
+(* --- bounded interval series -------------------------------------------------- *)
+
+let test_interval_bounded_and_lossless () =
+  let t = Interval.create ~capacity:8 ~width:100 () in
+  let total = 100_000 in
+  let step = 37 in
+  let i = ref 0 in
+  while !i < total do
+    i := min total (!i + step);
+    Interval.sample t ~insns:!i ~cycles:(2 * !i) ~mispredicts:(!i / 50)
+  done;
+  Interval.flush t ~insns:total ~cycles:(2 * total) ~mispredicts:(total / 50);
+  let points = Interval.points t in
+  check Alcotest.bool "capacity bound holds" true (List.length points <= 8);
+  check Alcotest.bool "width grew by doubling" true
+    (let w = Interval.width t in
+     w >= 100 && w mod 100 = 0
+     && (let rec pow2 k = k = 1 || (k mod 2 = 0 && pow2 (k / 2)) in
+         pow2 (w / 100)));
+  check Alcotest.int "no instructions lost to coalescing" total
+    (List.fold_left (fun acc (p : Interval.point) -> acc + p.Interval.p_insns) 0 points);
+  check Alcotest.int "no mispredicts lost to coalescing" (total / 50)
+    (List.fold_left
+       (fun acc (p : Interval.point) -> acc + p.Interval.p_mispredicts)
+       0 points);
+  (* buckets tile the run: each starts where the previous ended *)
+  ignore
+    (List.fold_left
+       (fun expected (p : Interval.point) ->
+         check Alcotest.int "contiguous buckets" expected p.Interval.p_start;
+         expected + p.Interval.p_insns)
+       0 points);
+  let empty = { Interval.p_start = 0; p_insns = 0; p_cycles = 0; p_mispredicts = 0 } in
+  check (Alcotest.float 0.0) "ipc of empty bucket is 0, not nan" 0.0 (Interval.ipc empty);
+  check (Alcotest.float 0.0) "mpki of empty bucket is 0, not nan" 0.0 (Interval.mpki empty)
+
+(* --- export + gating ---------------------------------------------------------- *)
+
+let test_stats_env_gating () =
+  let d = fresh_dir () in
+  with_env [ ("COBRA_STATS", "0"); ("COBRA_STATS_DIR", d) ] (fun () ->
+      ignore
+        (Experiment.run ~insns:2_000 (Designs.find "B2")
+           (Cobra_workloads.Suite.find "loop7"));
+      check Alcotest.(list string) "disabled: no report files" []
+        (Array.to_list (Sys.readdir d)));
+  with_env [ ("COBRA_STATS", "1"); ("COBRA_STATS_DIR", d) ] (fun () ->
+      ignore
+        (Experiment.run ~insns:2_000 (Designs.find "B2")
+           (Cobra_workloads.Suite.find "loop7"));
+      let files = List.sort compare (Array.to_list (Sys.readdir d)) in
+      check Alcotest.(list string) "enabled: JSON + CSV exported"
+        [ "B2__loop7.csv"; "B2__loop7.json" ]
+        files;
+      (* and the exported JSON parses back into the same report *)
+      let text =
+        In_channel.with_open_text (Filename.concat d "B2__loop7.json")
+          In_channel.input_all
+      in
+      match Json.of_string (String.trim text) with
+      | Error e -> Alcotest.failf "exported JSON invalid: %s" e
+      | Ok j -> (
+        match Report.of_json j with
+        | Error e -> Alcotest.failf "exported JSON not a report: %s" e
+        | Ok r ->
+          check Alcotest.string "exported design" "B2" r.Report.design;
+          check Alcotest.int "exported report is attributed" r.Report.total_mispredicts
+            (Report.attributed r)))
+
+let test_sink_publishes () =
+  let seen = ref [] in
+  let prev = Stats.Sink.current () in
+  Stats.Sink.set (Some (fun r -> seen := r.Report.design :: !seen));
+  Fun.protect
+    ~finally:(fun () -> Stats.Sink.set prev)
+    (fun () ->
+      with_env [ ("COBRA_STATS", "1"); ("COBRA_STATS_DIR", fresh_dir ()) ] (fun () ->
+          ignore
+            (Experiment.run ~insns:1_000 (Designs.find "B2")
+               (Cobra_workloads.Suite.find "loop7"))));
+  check Alcotest.(list string) "report published to the sink" [ "B2" ] !seen
+
+let test_observer_off_by_default () =
+  let pl = Designs.pipeline (Designs.find "Tourney") in
+  check Alcotest.bool "fresh pipeline is unobserved" false (Cobra.Pipeline.observed pl);
+  let c = Stats.Collector.create pl in
+  check Alcotest.bool "collector attaches" true (Cobra.Pipeline.observed pl);
+  Stats.Collector.detach c;
+  check Alcotest.bool "detach removes the observer" false (Cobra.Pipeline.observed pl)
+
+(* --- Progress rate/ETA guards -------------------------------------------------- *)
+
+let finite_line line =
+  (not (contains line "nan")) && not (contains line "inf")
+
+let test_progress_degenerate_inputs () =
+  (* zero-job grid: finish immediately, every figure defined *)
+  let events = Filename.concat (fresh_dir ()) "events.jsonl" in
+  let p = Progress.create ~label:"empty" ~events_path:events ~live:false ~total:0 () in
+  check Alcotest.bool "zero-job status line is finite" true
+    (finite_line (Progress.status_line p));
+  Progress.finish p;
+  let lines = In_channel.with_open_text events In_channel.input_lines in
+  let summary = List.find (fun l -> contains l "\"event\": \"summary\"") lines in
+  check Alcotest.bool "zero-job summary is finite" true (finite_line summary);
+  (match Json.of_string summary with
+  | Error e -> Alcotest.failf "summary line is not valid JSON: %s" e
+  | Ok j ->
+    check Alcotest.int "total 0" 0 (Json.int_member "total" j ~default:(-1));
+    check (Alcotest.float 0.0) "rate 0.0, not nan" 0.0
+      (match Json.member "rate" j with
+      | Some v -> Option.value (Json.to_float v) ~default:Float.nan
+      | None -> Float.nan));
+  (* first event at elapsed ~ 0: rate and ETA must stay finite *)
+  let q = Progress.create ~label:"first" ~live:false ~total:5 () in
+  Progress.emit q (Progress.Finish { job = 0; ok = true; cached = false; elapsed = 0.0 });
+  let line = Progress.status_line q in
+  check Alcotest.bool "first-event status line is finite" true (finite_line line);
+  check Alcotest.int "one job done" 1 (Progress.jobs_done q);
+  Progress.finish q;
+  (* done > total (defensive): ETA suppressed rather than negative *)
+  let r = Progress.create ~label:"over" ~live:false ~total:1 () in
+  Progress.emit r (Progress.Finish { job = 0; ok = true; cached = false; elapsed = 0.0 });
+  Progress.emit r (Progress.Finish { job = 1; ok = true; cached = false; elapsed = 0.0 });
+  check Alcotest.bool "overshoot stays finite and ETA-free" true
+    (let l = Progress.status_line r in
+     finite_line l && not (contains l "ETA -"));
+  Progress.finish r
+
+let test_progress_stats_event_passthrough () =
+  let events = Filename.concat (fresh_dir ()) "events.jsonl" in
+  let p = Progress.create ~label:"s" ~events_path:events ~live:false ~total:1 () in
+  Progress.emit p
+    (Progress.Stats { design = "B2"; workload = "loop7"; summary = "17 mispredicts" });
+  check Alcotest.int "stats events do not advance the counters" 0 (Progress.jobs_done p);
+  Progress.finish p;
+  let lines = In_channel.with_open_text events In_channel.input_lines in
+  check Alcotest.int "stats line mirrored to the events file" 1
+    (List.length
+       (List.filter
+          (fun l -> contains l "\"event\": \"stats\"" && contains l "\"design\": \"B2\"")
+          lines))
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "attribution",
+        [
+          Alcotest.test_case "buckets sum exactly, every design" `Quick
+            test_attribution_sums_exactly;
+          Alcotest.test_case "event counters consistent" `Quick
+            test_event_counters_are_consistent;
+        ] );
+      ( "round-trips",
+        [
+          Alcotest.test_case "JSON" `Quick test_json_roundtrip;
+          Alcotest.test_case "CSV" `Quick test_csv_roundtrip;
+          Alcotest.test_case "JSON parser basics" `Quick test_json_parser_basics;
+        ] );
+      ( "intervals",
+        [ Alcotest.test_case "bounded and lossless" `Quick test_interval_bounded_and_lossless ]
+      );
+      ( "export",
+        [
+          Alcotest.test_case "COBRA_STATS gating" `Quick test_stats_env_gating;
+          Alcotest.test_case "sink publication" `Quick test_sink_publishes;
+          Alcotest.test_case "observer lifecycle" `Quick test_observer_off_by_default;
+        ] );
+      ( "progress",
+        [
+          Alcotest.test_case "degenerate rate/ETA" `Quick test_progress_degenerate_inputs;
+          Alcotest.test_case "stats passthrough" `Quick
+            test_progress_stats_event_passthrough;
+        ] );
+    ]
