@@ -93,6 +93,219 @@ let energy () =
         (Cobra_synth.Energy.per_kilo_instruction pl ~packets_per_ki:400.0))
     Designs.all
 
+(* --- perf regression bench ---------------------------------------------------- *)
+
+(* Times the whole simulation loop (Core.run over a deterministic synthetic
+   trace) in simulated instructions per second, with a Gc.allocated_bytes
+   probe over the steady-state portion, and emits BENCH_PR4.json. Compares
+   against the pinned numbers in bench/BASELINE_PR4.txt when present: the
+   speedup column and a bit-identity check of the Perf counters. Scale with
+   COBRA_BENCH_INSNS (default 400_000; the first fifth is warmup). *)
+
+let bench_insns =
+  match Sys.getenv_opt "COBRA_BENCH_INSNS" with
+  | Some s -> ( try max 1_000 (int_of_string (String.trim s)) with Failure _ -> 400_000)
+  | None -> 400_000
+
+let bench_workload_name = "aliasing"
+let bench_json_path () =
+  Option.value (Sys.getenv_opt "COBRA_BENCH_JSON") ~default:"BENCH_PR4.json"
+let bench_baseline_path () =
+  Option.value (Sys.getenv_opt "COBRA_BENCH_BASELINE") ~default:"bench/BASELINE_PR4.txt"
+
+let perf_designs () = [ Designs.gshare_only; Designs.tourney; Designs.tage_l ]
+
+type perf_sample = {
+  ps_design : string;
+  ps_insns_per_sec : float;
+  ps_alloc_per_insn : float;
+  ps_measured_insns : int;
+  ps_counters : (string * int) list;
+}
+
+let measure_design (d : Designs.t) ~insns =
+  let w = Cobra_workloads.Suite.find bench_workload_name in
+  let pl = Cobra.Pipeline.create d.Designs.pipeline_config (d.Designs.make ()) in
+  let core =
+    Cobra_uarch.Core.create ?decode:w.Cobra_workloads.Suite.decode
+      Cobra_uarch.Config.default pl
+      (w.Cobra_workloads.Suite.make ())
+  in
+  (* Warm the tables and reach steady state before the probe starts. *)
+  let warm = max 1 (insns / 5) in
+  ignore (Cobra_uarch.Core.run core ~max_insns:warm);
+  let i0 = (Cobra_uarch.Core.perf core).Cobra_uarch.Perf.instructions in
+  let a0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  let perf = Cobra_uarch.Core.run core ~max_insns:insns in
+  let dt = Unix.gettimeofday () -. t0 in
+  let da = Gc.allocated_bytes () -. a0 in
+  let measured = max 1 (perf.Cobra_uarch.Perf.instructions - i0) in
+  {
+    ps_design = d.Designs.name;
+    ps_insns_per_sec =
+      float_of_int measured /. (if dt > 0.0 then dt else epsilon_float);
+    ps_alloc_per_insn = da /. float_of_int measured;
+    ps_measured_insns = measured;
+    ps_counters = Cobra_uarch.Perf.counters perf;
+  }
+
+(* Baseline file: "key=value" lines. "insns" and "workload" pin the
+   configuration; per-design lines are "<design>.insns_per_sec",
+   "<design>.alloc_per_insn" and "<design>.<counter>". *)
+let load_baseline path =
+  match In_channel.with_open_text path In_channel.input_lines with
+  | exception Sys_error _ -> None
+  | lines ->
+    let kvs =
+      List.filter_map
+        (fun line ->
+          let line = String.trim line in
+          if line = "" || line.[0] = '#' then None
+          else
+            match String.index_opt line '=' with
+            | Some i ->
+              Some
+                ( String.sub line 0 i,
+                  String.sub line (i + 1) (String.length line - i - 1) )
+            | None -> None)
+        lines
+    in
+    Some kvs
+
+let write_baseline path ~insns samples =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "# pinned bench perf baseline (see EXPERIMENTS.md)\n";
+      Printf.fprintf oc "insns=%d\nworkload=%s\n" insns bench_workload_name;
+      List.iter
+        (fun s ->
+          Printf.fprintf oc "%s.insns_per_sec=%.1f\n" s.ps_design s.ps_insns_per_sec;
+          Printf.fprintf oc "%s.alloc_per_insn=%.1f\n" s.ps_design s.ps_alloc_per_insn;
+          List.iter
+            (fun (name, v) -> Printf.fprintf oc "%s.%s=%d\n" s.ps_design name v)
+            s.ps_counters)
+        samples)
+
+let json_of_samples ~insns ~baseline samples =
+  let buf = Buffer.create 2048 in
+  let baseline_insns =
+    match baseline with
+    | Some kvs -> (
+      match List.assoc_opt "insns" kvs with
+      | Some s -> int_of_string_opt (String.trim s)
+      | None -> None)
+    | None -> None
+  in
+  let comparable = baseline_insns = Some insns in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"cobra-bench-perf/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"insns\": %d,\n" insns);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"workload\": %S,\n" bench_workload_name);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"baseline_comparable\": %b,\n" comparable);
+  Buffer.add_string buf "  \"designs\": [\n";
+  List.iteri
+    (fun i s ->
+      let base key =
+        match baseline with
+        | Some kvs -> List.assoc_opt (s.ps_design ^ "." ^ key) kvs
+        | None -> None
+      in
+      let base_ips =
+        match base "insns_per_sec" with
+        | Some v -> float_of_string_opt (String.trim v)
+        | None -> None
+      in
+      let counters_match =
+        if not comparable then None
+        else
+          Some
+            (List.for_all
+               (fun (name, v) ->
+                 match base name with
+                 | Some b -> int_of_string_opt (String.trim b) = Some v
+                 | None -> false)
+               s.ps_counters)
+      in
+      Buffer.add_string buf "    {\n";
+      Buffer.add_string buf (Printf.sprintf "      \"design\": %S,\n" s.ps_design);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"insns_per_sec\": %.1f,\n" s.ps_insns_per_sec);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"alloc_bytes_per_insn\": %.1f,\n" s.ps_alloc_per_insn);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"measured_insns\": %d,\n" s.ps_measured_insns);
+      (match (base_ips, comparable) with
+      | Some b, true when b > 0.0 ->
+        Buffer.add_string buf
+          (Printf.sprintf "      \"baseline_insns_per_sec\": %.1f,\n" b);
+        Buffer.add_string buf
+          (Printf.sprintf "      \"speedup\": %.3f,\n" (s.ps_insns_per_sec /. b))
+      | _ ->
+        Buffer.add_string buf "      \"baseline_insns_per_sec\": null,\n";
+        Buffer.add_string buf "      \"speedup\": null,\n");
+      (match counters_match with
+      | Some m ->
+        Buffer.add_string buf
+          (Printf.sprintf "      \"counters_match_baseline\": %b,\n" m)
+      | None ->
+        Buffer.add_string buf "      \"counters_match_baseline\": null,\n");
+      Buffer.add_string buf "      \"counters\": {";
+      List.iteri
+        (fun j (name, v) ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf (Printf.sprintf "%S: %d" name v))
+        s.ps_counters;
+      Buffer.add_string buf "}\n";
+      Buffer.add_string buf
+        (if i = List.length samples - 1 then "    }\n" else "    },\n"))
+    samples;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let perf () =
+  let insns = bench_insns in
+  let samples =
+    List.map
+      (fun d ->
+        timed ("perf/" ^ d.Designs.name) (fun () -> measure_design d ~insns))
+      (perf_designs ())
+  in
+  let baseline = load_baseline (bench_baseline_path ()) in
+  List.iter
+    (fun s ->
+      let speed =
+        match baseline with
+        | Some kvs -> (
+          match
+            ( List.assoc_opt (s.ps_design ^ ".insns_per_sec") kvs,
+              List.assoc_opt "insns" kvs )
+          with
+          | Some b, Some bi
+            when int_of_string_opt (String.trim bi) = Some insns -> (
+            match float_of_string_opt (String.trim b) with
+            | Some b when b > 0.0 ->
+              Printf.sprintf " (%.2fx vs baseline)" (s.ps_insns_per_sec /. b)
+            | Some _ | None -> "")
+          | _ -> "")
+        | None -> ""
+      in
+      Printf.printf "%-8s %10.0f insns/s, %7.1f alloc B/insn%s\n" s.ps_design
+        s.ps_insns_per_sec s.ps_alloc_per_insn speed)
+    samples;
+  let json = json_of_samples ~insns ~baseline samples in
+  let path = bench_json_path () in
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc json);
+  Printf.printf "wrote %s\n" path;
+  if Sys.getenv_opt "COBRA_BENCH_WRITE_BASELINE" = Some "1" then begin
+    write_baseline (bench_baseline_path ()) ~insns samples;
+    Printf.printf "pinned new baseline at %s\n" (bench_baseline_path ())
+  end
+
 (* --- bechamel microbenchmarks ------------------------------------------------ *)
 
 let bechamel () =
@@ -165,6 +378,7 @@ let sections =
     ("sweep_families", sweep_families);
     ("software_vs_hardware", software_vs_hardware);
     ("energy", energy);
+    ("perf", perf);
     ("bechamel", bechamel);
   ]
 

@@ -39,75 +39,82 @@ let make cfg =
   let replace = Array.make cfg.sets 0 in
   let set_of pc = Hashing.pc_index ~pc ~bits:set_bits in
   let tag_of pc = Hashing.fold_int (Hashing.mix2 (Hashing.pc_bits pc) 0) ~width:62 ~bits:cfg.tag_bits in
+  (* A ref-based scan: an inner recursive closure would heap-allocate per
+     lookup, and this runs per slot per predict. *)
   let lookup pc =
     let set = table.(set_of pc) and tag = tag_of pc in
-    let rec find w =
-      if w >= cfg.ways then None
-      else if set.(w).valid && set.(w).tag = tag then Some w
-      else find (w + 1)
-    in
-    find 0
+    let hit = ref (-1) in
+    let w = ref 0 in
+    while !hit < 0 && !w < cfg.ways do
+      let e = set.(!w) in
+      if e.valid && e.tag = tag then hit := !w;
+      incr w
+    done;
+    if !hit < 0 then None else Some !hit
   in
   let meta_bits = Bitpack.width_of (meta_layout cfg) in
+  let packer = Bitpack.Packer.create ~width:meta_bits in
+  let cursor = Bitpack.Cursor.create () in
   let predict (ctx : Context.t) ~pred_in:_ =
-    let fields = ref [] in
-    let pred =
-      Array.init cfg.fetch_width (fun slot ->
-          let pc = Context.slot_pc ctx slot in
-          match lookup pc with
-          | Some w ->
-            fields := (w, way_bits cfg) :: (1, 1) :: !fields;
-            let e = table.(set_of pc).(w) in
-            {
-              Types.o_branch = Some true;
-              o_kind = Some e.kind;
-              o_taken = (if Types.is_unconditional e.kind then Some true else None);
-              o_target = Some e.target;
-            }
-          | None ->
-            fields := (0, way_bits cfg) :: (0, 1) :: !fields;
-            Types.empty_opinion)
-    in
-    (pred, Bitpack.pack ~width:meta_bits (List.rev !fields))
+    let pred = Array.make cfg.fetch_width Types.empty_opinion in
+    for slot = 0 to cfg.fetch_width - 1 do
+      let pc = Context.slot_pc ctx slot in
+      match lookup pc with
+      | Some w ->
+        Bitpack.Packer.add packer 1 ~bits:1;
+        Bitpack.Packer.add packer w ~bits:(way_bits cfg);
+        let e = table.(set_of pc).(w) in
+        pred.(slot) <-
+          {
+            Types.o_branch = Some true;
+            o_kind = Some e.kind;
+            o_taken = (if Types.is_unconditional e.kind then Some true else None);
+            o_target = Some e.target;
+          }
+      | None ->
+        Bitpack.Packer.add packer 0 ~bits:1;
+        Bitpack.Packer.add packer 0 ~bits:(way_bits cfg)
+    done;
+    (pred, Bitpack.Packer.finish packer)
   in
   let update (ev : Component.event) =
-    let fields = Bitpack.unpack ev.meta (meta_layout cfg) in
-    let rec per_slot slot = function
-      | hit :: way :: rest ->
-        let (r : Types.resolved) = ev.slots.(slot) in
-        (* Allocate/refresh entries for branches observed taken; a branch the
-           BTB has never seen taken cannot redirect fetch and need not
-           occupy a way. *)
-        if r.r_is_branch && r.r_taken then begin
-          let pc = Context.slot_pc ev.ctx slot in
-          let set_idx = set_of pc in
-          let set = table.(set_idx) in
-          let w =
-            if hit = 1 then way
+    Bitpack.Cursor.reset cursor ev.meta;
+    for slot = 0 to cfg.fetch_width - 1 do
+      let hit = Bitpack.Cursor.take cursor ~bits:1 in
+      let way = Bitpack.Cursor.take cursor ~bits:(way_bits cfg) in
+      let (r : Types.resolved) = ev.slots.(slot) in
+      (* Allocate/refresh entries for branches observed taken; a branch the
+         BTB has never seen taken cannot redirect fetch and need not
+         occupy a way. *)
+      if r.r_is_branch && r.r_taken then begin
+        let pc = Context.slot_pc ev.ctx slot in
+        let set_idx = set_of pc in
+        let set = table.(set_idx) in
+        let w =
+          if hit = 1 then way
+          else begin
+            (* Prefer an invalid way, else round-robin replacement. *)
+            let invalid = ref (-1) in
+            let i = ref 0 in
+            while !invalid < 0 && !i < cfg.ways do
+              if not set.(!i).valid then invalid := !i;
+              incr i
+            done;
+            if !invalid >= 0 then !invalid
             else begin
-              (* Prefer an invalid way, else round-robin replacement. *)
-              let rec find_invalid i =
-                if i >= cfg.ways then None else if not set.(i).valid then Some i else find_invalid (i + 1)
-              in
-              match find_invalid 0 with
-              | Some i -> i
-              | None ->
-                let i = replace.(set_idx) in
-                replace.(set_idx) <- (i + 1) mod cfg.ways;
-                i
+              let i = replace.(set_idx) in
+              replace.(set_idx) <- (i + 1) mod cfg.ways;
+              i
             end
-          in
-          let e = set.(w) in
-          e.valid <- true;
-          e.tag <- tag_of pc;
-          e.target <- r.r_target;
-          e.kind <- r.r_kind
-        end;
-        per_slot (slot + 1) rest
-      | [] -> ()
-      | _ -> assert false
-    in
-    per_slot 0 fields
+          end
+        in
+        let e = set.(w) in
+        e.valid <- true;
+        e.tag <- tag_of pc;
+        e.target <- r.r_target;
+        e.kind <- r.r_kind
+      end
+    done
   in
   let entry_bits = 1 + cfg.tag_bits + target_bits + 3 in
   let storage =

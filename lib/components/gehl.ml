@@ -70,7 +70,7 @@ let make cfg =
         let counters = List.filteri (fun i _ -> i < ntables) rest in
         let rest' = List.filteri (fun i _ -> i >= ntables) rest in
         let (r : Types.resolved) = ev.slots.(slot) in
-        if r.r_is_branch && r.r_kind = Types.Cond then begin
+        if Types.cond_branch r then begin
           let counters = List.map (fun c -> c - bias) counters in
           let sum = List.fold_left ( + ) 0 counters in
           let predicted = sum >= 0 in

@@ -48,7 +48,7 @@ let make cfg =
     List.iteri
       (fun slot c ->
         let (r : Types.resolved) = ev.slots.(slot) in
-        if r.r_is_branch && r.r_kind = Types.Cond then
+        if Types.cond_branch r then
           table.(index ev.ctx ~slot) <- Counter.update ~bits:cfg.counter_bits c ~taken:r.r_taken)
       (Bitpack.unpack ev.meta (meta_layout cfg))
   in

@@ -22,32 +22,30 @@ let make cfg =
   let table = Array.make entries (Counter.weakly_not_taken ~bits:cfg.counter_bits) in
   let index (ctx : Context.t) ~slot =
     Hashing.pc_index ~pc:(Context.slot_pc ctx slot) ~bits:cfg.index_bits
-    lxor Hashing.folded_history ctx.ghist ~len:cfg.history_length ~bits:cfg.index_bits
+    lxor Context.folded_ghist ctx ~len:cfg.history_length ~bits:cfg.index_bits
   in
   let meta_bits = Bitpack.width_of (meta_layout cfg) in
+  let packer = Bitpack.Packer.create ~width:meta_bits in
+  let cursor = Bitpack.Cursor.create () in
   let predict ctx ~pred_in =
     let base = match pred_in with [ p ] -> p | _ -> invalid_arg (cfg.name ^ ": one predict_in") in
-    let counters = Array.init cfg.fetch_width (fun slot -> table.(index ctx ~slot)) in
-    let pred =
-      Array.mapi
-        (fun slot c ->
-          if Types.unconditional_in base slot then Types.empty_opinion
-          else
-            { Types.empty_opinion with
-              o_taken = Some (Counter.is_taken ~bits:cfg.counter_bits c) })
-        counters
-    in
-    ( pred,
-      Bitpack.pack ~width:meta_bits
-        (Array.to_list (Array.map (fun c -> (c, cfg.counter_bits)) counters)) )
+    let pred = Array.make cfg.fetch_width Types.empty_opinion in
+    for slot = 0 to cfg.fetch_width - 1 do
+      let c = table.(index ctx ~slot) in
+      Bitpack.Packer.add packer c ~bits:cfg.counter_bits;
+      if not (Types.unconditional_in base slot) then
+        pred.(slot) <- Types.direction_hint ~taken:(Counter.is_taken ~bits:cfg.counter_bits c)
+    done;
+    (pred, Bitpack.Packer.finish packer)
   in
   let update (ev : Component.event) =
-    List.iteri
-      (fun slot c ->
-        let (r : Types.resolved) = ev.slots.(slot) in
-        if r.r_is_branch && r.r_kind = Types.Cond then
-          table.(index ev.ctx ~slot) <- Counter.update ~bits:cfg.counter_bits c ~taken:r.r_taken)
-      (Bitpack.unpack ev.meta (meta_layout cfg))
+    Bitpack.Cursor.reset cursor ev.meta;
+    for slot = 0 to cfg.fetch_width - 1 do
+      let c = Bitpack.Cursor.take cursor ~bits:cfg.counter_bits in
+      let (r : Types.resolved) = ev.slots.(slot) in
+      if Types.cond_branch r then
+        table.(index ev.ctx ~slot) <- Counter.update ~bits:cfg.counter_bits c ~taken:r.r_taken
+    done
   in
   Component.make ~name:cfg.name ~family:Component.Counter_table ~latency:cfg.latency
     ~meta_bits

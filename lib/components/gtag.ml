@@ -76,7 +76,7 @@ let make cfg =
     let rec per_slot slot = function
       | hit :: ctr :: rest ->
         let (r : Types.resolved) = ev.slots.(slot) in
-        if r.r_is_branch && r.r_kind = Types.Cond then begin
+        if Types.cond_branch r then begin
           let e = table.(index ev.ctx ~slot) in
           if hit = 1 then
             e.ctr <- Counter.update ~bits:cfg.counter_bits ctr ~taken:r.r_taken

@@ -25,37 +25,30 @@ let make_inspectable cfg =
   let table = Array.make cfg.entries (Counter.weakly_not_taken ~bits:cfg.counter_bits) in
   let slot_index ctx ~slot = Indexing.index cfg.indexing ctx ~slot ~bits:index_bits in
   let meta_bits = Bitpack.width_of (meta_layout cfg) in
+  let packer = Bitpack.Packer.create ~width:meta_bits in
+  let cursor = Bitpack.Cursor.create () in
   let predict ctx ~pred_in =
     let base = match pred_in with [ p ] -> p | _ -> invalid_arg (cfg.name ^ ": one predict_in") in
-    let counters =
-      Array.init cfg.fetch_width (fun slot -> table.(slot_index ctx ~slot))
-    in
-    let pred =
-      Array.mapi
-        (fun slot c ->
-          (* never override a known always-taken direction (jump/call/ret) *)
-          if Types.unconditional_in base slot then Types.empty_opinion
-          else
-            { Types.empty_opinion with
-              o_taken = Some (Counter.is_taken ~bits:cfg.counter_bits c) })
-        counters
-    in
-    let meta =
-      Bitpack.pack ~width:meta_bits
-        (Array.to_list (Array.map (fun c -> (c, cfg.counter_bits)) counters))
-    in
-    (pred, meta)
+    let pred = Array.make cfg.fetch_width Types.empty_opinion in
+    for slot = 0 to cfg.fetch_width - 1 do
+      let c = table.(slot_index ctx ~slot) in
+      Bitpack.Packer.add packer c ~bits:cfg.counter_bits;
+      (* never override a known always-taken direction (jump/call/ret) *)
+      if not (Types.unconditional_in base slot) then
+        pred.(slot) <- Types.direction_hint ~taken:(Counter.is_taken ~bits:cfg.counter_bits c)
+    done;
+    (pred, Bitpack.Packer.finish packer)
   in
   let update (ev : Component.event) =
-    let counters = Bitpack.unpack ev.meta (meta_layout cfg) in
-    List.iteri
-      (fun slot c ->
-        let (r : Types.resolved) = ev.slots.(slot) in
-        if r.r_is_branch && r.r_kind = Types.Cond then
-          (* Write back the updated predict-time counter: no second read. *)
-          table.(slot_index ev.ctx ~slot) <-
-            Counter.update ~bits:cfg.counter_bits c ~taken:r.r_taken)
-      counters
+    Bitpack.Cursor.reset cursor ev.meta;
+    for slot = 0 to cfg.fetch_width - 1 do
+      let c = Bitpack.Cursor.take cursor ~bits:cfg.counter_bits in
+      let (r : Types.resolved) = ev.slots.(slot) in
+      if Types.cond_branch r then
+        (* Write back the updated predict-time counter: no second read. *)
+        table.(slot_index ev.ctx ~slot) <-
+          Counter.update ~bits:cfg.counter_bits c ~taken:r.r_taken
+    done
   in
   let storage =
     Storage.make ~sram_bits:(cfg.entries * cfg.counter_bits)

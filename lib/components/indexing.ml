@@ -5,9 +5,9 @@ type t = Pc | Ghist of int | Lhist of int | Phist of int | Hash of t list
 let rec index src (ctx : Cobra.Context.t) ~slot ~bits =
   match src with
   | Pc -> Hashing.pc_index ~pc:(Cobra.Context.slot_pc ctx slot) ~bits
-  | Ghist n -> Hashing.folded_history ctx.ghist ~len:n ~bits
+  | Ghist n -> Cobra.Context.folded_ghist ctx ~len:n ~bits
   | Lhist n -> Hashing.folded_history ctx.lhists.(slot) ~len:n ~bits
-  | Phist n -> Hashing.folded_history ctx.phist ~len:n ~bits
+  | Phist n -> Cobra.Context.folded_phist ctx ~len:n ~bits
   | Hash srcs -> Hashing.combine ~bits (List.map (fun s -> index s ctx ~slot ~bits) srcs)
 
 let rec describe = function

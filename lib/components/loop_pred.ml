@@ -57,74 +57,83 @@ let make cfg =
   let count_max = (1 lsl cfg.count_bits) - 1 in
   let conf_max = (1 lsl cfg.conf_bits) - 1 in
   let meta_bits = Bitpack.width_of (meta_layout cfg) in
+  let packer = Bitpack.Packer.create ~width:meta_bits in
+  let cursor = Bitpack.Cursor.create () in
   let predict (ctx : Context.t) ~pred_in:_ =
     let pred = Types.no_prediction ~width:cfg.fetch_width in
-    let fields = ref [] in
     for slot = 0 to cfg.fetch_width - 1 do
       let hit, c, pv, pd =
         match lookup (Context.slot_pc ctx slot) with
         | Some e ->
           if e.conf >= cfg.conf_threshold && e.p_count > 0 then begin
             let taken = if e.c_count >= e.p_count then not e.dir else e.dir in
-            pred.(slot) <- { Types.empty_opinion with o_taken = Some taken };
+            pred.(slot) <- Types.direction_hint ~taken;
             (1, e.c_count, 1, if taken then 1 else 0)
           end
           else (1, e.c_count, 0, 0)
         | None -> (0, 0, 0, 0)
       in
-      fields := (pd, 1) :: (pv, 1) :: (c, cfg.count_bits) :: (hit, 1) :: !fields
+      Bitpack.Packer.add packer hit ~bits:1;
+      Bitpack.Packer.add packer c ~bits:cfg.count_bits;
+      Bitpack.Packer.add packer pv ~bits:1;
+      Bitpack.Packer.add packer pd ~bits:1
     done;
-    (pred, Bitpack.pack ~width:meta_bits (List.rev !fields))
+    (pred, Bitpack.Packer.finish packer)
   in
-  let unpack_meta (ev : Component.event) =
-    let rec group = function
-      | hit :: c :: pv :: pd :: rest -> (hit = 1, c, pv = 1, pd = 1) :: group rest
-      | [] -> []
-      | _ -> assert false
-    in
-    Array.of_list (group (Bitpack.unpack ev.meta (meta_layout cfg)))
+  (* Scratch decode of the per-slot metadata, refilled at the top of each
+     event; the handlers need random access, so cursor reads land in these
+     preallocated arrays. pv/pd are predict-time outputs no handler reads. *)
+  let m_hit = Array.make cfg.fetch_width false in
+  let m_count = Array.make cfg.fetch_width 0 in
+  let decode_meta (ev : Component.event) =
+    Bitpack.Cursor.reset cursor ev.meta;
+    for slot = 0 to cfg.fetch_width - 1 do
+      m_hit.(slot) <- Bitpack.Cursor.take cursor ~bits:1 = 1;
+      m_count.(slot) <- Bitpack.Cursor.take cursor ~bits:cfg.count_bits;
+      Bitpack.Cursor.skip cursor ~bits:2
+    done
   in
   let entry_for (ev : Component.event) slot = lookup (Context.slot_pc ev.ctx slot) in
   (* Speculative per-slot iteration counting when the packet proceeds. *)
   let fire (ev : Component.event) =
-    let meta = unpack_meta ev in
-    Array.iteri
-      (fun slot (hit, _c, _pv, _pd) ->
-        if hit then
-          match entry_for ev slot with
-          | Some e ->
-            let (r : Types.resolved) = ev.slots.(slot) in
-            if r.r_is_branch && r.r_kind = Types.Cond then
-              if r.r_taken = e.dir then e.c_count <- min count_max (e.c_count + 1)
-              else e.c_count <- 0
-          | None -> ())
-      meta
+    decode_meta ev;
+    for slot = 0 to cfg.fetch_width - 1 do
+      if m_hit.(slot) then
+        match entry_for ev slot with
+        | Some e ->
+          let (r : Types.resolved) = ev.slots.(slot) in
+          if Types.cond_branch r then
+            if r.r_taken = e.dir then e.c_count <- min count_max (e.c_count + 1)
+            else e.c_count <- 0
+        | None -> ()
+    done
   in
-  let restore_slot ev meta slot =
-    let hit, c, _pv, _pd = meta.(slot) in
-    if hit then
-      match entry_for ev slot with Some e -> e.c_count <- c | None -> ()
+  let restore_slot ev slot =
+    if m_hit.(slot) then
+      match entry_for ev slot with Some e -> e.c_count <- m_count.(slot) | None -> ()
   in
   let repair (ev : Component.event) =
-    let meta = unpack_meta ev in
-    Array.iteri (fun slot _ -> restore_slot ev meta slot) meta
+    decode_meta ev;
+    for slot = 0 to cfg.fetch_width - 1 do
+      restore_slot ev slot
+    done
   in
   let mispredict (ev : Component.event) =
     match ev.culprit with
     | None -> ()
     | Some culprit ->
-      let meta = unpack_meta ev in
+      decode_meta ev;
       (* Rewind speculative counts from the culprit onward, then apply the
          culprit's actual direction. *)
-      for slot = Array.length meta - 1 downto culprit do
-        restore_slot ev meta slot
+      for slot = cfg.fetch_width - 1 downto culprit do
+        restore_slot ev slot
       done;
       let (r : Types.resolved) = ev.slots.(culprit) in
-      if r.r_is_branch && r.r_kind = Types.Cond then begin
-        let hit, c, _pv, _pd = meta.(culprit) in
-        match (hit, entry_for ev culprit) with
+      if Types.cond_branch r then begin
+        match (m_hit.(culprit), entry_for ev culprit) with
         | true, Some e ->
-          if r.r_taken = e.dir then e.c_count <- min count_max (c + 1) else e.c_count <- 0
+          if r.r_taken = e.dir then e.c_count <- min count_max (m_count.(culprit) + 1)
+          else e.c_count <- 0
         | _ ->
           (* An untracked mispredicting conditional branch: start tracking,
              assuming the misprediction was a loop exit. *)
@@ -139,36 +148,36 @@ let make cfg =
       end
   in
   let update (ev : Component.event) =
-    let meta = unpack_meta ev in
-    Array.iteri
-      (fun slot (hit, c, _pv, _pd) ->
-        if hit then
-          match entry_for ev slot with
-          | Some e ->
-            let (r : Types.resolved) = ev.slots.(slot) in
-            if r.r_is_branch && r.r_kind = Types.Cond then
-              if r.r_taken <> e.dir then begin
-                (* Committed loop exit after [c] body iterations. *)
-                if c = 0 then begin
-                  (* Two consecutive exits: the learned body direction is
-                     the branch's minority direction — flip it. *)
-                  e.dir <- not e.dir;
-                  e.p_count <- 0;
-                  e.conf <- 0
-                end
-                else if c < count_max then begin
-                  if e.p_count = c then e.conf <- min conf_max (e.conf + 1)
-                  else begin
-                    e.p_count <- c;
-                    e.conf <- (if e.conf >= cfg.conf_threshold then 0 else 1)
-                  end
+    decode_meta ev;
+    for slot = 0 to cfg.fetch_width - 1 do
+      if m_hit.(slot) then
+        match entry_for ev slot with
+        | Some e ->
+          let (r : Types.resolved) = ev.slots.(slot) in
+          let c = m_count.(slot) in
+          if Types.cond_branch r then
+            if r.r_taken <> e.dir then begin
+              (* Committed loop exit after [c] body iterations. *)
+              if c = 0 then begin
+                (* Two consecutive exits: the learned body direction is
+                   the branch's minority direction — flip it. *)
+                e.dir <- not e.dir;
+                e.p_count <- 0;
+                e.conf <- 0
+              end
+              else if c < count_max then begin
+                if e.p_count = c then e.conf <- min conf_max (e.conf + 1)
+                else begin
+                  e.p_count <- c;
+                  e.conf <- (if e.conf >= cfg.conf_threshold then 0 else 1)
                 end
               end
-              else if e.p_count > 0 && c >= e.p_count then
-                (* Ran past the learned trip count without exiting. *)
-                e.conf <- max 0 (e.conf - 1)
-          | None -> ())
-      meta
+            end
+            else if e.p_count > 0 && c >= e.p_count then
+              (* Ran past the learned trip count without exiting. *)
+              e.conf <- max 0 (e.conf - 1)
+        | None -> ()
+    done
   in
   let entry_bits = 1 + cfg.tag_bits + (2 * cfg.count_bits) + cfg.conf_bits + 1 in
   let storage =

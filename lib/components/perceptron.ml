@@ -58,7 +58,7 @@ let make cfg =
     let rec per_slot slot = function
       | mag :: sign :: rest ->
         let (r : Types.resolved) = ev.slots.(slot) in
-        if r.r_is_branch && r.r_kind = Types.Cond then begin
+        if Types.cond_branch r then begin
           let predicted = sign = 1 in
           if predicted <> r.r_taken || mag <= threshold then begin
             let weights = table.(index ev.ctx ~slot) in

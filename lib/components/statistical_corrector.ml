@@ -71,7 +71,7 @@ let make cfg =
     let rec per_slot slot = function
       | valid :: inc :: biased :: rest ->
         let (r : Types.resolved) = ev.slots.(slot) in
-        if valid = 1 && r.r_is_branch && r.r_kind = Types.Cond then begin
+        if valid = 1 && Types.cond_branch r then begin
           let incoming = inc = 1 in
           let c = biased - bias in
           let dir = if incoming = r.r_taken then 1 else -1 in

@@ -63,51 +63,62 @@ let make cfg =
     Array.init ntables (fun t ->
         Hashing.fold_int (Hashing.mix2 t 17) ~width:62 ~bits:specs.(t).index_bits)
   in
-  let make_folds (ctx : Context.t) =
-    Array.init ntables (fun t ->
-        let s = specs.(t) in
-        ( Hashing.folded_history ctx.ghist ~len:s.history_length ~bits:s.index_bits,
-          Hashing.folded_history ctx.ghist ~len:s.history_length ~bits:s.tag_bits ))
+  (* Scratch folds, refilled at the top of each predict/update from the
+     context's fold memo: the fold itself runs once per packet, the scratch
+     turns the per-(slot, table) lookups into plain array reads. *)
+  let fold_idx = Array.make ntables 0 in
+  let fold_tag = Array.make ntables 0 in
+  let fill_folds (ctx : Context.t) =
+    for t = 0 to ntables - 1 do
+      let s = specs.(t) in
+      fold_idx.(t) <- Context.folded_ghist ctx ~len:s.history_length ~bits:s.index_bits;
+      fold_tag.(t) <- Context.folded_ghist ctx ~len:s.history_length ~bits:s.tag_bits
+    done
   in
   let uniform_index_bits =
     Array.for_all (fun s -> s.index_bits = specs.(0).index_bits) specs
   in
-  (* PC fold per slot: computed once when all tables share an index width. *)
+  (* PC fold per slot: an int, not a per-slot closure. When the tables share
+     an index width (the common case) the fold is computed once per slot;
+     otherwise [index] re-folds for the table's own width. *)
   let pc_fold (ctx : Context.t) ~slot =
-    if uniform_index_bits then begin
-      let v = Hashing.pc_index ~pc:(Context.slot_pc ctx slot) ~bits:specs.(0).index_bits in
-      fun _t -> v
-    end
-    else fun t -> Hashing.pc_index ~pc:(Context.slot_pc ctx slot) ~bits:specs.(t).index_bits
+    Hashing.pc_index ~pc:(Context.slot_pc ctx slot) ~bits:specs.(0).index_bits
   in
-  let index folds pcf ~table = pcf table lxor fst folds.(table) lxor bank_const.(table) in
-  let tag_hash folds (ctx : Context.t) ~slot ~table =
+  let index ctx ~slot ~pcv ~table =
+    let p =
+      if uniform_index_bits then pcv
+      else Hashing.pc_index ~pc:(Context.slot_pc ctx slot) ~bits:specs.(table).index_bits
+    in
+    p lxor fold_idx.(table) lxor bank_const.(table)
+  in
+  let tag_hash (ctx : Context.t) ~slot ~table =
     let s = specs.(table) in
     Hashing.fold_int
       (Hashing.mix2
          (Hashing.pc_bits (Context.slot_pc ctx slot))
-         (snd folds.(table) + (table * 7919)))
+         (fold_tag.(table) + (table * 7919)))
       ~width:62 ~bits:s.tag_bits
   in
-  let lookup folds pcf ctx ~slot ~table =
-    let e = banks.(table).(index folds pcf ~table) in
-    if e.valid && e.tag = tag_hash folds ctx ~slot ~table then Some e else None
+  let lookup ctx ~slot ~pcv ~table =
+    let e = banks.(table).(index ctx ~slot ~pcv ~table) in
+    if e.valid && e.tag = tag_hash ctx ~slot ~table then Some e else None
   in
-  (* Longest-history hit and the next one below it. *)
-  let find_provider folds pcf ctx ~slot =
-    let rec scan t provider alt =
-      if t < 0 then (provider, alt)
-      else
-        match lookup folds pcf ctx ~slot ~table:t with
-        | Some e -> (
-          match provider with
-          | None -> scan (t - 1) (Some (t, e)) alt
-          | Some _ -> (provider, Some (t, e)))
-        | None -> scan (t - 1) provider alt
-    in
-    scan (ntables - 1) None None
+  (* Longest-history hit and the next one below it. The scan threads all
+     its state through arguments so no closure is allocated per slot. *)
+  let rec provider_scan lookup pcv ctx slot t provider alt =
+    if t < 0 then (provider, alt)
+    else
+      match lookup ctx ~slot ~pcv ~table:t with
+      | Some e -> (
+        match provider with
+        | None -> provider_scan lookup pcv ctx slot (t - 1) (Some (t, e)) alt
+        | Some _ -> (provider, Some (t, e)))
+      | None -> provider_scan lookup pcv ctx slot (t - 1) provider alt
   in
+  let find_provider pcv ctx ~slot = provider_scan lookup pcv ctx slot (ntables - 1) None None in
   let meta_bits = Bitpack.width_of (meta_layout cfg) in
+  let packer = Bitpack.Packer.create ~width:meta_bits in
+  let cursor = Bitpack.Cursor.create () in
   let taken_of_ctr c = Counter.is_taken ~bits:cfg.counter_bits c in
   let predict (ctx : Context.t) ~pred_in =
     let base =
@@ -115,59 +126,55 @@ let make cfg =
       | [ p ] -> p
       | _ -> invalid_arg (cfg.name ^ ": expected exactly one predict_in")
     in
-    let fields = ref [] in
-    let folds = make_folds ctx in
-    let pred =
-      Array.init cfg.fetch_width (fun slot ->
-          let pcf = pc_fold ctx ~slot in
-          let provider, alt = find_provider folds pcf ctx ~slot in
-          let base_dir = base.(slot).Types.o_taken in
-          let bit = function Some true -> 1 | _ -> 0 in
-          let valid = function Some _ -> 1 | None -> 0 in
-          match provider with
-          | Some (p, e) ->
-            let alt_dir = Option.map (fun (_, (a : entry)) -> taken_of_ctr a.ctr) alt in
-            fields :=
-              List.rev
-                [
-                  (1, 1);
-                  (p, 4);
-                  (e.ctr, cfg.counter_bits);
-                  (valid alt_dir, 1);
-                  (bit alt_dir, 1);
-                  (e.u, cfg.u_bits);
-                  (valid base_dir, 1);
-                  (bit base_dir, 1);
-                ]
-              @ !fields;
-            if Types.unconditional_in base slot then Types.empty_opinion
-            else { Types.empty_opinion with o_taken = Some (taken_of_ctr e.ctr) }
-          | None ->
-            fields :=
-              List.rev
-                [ (0, 1); (0, 4); (0, cfg.counter_bits); (0, 1); (0, 1); (0, cfg.u_bits);
-                  (valid base_dir, 1); (bit base_dir, 1) ]
-              @ !fields;
-            Types.empty_opinion)
-    in
-    (pred, Bitpack.pack ~width:meta_bits (List.rev !fields))
+    fill_folds ctx;
+    let pred = Array.make cfg.fetch_width Types.empty_opinion in
+    for slot = 0 to cfg.fetch_width - 1 do
+      let pcv = pc_fold ctx ~slot in
+      let provider, alt = find_provider pcv ctx ~slot in
+      let base_dir = base.(slot).Types.o_taken in
+      let bit = function Some true -> 1 | _ -> 0 in
+      let valid = function Some _ -> 1 | None -> 0 in
+      match provider with
+      | Some (p, e) ->
+        let alt_dir = Option.map (fun (_, (a : entry)) -> taken_of_ctr a.ctr) alt in
+        Bitpack.Packer.add packer 1 ~bits:1;
+        Bitpack.Packer.add packer p ~bits:4;
+        Bitpack.Packer.add packer e.ctr ~bits:cfg.counter_bits;
+        Bitpack.Packer.add packer (valid alt_dir) ~bits:1;
+        Bitpack.Packer.add packer (bit alt_dir) ~bits:1;
+        Bitpack.Packer.add packer e.u ~bits:cfg.u_bits;
+        Bitpack.Packer.add packer (valid base_dir) ~bits:1;
+        Bitpack.Packer.add packer (bit base_dir) ~bits:1;
+        if not (Types.unconditional_in base slot) then
+          pred.(slot) <- Types.direction_hint ~taken:(taken_of_ctr e.ctr)
+      | None ->
+        Bitpack.Packer.add packer 0 ~bits:1;
+        Bitpack.Packer.add packer 0 ~bits:4;
+        Bitpack.Packer.add packer 0 ~bits:cfg.counter_bits;
+        Bitpack.Packer.add packer 0 ~bits:1;
+        Bitpack.Packer.add packer 0 ~bits:1;
+        Bitpack.Packer.add packer 0 ~bits:cfg.u_bits;
+        Bitpack.Packer.add packer (valid base_dir) ~bits:1;
+        Bitpack.Packer.add packer (bit base_dir) ~bits:1
+    done;
+    (pred, Bitpack.Packer.finish packer)
   in
   let graceful_u_decay () =
     Array.iter (fun bank -> Array.iter (fun e -> e.u <- e.u lsr 1) bank) banks
   in
-  let allocate folds pcf ev ~slot ~above ~taken =
+  let allocate pcv ev ~slot ~above ~taken =
     (* Find a non-useful entry in a longer-history table; throttle with the
        PRNG so allocations spread across tables (Seznec 2011). If every
        candidate is useful, age them all instead. *)
     let candidates = ref [] in
     for t = above to ntables - 1 do
-      let e = banks.(t).(index folds pcf ~table:t) in
+      let e = banks.(t).(index ev.Component.ctx ~slot ~pcv ~table:t) in
       if (not e.valid) || e.u = 0 then candidates := t :: !candidates
     done;
     match List.rev !candidates with
     | [] ->
       for t = above to ntables - 1 do
-        let e = banks.(t).(index folds pcf ~table:t) in
+        let e = banks.(t).(index ev.Component.ctx ~slot ~pcv ~table:t) in
         e.u <- max 0 (e.u - 1)
       done
     | first :: rest ->
@@ -177,64 +184,72 @@ let make cfg =
         | next :: _ when Rng.chance rng 0.33 -> next
         | _ -> first
       in
-      let e = banks.(chosen).(index folds pcf ~table:chosen) in
+      let e = banks.(chosen).(index ev.Component.ctx ~slot ~pcv ~table:chosen) in
       e.valid <- true;
-      e.tag <- tag_hash folds ev.Component.ctx ~slot ~table:chosen;
+      e.tag <- tag_hash ev.Component.ctx ~slot ~table:chosen;
       e.ctr <-
         (if taken then Counter.weakly_taken ~bits:cfg.counter_bits
          else Counter.weakly_not_taken ~bits:cfg.counter_bits);
       e.u <- 0
   in
   let update (ev : Component.event) =
-    let fields = Bitpack.unpack ev.meta (meta_layout cfg) in
-    let folds = lazy (make_folds ev.ctx) in
-    let rec per_slot slot = function
-      | hit :: provider :: pctr :: alt_valid :: alt_dir :: pu :: base_valid :: base_dir :: rest
-        ->
-        let (r : Types.resolved) = ev.slots.(slot) in
-        if r.r_is_branch && r.r_kind = Types.Cond then begin
-          incr update_count;
-          if !update_count mod cfg.u_reset_period = 0 then graceful_u_decay ();
-          let taken = r.r_taken in
-          let provider_pred = if hit = 1 then Some (taken_of_ctr pctr) else None in
-          let effective =
-            match provider_pred with
-            | Some d -> Some d
-            | None -> if base_valid = 1 then Some (base_dir = 1) else None
-          in
-          let pcf = pc_fold ev.ctx ~slot in
-          (match provider_pred with
-          | Some pdir ->
-            let e = banks.(provider).(index (Lazy.force folds) pcf ~table:provider) in
-            if e.valid && e.tag = tag_hash (Lazy.force folds) ev.ctx ~slot ~table:provider then begin
-              e.ctr <- Counter.update ~bits:cfg.counter_bits pctr ~taken;
-              (* Usefulness trains when provider and altpred disagreed. *)
-              let altpred =
-                if alt_valid = 1 then Some (alt_dir = 1)
-                else if base_valid = 1 then Some (base_dir = 1)
-                else None
-              in
-              match altpred with
-              | Some a when a <> pdir ->
-                e.u <-
-                  (if pdir = taken then min (Counter.max_value ~bits:cfg.u_bits) (pu + 1)
-                   else max 0 (pu - 1))
-              | _ -> ()
-            end
-          | None -> ());
-          (* Allocate on a wrong effective prediction, in tables above the
-             provider (or anywhere when nothing hit). *)
-          let wrong = match effective with Some d -> d <> taken | None -> true in
-          let can_extend = hit = 0 || provider < ntables - 1 in
-          if wrong && can_extend then
-            allocate (Lazy.force folds) pcf ev ~slot
-              ~above:(if hit = 1 then provider + 1 else 0) ~taken
+    Bitpack.Cursor.reset cursor ev.meta;
+    (* The scratch folds are only needed (and only filled) when the packet
+       holds a conditional branch; the memoized context makes the refill a
+       lookup, not a recomputation. *)
+    let folds_filled = ref false in
+    for slot = 0 to cfg.fetch_width - 1 do
+      let hit = Bitpack.Cursor.take cursor ~bits:1 in
+      let provider = Bitpack.Cursor.take cursor ~bits:4 in
+      let pctr = Bitpack.Cursor.take cursor ~bits:cfg.counter_bits in
+      let alt_valid = Bitpack.Cursor.take cursor ~bits:1 in
+      let alt_dir = Bitpack.Cursor.take cursor ~bits:1 in
+      let pu = Bitpack.Cursor.take cursor ~bits:cfg.u_bits in
+      let base_valid = Bitpack.Cursor.take cursor ~bits:1 in
+      let base_dir = Bitpack.Cursor.take cursor ~bits:1 in
+      let (r : Types.resolved) = ev.slots.(slot) in
+      if Types.cond_branch r then begin
+        incr update_count;
+        if !update_count mod cfg.u_reset_period = 0 then graceful_u_decay ();
+        if not !folds_filled then begin
+          fill_folds ev.ctx;
+          folds_filled := true
         end;
-        per_slot (slot + 1) rest
-      | [] -> ()
-      | _ -> assert false
-    in
-    per_slot 0 fields
+        let taken = r.r_taken in
+        let provider_pred = if hit = 1 then Some (taken_of_ctr pctr) else None in
+        let effective =
+          match provider_pred with
+          | Some d -> Some d
+          | None -> if base_valid = 1 then Some (base_dir = 1) else None
+        in
+        let pcv = pc_fold ev.ctx ~slot in
+        (match provider_pred with
+        | Some pdir ->
+          let e = banks.(provider).(index ev.ctx ~slot ~pcv ~table:provider) in
+          if e.valid && e.tag = tag_hash ev.ctx ~slot ~table:provider then begin
+            e.ctr <- Counter.update ~bits:cfg.counter_bits pctr ~taken;
+            (* Usefulness trains when provider and altpred disagreed. *)
+            let altpred =
+              if alt_valid = 1 then Some (alt_dir = 1)
+              else if base_valid = 1 then Some (base_dir = 1)
+              else None
+            in
+            match altpred with
+            | Some a when a <> pdir ->
+              e.u <-
+                (if pdir = taken then min (Counter.max_value ~bits:cfg.u_bits) (pu + 1)
+                 else max 0 (pu - 1))
+            | _ -> ()
+          end
+        | None -> ());
+        (* Allocate on a wrong effective prediction, in tables above the
+           provider (or anywhere when nothing hit). *)
+        let wrong = match effective with Some d -> d <> taken | None -> true in
+        let can_extend = hit = 0 || provider < ntables - 1 in
+        if wrong && can_extend then
+          allocate pcv ev ~slot ~above:(if hit = 1 then provider + 1 else 0) ~taken
+      end
+    done
   in
   let storage =
     Storage.make ~sram_bits:(storage_bits cfg)

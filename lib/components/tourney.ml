@@ -21,8 +21,9 @@ let default ~name =
 let meta_layout cfg =
   List.concat_map (fun _ -> [ 1; 1; 1; 1; cfg.counter_bits ]) (List.init cfg.fetch_width Fun.id)
 
-let dir_of (op : Types.opinion) =
-  match op.o_taken with Some taken -> Some taken | None -> None
+(* Returns the field itself: re-building [Some taken] would allocate a
+   fresh option per slot per predict. *)
+let dir_of (op : Types.opinion) = op.o_taken
 
 let make cfg =
   if not (Bitops.is_power_of_two cfg.entries) then
@@ -30,13 +31,14 @@ let make cfg =
   let index_bits = Bitops.log2_exact cfg.entries in
   let table = Array.make cfg.entries (Counter.weakly_not_taken ~bits:cfg.counter_bits) in
   let index (ctx : Context.t) ~slot =
-    Hashing.combine ~bits:index_bits
-      [
-        Hashing.pc_index ~pc:(Context.slot_pc ctx slot) ~bits:index_bits;
-        Hashing.folded_history ctx.ghist ~len:cfg.history_length ~bits:index_bits;
-      ]
+    (* both operands are already masked to [index_bits], so a plain xor
+       matches [Hashing.combine] without building its argument list *)
+    Hashing.pc_index ~pc:(Context.slot_pc ctx slot) ~bits:index_bits
+    lxor Context.folded_ghist ctx ~len:cfg.history_length ~bits:index_bits
   in
   let meta_bits = Bitpack.width_of (meta_layout cfg) in
+  let packer = Bitpack.Packer.create ~width:meta_bits in
+  let cursor = Bitpack.Cursor.create () in
   let predict (ctx : Context.t) ~pred_in =
     let p0, p1 =
       match pred_in with
@@ -46,45 +48,50 @@ let make cfg =
           (Printf.sprintf "%s: tournament selector needs exactly 2 predict_in, got %d" cfg.name
              (List.length l))
     in
-    let fields = ref [] in
-    let pred =
-      Array.init cfg.fetch_width (fun slot ->
-          let d0 = dir_of p0.(slot) and d1 = dir_of p1.(slot) in
-          let ctr = table.(index ctx ~slot) in
-          let bit = function Some true -> 1 | _ -> 0 in
-          let valid = function Some _ -> 1 | None -> 0 in
-          fields :=
-            (ctr, cfg.counter_bits) :: (bit d1, 1) :: (valid d1, 1) :: (bit d0, 1)
-            :: (valid d0, 1) :: !fields;
-          let chosen =
-            if Counter.is_taken ~bits:cfg.counter_bits ctr then
-              (match d1 with Some _ -> d1 | None -> d0)
-            else match d0 with Some _ -> d0 | None -> d1
-          in
-          match chosen with
-          | Some taken when not (Types.unconditional_in p0 slot) ->
-            { Types.empty_opinion with o_taken = Some taken }
-          | Some _ | None -> Types.empty_opinion)
-    in
-    (pred, Bitpack.pack ~width:meta_bits (List.rev !fields))
+    let pred = Array.make cfg.fetch_width Types.empty_opinion in
+    for slot = 0 to cfg.fetch_width - 1 do
+      let d0 = dir_of p0.(slot) and d1 = dir_of p1.(slot) in
+      let ctr = table.(index ctx ~slot) in
+      let bit = function Some true -> 1 | _ -> 0 in
+      let valid = function Some _ -> 1 | None -> 0 in
+      Bitpack.Packer.add packer (valid d0) ~bits:1;
+      Bitpack.Packer.add packer (bit d0) ~bits:1;
+      Bitpack.Packer.add packer (valid d1) ~bits:1;
+      Bitpack.Packer.add packer (bit d1) ~bits:1;
+      Bitpack.Packer.add packer ctr ~bits:cfg.counter_bits;
+      let chosen =
+        if Counter.is_taken ~bits:cfg.counter_bits ctr then
+          (match d1 with Some _ -> d1 | None -> d0)
+        else match d0 with Some _ -> d0 | None -> d1
+      in
+      match chosen with
+      | Some taken when not (Types.unconditional_in p0 slot) ->
+        pred.(slot) <- Types.direction_hint ~taken
+      | Some _ | None -> ()
+    done;
+    (pred, Bitpack.Packer.finish packer)
   in
   let update (ev : Component.event) =
-    let fields = Bitpack.unpack ev.meta (meta_layout cfg) in
-    let rec per_slot slot = function
-      | v0 :: b0 :: v1 :: b1 :: ctr :: rest ->
-        let (r : Types.resolved) = ev.slots.(slot) in
-        (* Train the chooser only when the sub-predictors disagreed. *)
-        if r.r_is_branch && r.r_kind = Types.Cond && v0 = 1 && v1 = 1 && b0 <> b1 then begin
-          let actual = if r.r_taken then 1 else 0 in
-          let toward_p1 = b1 = actual in
-          table.(index ev.ctx ~slot) <-
-            Counter.update ~bits:cfg.counter_bits ctr ~taken:toward_p1
-        end;
-        per_slot (slot + 1) rest
-      | [] -> ()
-      | _ -> assert false
-    in
-    per_slot 0 fields
+    Bitpack.Cursor.reset cursor ev.meta;
+    for slot = 0 to cfg.fetch_width - 1 do
+      let v0 = Bitpack.Cursor.take cursor ~bits:1 in
+      let b0 = Bitpack.Cursor.take cursor ~bits:1 in
+      let v1 = Bitpack.Cursor.take cursor ~bits:1 in
+      let b1 = Bitpack.Cursor.take cursor ~bits:1 in
+      let ctr = Bitpack.Cursor.take cursor ~bits:cfg.counter_bits in
+      let (r : Types.resolved) = ev.slots.(slot) in
+      (* Train the chooser only when the sub-predictors disagreed. *)
+      if
+        r.r_is_branch
+        && (match r.r_kind with Types.Cond -> true | _ -> false)
+        && v0 = 1 && v1 = 1 && b0 <> b1
+      then begin
+        let actual = if r.r_taken then 1 else 0 in
+        let toward_p1 = b1 = actual in
+        table.(index ev.ctx ~slot) <-
+          Counter.update ~bits:cfg.counter_bits ctr ~taken:toward_p1
+      end
+    done
   in
   let storage =
     Storage.make ~sram_bits:(cfg.entries * cfg.counter_bits)

@@ -45,64 +45,67 @@ let make cfg =
     Hashtbl.replace cam tag i
   in
   let meta_bits = Bitpack.width_of (meta_layout cfg) in
+  let packer = Bitpack.Packer.create ~width:meta_bits in
+  let cursor = Bitpack.Cursor.create () in
   let predict (ctx : Context.t) ~pred_in:_ =
-    let fields = ref [] in
-    let pred =
-      Array.init cfg.fetch_width (fun slot ->
-          let pc = Context.slot_pc ctx slot in
-          match lookup pc with
-          | Some i ->
-            let e = table.(i) in
-            fields := (e.ctr, cfg.counter_bits) :: (i, way_bits cfg) :: (1, 1) :: !fields;
-            let taken =
-              if Types.is_unconditional e.kind then true
-              else Counter.is_taken ~bits:cfg.counter_bits e.ctr
-            in
-            {
-              Types.o_branch = Some true;
-              o_kind = Some e.kind;
-              o_taken = Some taken;
-              o_target = Some e.target;
-            }
-          | None ->
-            fields := (0, cfg.counter_bits) :: (0, way_bits cfg) :: (0, 1) :: !fields;
-            Types.empty_opinion)
-    in
-    (pred, Bitpack.pack ~width:meta_bits (List.rev !fields))
+    let pred = Array.make cfg.fetch_width Types.empty_opinion in
+    for slot = 0 to cfg.fetch_width - 1 do
+      let pc = Context.slot_pc ctx slot in
+      match lookup pc with
+      | Some i ->
+        let e = table.(i) in
+        Bitpack.Packer.add packer 1 ~bits:1;
+        Bitpack.Packer.add packer i ~bits:(way_bits cfg);
+        Bitpack.Packer.add packer e.ctr ~bits:cfg.counter_bits;
+        let taken =
+          if Types.is_unconditional e.kind then true
+          else Counter.is_taken ~bits:cfg.counter_bits e.ctr
+        in
+        pred.(slot) <-
+          {
+            Types.o_branch = Some true;
+            o_kind = Some e.kind;
+            o_taken = Some taken;
+            o_target = Some e.target;
+          }
+      | None ->
+        Bitpack.Packer.add packer 0 ~bits:1;
+        Bitpack.Packer.add packer 0 ~bits:(way_bits cfg);
+        Bitpack.Packer.add packer 0 ~bits:cfg.counter_bits
+    done;
+    (pred, Bitpack.Packer.finish packer)
   in
   let update (ev : Component.event) =
-    let fields = Bitpack.unpack ev.meta (meta_layout cfg) in
-    let rec per_slot slot = function
-      | hit :: way :: ctr :: rest ->
-        let (r : Types.resolved) = ev.slots.(slot) in
-        if r.r_is_branch then begin
-          if hit = 1 then begin
-            let e = table.(way) in
-            (* The entry may have been replaced since predict; only train a
-               still-matching entry, as the hardware tag check would. *)
-            let pc = Context.slot_pc ev.ctx slot in
-            if e.valid && e.pc_tag = tag_of pc then begin
-              e.ctr <- Counter.update ~bits:cfg.counter_bits ctr ~taken:r.r_taken;
-              if r.r_taken then e.target <- r.r_target
-            end
+    Bitpack.Cursor.reset cursor ev.meta;
+    for slot = 0 to cfg.fetch_width - 1 do
+      let hit = Bitpack.Cursor.take cursor ~bits:1 in
+      let way = Bitpack.Cursor.take cursor ~bits:(way_bits cfg) in
+      let ctr = Bitpack.Cursor.take cursor ~bits:cfg.counter_bits in
+      let (r : Types.resolved) = ev.slots.(slot) in
+      if r.r_is_branch then begin
+        if hit = 1 then begin
+          let e = table.(way) in
+          (* The entry may have been replaced since predict; only train a
+             still-matching entry, as the hardware tag check would. *)
+          let pc = Context.slot_pc ev.ctx slot in
+          if e.valid && e.pc_tag = tag_of pc then begin
+            e.ctr <- Counter.update ~bits:cfg.counter_bits ctr ~taken:r.r_taken;
+            if r.r_taken then e.target <- r.r_target
           end
-          else if r.r_taken then begin
-            let i = !replace in
-            replace := (i + 1) mod cfg.entries;
-            let e = table.(i) in
-            install i (tag_of (Context.slot_pc ev.ctx slot));
-            e.valid <- true;
-            e.pc_tag <- tag_of (Context.slot_pc ev.ctx slot);
-            e.target <- r.r_target;
-            e.kind <- r.r_kind;
-            e.ctr <- Counter.weakly_taken ~bits:cfg.counter_bits
-          end
-        end;
-        per_slot (slot + 1) rest
-      | [] -> ()
-      | _ -> assert false
-    in
-    per_slot 0 fields
+        end
+        else if r.r_taken then begin
+          let i = !replace in
+          replace := (i + 1) mod cfg.entries;
+          let e = table.(i) in
+          install i (tag_of (Context.slot_pc ev.ctx slot));
+          e.valid <- true;
+          e.pc_tag <- tag_of (Context.slot_pc ev.ctx slot);
+          e.target <- r.r_target;
+          e.kind <- r.r_kind;
+          e.ctr <- Counter.weakly_taken ~bits:cfg.counter_bits
+        end
+      end
+    done
   in
   let entry_bits = 1 + tag_bits + target_bits + 3 + cfg.counter_bits in
   (* Small and fully associative: flops, not SRAM. *)

@@ -78,7 +78,7 @@ let make cfg =
     let rec per_slot slot = function
       | ch :: hit :: cached :: rest ->
         let (r : Types.resolved) = ev.slots.(slot) in
-        if r.r_is_branch && r.r_kind = Types.Cond then begin
+        if Types.cond_branch r then begin
           let bias_taken = Counter.is_taken ~bits:cfg.counter_bits ch in
           let cache = if bias_taken then nt_cache else t_cache in
           let e = cache.(cache_index ev.ctx ~slot) in

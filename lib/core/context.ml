@@ -4,6 +4,14 @@ type t = {
   ghist : Cobra_util.Bits.t;
   lhists : Cobra_util.Bits.t array;
   phist : Cobra_util.Bits.t;
+  (* Folded-history memo: every component folding the same history to the
+     same (len, bits) shape gets the predict-time result back, including at
+     update/repair time (the context snapshot travels with the packet, and
+     the histories it holds are immutable). Flat parallel arrays + linear
+     scan: the population is a handful of distinct shapes per design. *)
+  mutable memo_keys : int array;
+  mutable memo_vals : int array;
+  mutable memo_count : int;
 }
 
 let slot_pc t i = t.pc + (4 * i)
@@ -11,4 +19,34 @@ let slot_pc t i = t.pc + (4 * i)
 let make ~pc ~fetch_width ~ghist ~lhists ?(phist = Cobra_util.Bits.zero 0) () =
   if Array.length lhists <> fetch_width then
     invalid_arg "Context.make: lhists length must equal fetch width";
-  { pc; fetch_width; ghist; lhists; phist }
+  { pc; fetch_width; ghist; lhists; phist; memo_keys = [||]; memo_vals = [||]; memo_count = 0 }
+
+let memo_capacity = 16
+
+let folded t ~src ~history ~len ~bits =
+  let key = (src lsl 22) lor (len lsl 6) lor bits in
+  let n = t.memo_count in
+  let keys = t.memo_keys in
+  let hit = ref (-1) in
+  let i = ref 0 in
+  while !hit < 0 && !i < n do
+    if keys.(!i) = key then hit := !i;
+    incr i
+  done;
+  match !hit with
+  | i when i >= 0 -> t.memo_vals.(i)
+  | _ ->
+    let v = Cobra_util.Bits.fold_xor_sub history ~len bits in
+    if Array.length t.memo_keys = 0 then begin
+      t.memo_keys <- Array.make memo_capacity 0;
+      t.memo_vals <- Array.make memo_capacity 0
+    end;
+    if n < Array.length t.memo_keys then begin
+      t.memo_keys.(n) <- key;
+      t.memo_vals.(n) <- v;
+      t.memo_count <- n + 1
+    end;
+    v
+
+let folded_ghist t ~len ~bits = folded t ~src:0 ~history:t.ghist ~len ~bits
+let folded_phist t ~len ~bits = folded t ~src:1 ~history:t.phist ~len ~bits

@@ -14,6 +14,9 @@ type t = {
       (** speculative path history: folded target bits of recent taken
           branches (paper IV-B3's "other variants of history information");
           width 0 when the pipeline does not generate a path provider *)
+  mutable memo_keys : int array;  (** see {!folded_ghist} — managed internally *)
+  mutable memo_vals : int array;
+  mutable memo_count : int;
 }
 
 val slot_pc : t -> int -> int
@@ -27,3 +30,13 @@ val make :
   ?phist:Cobra_util.Bits.t ->
   unit ->
   t
+
+val folded_ghist : t -> len:int -> bits:int -> int
+(** [folded_ghist t ~len ~bits] is
+    [Bits.fold_xor_sub t.ghist ~len bits], memoized per context: every
+    component of a design folding the same history shape — at predict time
+    or in a later event carrying the same packet context — pays for the
+    fold once per fetch packet. *)
+
+val folded_phist : t -> len:int -> bits:int -> int
+(** Same memoization over the path history. *)

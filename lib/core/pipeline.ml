@@ -72,6 +72,10 @@ type t = {
   path : Ghist_provider.t;  (* the path history reuses the shift-register provider *)
   lhist : Lhist_provider.t;
   hf : History_file.t;
+  bottom : Types.prediction array;
+      (* all-silent stage composites below the topology, shared across
+         predicts: opinions are immutable and [evaluate] never writes
+         through it, so one allocation at elaboration serves every cycle *)
   mutable pending : pending list; (* oldest first *)
   mutable next_token : token;
   mutable observer : (observation -> unit) option;
@@ -88,17 +92,19 @@ let create cfg topo =
   | Error msg -> invalid_arg ("Pipeline.create: invalid topology: " ^ msg));
   let comps = Array.of_list (Topology.components topo) in
   let meta_bits = Array.map (fun (c : Component.t) -> c.meta_bits) comps in
+  let depth = Topology.max_latency topo in
   {
     cfg;
     topo;
     comps;
-    depth = Topology.max_latency topo;
+    depth;
     ghist = Ghist_provider.create ~bits:cfg.ghist_bits;
     path = Ghist_provider.create ~bits:(max 1 cfg.path_bits);
     lhist = Lhist_provider.create ~entries:cfg.lhist_entries ~bits:cfg.lhist_bits;
     hf =
       History_file.create ~capacity:cfg.history_entries ~meta_bits ~fetch_width:cfg.fetch_width
         ~ghist_bits:cfg.ghist_bits ~lhist_bits:cfg.lhist_bits;
+    bottom = Array.make depth (Types.no_prediction ~width:cfg.fetch_width);
     pending = [];
     next_token = 0;
     observer = None;
@@ -153,7 +159,6 @@ let evaluate t (ctx : Context.t) =
   let metas = Array.make (Array.length t.comps) (Bits.zero 0) in
   let raw = if observed t then Some (Array.make (Array.length t.comps) [||]) else None in
   let record id pred = match raw with Some r -> r.(id) <- pred | None -> () in
-  let width = ctx.Context.fetch_width in
   let overlay below ~latency pred =
     if is_silent pred then below
     else
@@ -185,8 +190,7 @@ let evaluate t (ctx : Context.t) =
          path — keeps showing through from the first sub-topology. *)
       overlay (List.hd sub_arrays) ~latency:sel.Component.latency pred
   in
-  let bottom = Array.make t.depth (Types.no_prediction ~width) in
-  let stages = eval t.topo bottom in
+  let stages = eval t.topo t.bottom in
   (stages, metas, raw)
 
 (* --- frontend side ------------------------------------------------------ *)
@@ -198,56 +202,65 @@ let read_lhists t ~pc =
    push a speculative bit into the local history of their own PC. *)
 let push_lhists t ~pc ~packet_len (pred : Types.prediction) =
   let pushes = ref [] in
-  Array.iteri
-    (fun i (op : Types.opinion) ->
-      if i < packet_len && op.o_branch = Some true && (op.o_kind = None || op.o_kind = Some Types.Cond)
-      then begin
-        let slot_pc = pc + (4 * i) in
-        let prior = Lhist_provider.read t.lhist ~pc:slot_pc in
-        Lhist_provider.push t.lhist ~pc:slot_pc (op.o_taken = Some true);
-        pushes := (slot_pc, prior) :: !pushes
-      end)
-    pred;
+  for i = 0 to Array.length pred - 1 do
+    let (op : Types.opinion) = pred.(i) in
+    if
+      i < packet_len
+      && (match op.o_branch with Some true -> true | Some false | None -> false)
+      && (match op.o_kind with None | Some Types.Cond -> true | Some _ -> false)
+    then begin
+      let slot_pc = pc + (4 * i) in
+      let prior = Lhist_provider.read t.lhist ~pc:slot_pc in
+      Lhist_provider.push t.lhist ~pc:slot_pc
+        (match op.o_taken with Some true -> true | Some false | None -> false);
+      pushes := (slot_pc, prior) :: !pushes
+    end
+  done;
   List.rev !pushes
 
 let path_bits_per_branch = 3
 
 (* Path bits contributed by a packet: folded low target bits of its first
    (acted) taken branch, oldest first. *)
+(* Expand a folded target hash into its bit list, lowest bit first. *)
+let rec path_bits_build folded k acc =
+  if k < 0 then acc else path_bits_build folded (k - 1) (((folded lsr k) land 1 = 1) :: acc)
+
+let path_bits_of_target target =
+  let folded =
+    Cobra_util.Hashing.fold_int (Cobra_util.Hashing.pc_bits target) ~width:62
+      ~bits:path_bits_per_branch
+  in
+  path_bits_build folded (path_bits_per_branch - 1) []
+
+let rec path_bits_find_slot slots len i =
+  if i >= len then []
+  else
+    let (r : Types.resolved) = slots.(i) in
+    if r.r_is_branch && r.r_taken then path_bits_of_target r.r_target
+    else path_bits_find_slot slots len (i + 1)
+
 let path_bits_of_slots t slots ~packet_len =
   if t.cfg.path_bits = 0 then []
-  else begin
-    let len = min packet_len (Array.length slots) in
-    let rec find i =
-      if i >= len then []
-      else
-        let (r : Types.resolved) = slots.(i) in
-        if r.r_is_branch && r.r_taken then begin
-          let folded =
-            Cobra_util.Hashing.fold_int
-              (Cobra_util.Hashing.pc_bits r.r_target)
-              ~width:62 ~bits:path_bits_per_branch
-          in
-          List.init path_bits_per_branch (fun k -> (folded lsr k) land 1 = 1)
-        end
-        else find (i + 1)
-    in
-    find 0
-  end
+  else path_bits_find_slot slots (min packet_len (Array.length slots)) 0
 
-(* The predicted per-slot view of a stage composite, used to derive path
-   bits at predict time. *)
-let predicted_view_of_prediction (pred : Types.prediction) ~packet_len =
-  Array.mapi
-    (fun i (op : Types.opinion) ->
-      if i >= packet_len then Types.no_branch
-      else if op.o_branch = Some true then
-        Types.resolved_branch
-          ~kind:(Option.value op.o_kind ~default:Types.Cond)
-          ~taken:(op.o_taken = Some true)
-          ~target:(Option.value op.o_target ~default:0)
-      else Types.no_branch)
-    pred
+(* Path bits implied by a stage composite at predict time: the first slot
+   predicted as a taken branch, read straight off the opinions (what
+   [path_bits_of_slots] would see through the predicted resolved view,
+   without materialising that view). *)
+let rec path_bits_find_op (pred : Types.prediction) len i =
+  if i >= len then []
+  else
+    let op = pred.(i) in
+    if
+      (match op.Types.o_branch with Some true -> true | Some false | None -> false)
+      && (match op.Types.o_taken with Some true -> true | Some false | None -> false)
+    then path_bits_of_target (match op.Types.o_target with Some tgt -> tgt | None -> 0)
+    else path_bits_find_op pred len (i + 1)
+
+let path_bits_of_prediction t (pred : Types.prediction) ~packet_len =
+  if t.cfg.path_bits = 0 then []
+  else path_bits_find_op pred (min packet_len (Array.length pred)) 0
 
 let unwind_lhist_pushes t pushes =
   List.iter (fun (pc, prior) -> Lhist_provider.restore t.lhist ~pc prior) (List.rev pushes)
@@ -266,11 +279,7 @@ let predict t ~pc ~max_len =
   let nf = Types.next_fetch stage1 ~pc ~max_len in
   let dir_bits = Types.direction_bits stage1 ~packet_len:nf.Types.packet_len in
   Ghist_provider.push_pending t.ghist dir_bits;
-  let path_bits =
-    path_bits_of_slots t
-      (predicted_view_of_prediction stage1 ~packet_len:nf.Types.packet_len)
-      ~packet_len:nf.Types.packet_len
-  in
+  let path_bits = path_bits_of_prediction t stage1 ~packet_len:nf.Types.packet_len in
   if t.cfg.path_bits > 0 then Ghist_provider.push_pending t.path path_bits;
   let lhist_pushes = push_lhists t ~pc ~packet_len:nf.Types.packet_len stage1 in
   let token = t.next_token in
@@ -293,10 +302,15 @@ let predict t ~pc ~max_len =
   observe t (Predicted { token; pc; max_len });
   token
 
-let find_pending t token =
-  match List.find_opt (fun p -> p.p_token = token) t.pending with
-  | Some p -> p
-  | None -> invalid_arg (Printf.sprintf "Pipeline: token %d is not pending" token)
+(* Threaded-argument recursion: [List.find_opt] with a capturing predicate
+   would allocate a closure per lookup, and the host calls this several
+   times per packet per cycle. *)
+let rec find_pending_in pending token =
+  match pending with
+  | [] -> invalid_arg (Printf.sprintf "Pipeline: token %d is not pending" token)
+  | p :: rest -> if p.p_token = token then p else find_pending_in rest token
+
+let find_pending t token = find_pending_in t.pending token
 
 let pending_depth t token =
   let rec loop i = function
@@ -343,41 +357,51 @@ let predicted_slots (entry : History_file.entry) =
   Array.map (fun (s : History_file.slot_state) -> s.predicted) entry.e_slots
 
 let effective_slots (entry : History_file.entry) =
-  Array.mapi
-    (fun i (s : History_file.slot_state) ->
-      if i >= entry.e_packet_len then Types.no_branch
-      else match s.actual with Some r -> r | None -> s.predicted)
-    entry.e_slots
+  let n = Array.length entry.e_slots in
+  let out = Array.make n Types.no_branch in
+  for i = 0 to entry.e_packet_len - 1 do
+    if i < n then
+      let (s : History_file.slot_state) = entry.e_slots.(i) in
+      out.(i) <- (match s.actual with Some r -> r | None -> s.predicted)
+  done;
+  out
 
 (* Push local-history bits for the conditional branches of a slot vector,
    returning the (pc, prior) undo list. *)
 let push_lhists_of_slots t ctx slots ~packet_len =
   let pushes = ref [] in
   let stop = ref false in
-  Array.iteri
-    (fun i (s : Types.resolved) ->
-      if (not !stop) && i < packet_len && s.r_is_branch && s.r_kind = Types.Cond then begin
-        let slot_pc = Context.slot_pc ctx i in
-        let prior = Lhist_provider.read t.lhist ~pc:slot_pc in
-        Lhist_provider.push t.lhist ~pc:slot_pc s.r_taken;
-        pushes := (slot_pc, prior) :: !pushes
-      end;
-      if i < packet_len && s.r_is_branch && s.r_taken then stop := true)
-    slots;
+  for i = 0 to Array.length slots - 1 do
+    let (s : Types.resolved) = slots.(i) in
+    if
+      (not !stop) && i < packet_len && s.r_is_branch
+      && match s.r_kind with Types.Cond -> true | _ -> false
+    then begin
+      let slot_pc = Context.slot_pc ctx i in
+      let prior = Lhist_provider.read t.lhist ~pc:slot_pc in
+      Lhist_provider.push t.lhist ~pc:slot_pc s.r_taken;
+      pushes := (slot_pc, prior) :: !pushes
+    end;
+    if i < packet_len && s.r_is_branch && s.r_taken then stop := true
+  done;
   List.rev !pushes
 
 (* Direction bits implied by per-slot outcomes: one bit per conditional
    branch, stopping after the first taken slot. *)
+let rec dir_bits_of_slots_loop slots len i acc =
+  if i >= len then List.rev acc
+  else
+    let (s : Types.resolved) = slots.(i) in
+    let acc =
+      if s.r_is_branch && (match s.r_kind with Types.Cond -> true | _ -> false) then
+        s.r_taken :: acc
+      else acc
+    in
+    if s.r_is_branch && s.r_taken then List.rev acc
+    else dir_bits_of_slots_loop slots len (i + 1) acc
+
 let dir_bits_of_slots slots ~packet_len =
-  let len = min packet_len (Array.length slots) in
-  let rec loop i acc =
-    if i >= len then List.rev acc
-    else
-      let (s : Types.resolved) = slots.(i) in
-      let acc = if s.r_is_branch && s.r_kind = Types.Cond then s.r_taken :: acc else acc in
-      if s.r_is_branch && s.r_taken then List.rev acc else loop (i + 1) acc
-  in
-  loop 0 []
+  dir_bits_of_slots_loop slots (min packet_len (Array.length slots)) 0 []
 
 let fire t token ~slots ~packet_len =
   (match t.pending with

@@ -22,8 +22,28 @@ type resolved = { r_is_branch : bool; r_kind : branch_kind; r_taken : bool; r_ta
 
 let no_branch = { r_is_branch = false; r_kind = Cond; r_taken = false; r_target = 0 }
 
+(* Interned not-taken outcomes, one per kind: [resolved] records are
+   immutable and never compared physically, and the hot fire/resolve paths
+   build this exact shape for every branch slot that does not redirect. *)
+let not_taken_cond = { r_is_branch = true; r_kind = Cond; r_taken = false; r_target = 0 }
+let not_taken_jump = { not_taken_cond with r_kind = Jump }
+let not_taken_call = { not_taken_cond with r_kind = Call }
+let not_taken_ret = { not_taken_cond with r_kind = Ret }
+let not_taken_ind = { not_taken_cond with r_kind = Ind }
+
+(* Match, not polymorphic [=]: component update loops test this per slot. *)
+let cond_branch r =
+  r.r_is_branch && match r.r_kind with Cond -> true | Jump | Call | Ret | Ind -> false
+
 let resolved_branch ~kind ~taken ~target =
-  { r_is_branch = true; r_kind = kind; r_taken = taken; r_target = target }
+  if (not taken) && target = 0 then
+    match kind with
+    | Cond -> not_taken_cond
+    | Jump -> not_taken_jump
+    | Call -> not_taken_call
+    | Ret -> not_taken_ret
+    | Ind -> not_taken_ind
+  else { r_is_branch = true; r_kind = kind; r_taken = taken; r_target = target }
 
 type opinion = {
   o_branch : bool option;
@@ -39,6 +59,13 @@ let full_opinion ~kind ~taken ~target =
 
 let direction_opinion ~taken =
   { o_branch = Some true; o_kind = Some Cond; o_taken = Some taken; o_target = None }
+
+(* Preallocated direction-only opinions for the per-slot hot path. Safe to
+   share: opinions are immutable, and the only physical-equality test in the
+   codebase is against [empty_opinion], which these are not. *)
+let hint_taken = { empty_opinion with o_taken = Some true }
+let hint_not_taken = { empty_opinion with o_taken = Some false }
+let direction_hint ~taken = if taken then hint_taken else hint_not_taken
 
 let first_some a b = match a with Some _ -> a | None -> b
 
@@ -78,32 +105,41 @@ let equal_prediction a b =
 
 type next_fetch = { taken_slot : int option; packet_len : int; next_pc : int option }
 
+(* Pattern matches rather than [= Some true]: polymorphic equality is an
+   out-of-line C call, and these predicates run per slot per cycle. *)
 let is_taken_slot op =
-  op.o_branch = Some true && op.o_taken = Some true && op.o_target <> None
+  (match op.o_branch with Some true -> true | Some false | None -> false)
+  && (match op.o_taken with Some true -> true | Some false | None -> false)
+  && op.o_target != None
 
-let next_fetch pred ~pc:_ ~max_len =
-  let len = min max_len (Array.length pred) in
-  let rec find i =
-    if i >= len then { taken_slot = None; packet_len = len; next_pc = None }
-    else if is_taken_slot pred.(i) then
-      { taken_slot = Some i; packet_len = i + 1; next_pc = pred.(i).o_target }
-    else find (i + 1)
-  in
-  find 0
+(* All state is threaded through the arguments: an inner recursion that
+   captured [pred]/[len] would allocate a closure on every call, and this
+   runs per packet per stage per cycle. *)
+let rec next_fetch_find pred len i =
+  if i >= len then { taken_slot = None; packet_len = len; next_pc = None }
+  else if is_taken_slot pred.(i) then
+    { taken_slot = Some i; packet_len = i + 1; next_pc = pred.(i).o_target }
+  else next_fetch_find pred len (i + 1)
+
+let next_fetch pred ~pc:_ ~max_len = next_fetch_find pred (min max_len (Array.length pred)) 0
+
+let rec direction_bits_loop pred len i acc =
+  if i >= len then List.rev acc
+  else
+    let op = pred.(i) in
+    let is_cond_branch =
+      (match op.o_branch with Some true -> true | Some false | None -> false)
+      && (match op.o_kind with None | Some Cond -> true | Some _ -> false)
+    in
+    let acc =
+      if is_cond_branch then
+        (match op.o_taken with Some true -> true | Some false | None -> false) :: acc
+      else acc
+    in
+    if is_taken_slot op then List.rev acc else direction_bits_loop pred len (i + 1) acc
 
 let direction_bits pred ~packet_len =
-  let len = min packet_len (Array.length pred) in
-  let rec loop i acc =
-    if i >= len then List.rev acc
-    else
-      let op = pred.(i) in
-      let is_cond_branch =
-        op.o_branch = Some true && (op.o_kind = None || op.o_kind = Some Cond)
-      in
-      let acc = if is_cond_branch then (op.o_taken = Some true) :: acc else acc in
-      if is_taken_slot op then List.rev acc else loop (i + 1) acc
-  in
-  loop 0 []
+  direction_bits_loop pred (min packet_len (Array.length pred)) 0 []
 
 let pp_option pp ppf = function
   | None -> Format.pp_print_string ppf "-"

@@ -39,6 +39,12 @@ val no_branch : resolved
 (** A slot known to hold no control-flow instruction. *)
 
 val resolved_branch : kind:branch_kind -> taken:bool -> target:int -> resolved
+(** Not-taken outcomes with a zero target are interned: the returned record
+    may be physically shared, but is always structurally correct. *)
+
+val cond_branch : resolved -> bool
+(** The slot resolved as a conditional branch — the per-slot test of every
+    direction component's update loop, kept free of polymorphic compare. *)
 
 type opinion = {
   o_branch : bool option;  (** is there a branch in this slot? *)
@@ -51,6 +57,11 @@ val empty_opinion : opinion
 val full_opinion : kind:branch_kind -> taken:bool -> target:int -> opinion
 val direction_opinion : taken:bool -> opinion
 (** Predicts a conditional branch direction without knowing the target. *)
+
+val direction_hint : taken:bool -> opinion
+(** An opinion with only [o_taken] set — the common output of counter-table
+    components. Returns one of two preallocated records, so the per-slot hot
+    path does not cons. *)
 
 val merge_opinion : strong:opinion -> weak:opinion -> opinion
 (** Field-wise override: [strong]'s set fields win, unset fields fall

@@ -119,14 +119,45 @@ let history_repair ?insns () =
       ~config:{ Config.default with Config.replay_on_history_divergence = cfg_replay }
       Designs.tage_l (dhrystone ())
   in
-  let all =
-    Experiment.run_jobs ~label:"ablation:VI-B"
-      (jobs `None @ jobs `Repair @ jobs `Replay @ [ dhry_job false; dhry_job true ])
+  (* Results are recovered by an explicit (mode, workload) key rather than
+     index arithmetic over the flat result list: slicing with [List.nth]
+     offsets silently mispairs results the moment the job list changes
+     shape. [Experiment.find] cannot be used here because the two Dhrystone
+     jobs share a design and workload and differ only in config. *)
+  let mode_tag = function `None -> "none" | `Repair -> "repair" | `Replay -> "replay" in
+  let tag_jobs mode =
+    List.map2
+      (fun (w : Cobra_workloads.Suite.entry) j ->
+        ((mode_tag mode, w.Cobra_workloads.Suite.name), j))
+      workloads (jobs mode)
   in
-  let n = List.length workloads in
-  let slice lo hi = List.filteri (fun i _ -> i >= lo && i < hi) all in
-  let none = slice 0 n in
-  let no_replay = slice n (2 * n) and replay = slice (2 * n) (3 * n) in
+  let tagged =
+    tag_jobs `None @ tag_jobs `Repair @ tag_jobs `Replay
+    @ [ (("dhrystone", "no-replay"), dhry_job false);
+        (("dhrystone", "replay"), dhry_job true) ]
+  in
+  let keyed =
+    List.combine (List.map fst tagged)
+      (Experiment.run_jobs ~label:"ablation:VI-B" (List.map snd tagged))
+  in
+  let lookup key =
+    match List.assoc_opt key keyed with
+    | Some r -> r
+    | None ->
+      failwith
+        (Printf.sprintf "Ablations.history_repair: no result keyed (%s, %s); have: %s"
+           (fst key) (snd key)
+           (String.concat ", "
+              (List.map (fun ((m, w), _) -> Printf.sprintf "(%s, %s)" m w) keyed)))
+  in
+  let results_of mode =
+    List.map
+      (fun (w : Cobra_workloads.Suite.entry) ->
+        lookup (mode_tag mode, w.Cobra_workloads.Suite.name))
+      workloads
+  in
+  let none = results_of `None in
+  let no_replay = results_of `Repair and replay = results_of `Replay in
   let mean_ipc rs = Stats.harmonic_mean (List.map (fun r -> Perf.ipc r.Experiment.perf) rs) in
   let total_mispredicts rs =
     List.fold_left (fun acc r -> acc + r.Experiment.perf.Perf.mispredicts) 0 rs
@@ -134,7 +165,8 @@ let history_repair ?insns () =
   let ipc_none = mean_ipc none and ipc_nr = mean_ipc no_replay and ipc_r = mean_ipc replay in
   let mp_none = total_mispredicts none in
   let mp_nr = total_mispredicts no_replay and mp_r = total_mispredicts replay in
-  let dhry_nr = List.nth all (3 * n) and dhry_r = List.nth all ((3 * n) + 1) in
+  let dhry_nr = lookup ("dhrystone", "no-replay")
+  and dhry_r = lookup ("dhrystone", "replay") in
   let rows =
     List.map2
       (fun (a, b) c ->

@@ -135,6 +135,27 @@ let make_tage_l ~tage_latency =
 let tage_l = make_tage_l ~tage_latency:3
 let tage_l_with_latency latency = make_tage_l ~tage_latency:latency
 
+(* --- GShare: a single counter table, the perf-bench floor --------------------- *)
+
+let gshare_only =
+  let make () = Topology.node (Gshare.make (Gshare.default ~name:"GSHARE")) in
+  {
+    name = "GShare";
+    paper_storage_kb = 1.0;
+    paper_rows = [ "12-bit global history"; "4K 2-bit counters" ];
+    make;
+    pipeline_config =
+      {
+        Pipeline.fetch_width;
+        ghist_bits = 32;
+        lhist_bits = 8;
+        lhist_entries = 16;
+        history_entries = 32;
+        path_bits = 16;
+        predecode_history_correction = true;
+      };
+  }
+
 let all = [ tourney; b2; tage_l ]
 
 let find name = List.find (fun d -> String.equal d.name name) all

@@ -22,6 +22,11 @@ val tourney : t
 val b2 : t
 val tage_l : t
 
+val gshare_only : t
+(** A single-component gshare design — the minimum-work floor of the
+    [bench perf] regression suite. Not part of {!all} (it is not one of the
+    paper's designs). *)
+
 val all : t list
 (** Table I order: Tourney, B2, TAGE-L. *)
 

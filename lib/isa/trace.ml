@@ -15,6 +15,12 @@ type event = {
 let plain ~pc ~cls =
   { pc; cls; addr = None; srcs = []; dst = None; branch = None; next_pc = pc + 4 }
 
+let branch_exn ?(who = "Trace.branch_exn") ev =
+  match ev.branch with
+  | Some info -> info
+  | None ->
+    failwith (Printf.sprintf "%s: event at pc=0x%x carries no branch info" who ev.pc)
+
 let is_short_forward_branch ?(max_offset = 32) ev =
   match ev.branch with
   | Some { kind = Cobra.Types.Cond; target; _ } ->

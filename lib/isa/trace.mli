@@ -27,6 +27,11 @@ type event = {
 val plain : pc:int -> cls:insn_class -> event
 (** A non-branch event with no operands, falling through to [pc + 4]. *)
 
+val branch_exn : ?who:string -> event -> branch_info
+(** The event's branch info, or [Failure] naming the caller ([who]) and the
+    event's PC when the event is not a branch — a diagnosable error instead
+    of a bare [Option.get] crash. *)
+
 val is_short_forward_branch : ?max_offset:int -> event -> bool
 (** A conditional direct branch whose target lies a small distance forward —
     the "hammock" shape the paper's Section VI-C optimisation predicates

@@ -7,25 +7,26 @@ let class_to_string = function
   | Trace.Fp -> "fp"
   | Trace.Nop -> "nop"
 
-let class_of_string = function
-  | "alu" -> Trace.Alu
-  | "mul" -> Trace.Mul
-  | "div" -> Trace.Div
-  | "load" -> Trace.Load
-  | "store" -> Trace.Store
-  | "fp" -> Trace.Fp
-  | "nop" -> Trace.Nop
-  | s -> failwith ("Trace_file: unknown class " ^ s)
+let class_of_string_opt = function
+  | "alu" -> Some Trace.Alu
+  | "mul" -> Some Trace.Mul
+  | "div" -> Some Trace.Div
+  | "load" -> Some Trace.Load
+  | "store" -> Some Trace.Store
+  | "fp" -> Some Trace.Fp
+  | "nop" -> Some Trace.Nop
+  | _ -> None
 
 let kind_to_string k = Format.asprintf "%a" Cobra.Types.pp_branch_kind k
 
-let kind_of_string = function
-  | "cond" -> Cobra.Types.Cond
-  | "jump" -> Cobra.Types.Jump
-  | "call" -> Cobra.Types.Call
-  | "ret" -> Cobra.Types.Ret
-  | "ind" -> Cobra.Types.Ind
-  | s -> failwith ("Trace_file: unknown branch kind " ^ s)
+let kind_of_string_opt = function
+  | "cond" -> Some Cobra.Types.Cond
+  | "jump" -> Some Cobra.Types.Jump
+  | "call" -> Some Cobra.Types.Call
+  | "ret" -> Some Cobra.Types.Ret
+  | "ind" -> Some Cobra.Types.Ind
+  | _ -> None
+
 
 let event_to_string (ev : Trace.event) =
   let buf = Buffer.create 64 in
@@ -51,47 +52,70 @@ let event_to_string (ev : Trace.event) =
       (" S " ^ String.concat "," (List.map string_of_int srcs)));
   Buffer.contents buf
 
-let event_of_string line =
+let event_of_string ?lnum line =
   let line = String.trim line in
   if line = "" || line.[0] = '#' then None
   else begin
-    let fail () = failwith ("Trace_file: malformed line: " ^ line) in
+    let where = match lnum with None -> "" | Some n -> Printf.sprintf " at line %d" n in
+    let fail why = failwith (Printf.sprintf "Trace_file: %s%s: %S" why where line) in
     let tokens = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
     match tokens with
     | pc :: cls :: next_pc :: rest ->
-      let hex s = try int_of_string ("0x" ^ s) with Failure _ -> fail () in
+      let hex what s =
+        match int_of_string_opt ("0x" ^ s) with
+        | Some v -> v
+        | None -> fail (Printf.sprintf "bad hex %s %S" what s)
+      in
+      let reg what s =
+        (* Register numbers are non-negative by construction; a negative
+           value is a corrupt or hand-mangled trace, not a real operand. *)
+        match int_of_string_opt s with
+        | Some r when r >= 0 -> r
+        | Some r -> fail (Printf.sprintf "negative %s register %d" what r)
+        | None -> fail (Printf.sprintf "bad %s register %S" what s)
+      in
+      let cls_v =
+        match class_of_string_opt cls with
+        | Some c -> c
+        | None -> fail (Printf.sprintf "unknown class %S" cls)
+      in
       let base =
         {
-          (Trace.plain ~pc:(hex pc) ~cls:(class_of_string cls)) with
-          Trace.next_pc = hex next_pc;
+          (Trace.plain ~pc:(hex "pc" pc) ~cls:cls_v) with
+          Trace.next_pc = hex "next_pc" next_pc;
         }
       in
       let rec opts ev = function
         | "B" :: kind :: taken :: target :: rest ->
+          let kind_v =
+            match kind_of_string_opt kind with
+            | Some k -> k
+            | None -> fail (Printf.sprintf "unknown branch kind %S" kind)
+          in
+          let taken_v =
+            match taken with
+            | "1" -> true
+            | "0" -> false
+            | s -> fail (Printf.sprintf "bad taken flag %S (expected 0 or 1)" s)
+          in
           opts
             {
               ev with
               Trace.branch =
-                Some
-                  {
-                    Trace.kind = kind_of_string kind;
-                    taken = taken = "1";
-                    target = hex target;
-                  };
+                Some { Trace.kind = kind_v; taken = taken_v; target = hex "target" target };
             }
             rest
-        | "M" :: addr :: rest -> opts { ev with Trace.addr = Some (hex addr) } rest
-        | "D" :: dst :: rest ->
-          opts { ev with Trace.dst = Some (int_of_string dst) } rest
+        | "M" :: addr :: rest -> opts { ev with Trace.addr = Some (hex "addr" addr) } rest
+        | "D" :: dst :: rest -> opts { ev with Trace.dst = Some (reg "D" dst) } rest
         | "S" :: srcs :: rest ->
           opts
-            { ev with Trace.srcs = List.map int_of_string (String.split_on_char ',' srcs) }
+            { ev with Trace.srcs = List.map (reg "S") (String.split_on_char ',' srcs) }
             rest
         | [] -> ev
-        | _ -> fail ()
+        | tok :: _ -> fail (Printf.sprintf "unknown field %S" tok)
       in
       Some (opts base rest)
-    | _ -> fail ()
+    | _ -> fail "truncated line (need <pc> <class> <next_pc>)"
   end
 
 let write_channel oc events =
@@ -107,15 +131,15 @@ let save ~path events =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel oc events)
 
 let read_channel ic =
-  let rec loop acc =
+  let rec loop acc lnum =
     match input_line ic with
     | exception End_of_file -> List.rev acc
     | line -> (
-      match event_of_string line with
-      | Some ev -> loop (ev :: acc)
-      | None -> loop acc)
+      match event_of_string ~lnum line with
+      | Some ev -> loop (ev :: acc) (lnum + 1)
+      | None -> loop acc (lnum + 1))
   in
-  loop []
+  loop [] 1
 
 let load ~path =
   let ic = open_in path in

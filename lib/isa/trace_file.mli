@@ -13,7 +13,9 @@ val write_channel : out_channel -> Trace.event list -> unit
 val save : path:string -> Trace.event list -> unit
 
 val read_channel : in_channel -> Trace.event list
-(** Raises [Failure] with the offending line on parse errors. *)
+(** Raises [Failure] naming the (1-based) line number, the reason, and the
+    offending line on parse errors. Negative [D]/[S] register numbers are
+    rejected. *)
 
 val load : path:string -> Trace.event list
 
@@ -21,5 +23,6 @@ val load_stream : path:string -> Trace.stream
 (** Loads eagerly, streams lazily. *)
 
 val event_to_string : Trace.event -> string
-val event_of_string : string -> Trace.event option
-(** [None] for blank/comment lines. *)
+val event_of_string : ?lnum:int -> string -> Trace.event option
+(** [None] for blank/comment lines; [Failure] (naming [lnum] when given)
+    on malformed input. *)

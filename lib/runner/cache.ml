@@ -118,16 +118,48 @@ let mkdir_p d =
 
 let tmp_counter = Atomic.make 0
 
+(* Temporary files left by writers killed between create and rename would
+   otherwise accumulate forever. A live writer renames within milliseconds,
+   so anything [.tmp.*] older than an hour is orphaned and safe to unlink.
+   The sweep itself is best-effort: it must never turn a working store into
+   a failure. *)
+let stale_tmp_age = 3600.0
+
+let sweep_stale_tmp d =
+  match Sys.readdir d with
+  | exception Sys_error _ -> ()
+  | names ->
+    let now = Unix.gettimeofday () in
+    Array.iter
+      (fun name ->
+        if String.length name >= 5 && String.sub name 0 5 = ".tmp." then begin
+          let f = Filename.concat d name in
+          match Unix.stat f with
+          | st when now -. st.Unix.st_mtime > stale_tmp_age -> (
+            try Sys.remove f with Sys_error _ -> ())
+          | _ -> ()
+          | exception Unix.Unix_error _ -> ()
+        end)
+      names
+
 let store k p =
-  try
-    let d = dir () in
+  let d = dir () in
+  match
     mkdir_p d;
+    sweep_stale_tmp d;
     let tmp =
       Filename.concat d
         (Printf.sprintf ".tmp.%d.%d.%d" (Unix.getpid ())
            (Domain.self () :> int)
            (Atomic.fetch_and_add tmp_counter 1))
     in
-    Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc (serialize p));
-    Sys.rename tmp (path k)
-  with _ -> ()
+    (try
+       Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc (serialize p));
+       Sys.rename tmp (path k)
+     with e ->
+       (* don't leave our own orphan behind on a failed write/rename *)
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e)
+  with
+  | () -> Ok ()
+  | exception e -> Error (Printexc.to_string e)

@@ -38,7 +38,11 @@ val path : key -> string
 val load : key -> Cobra_uarch.Perf.t option
 (** [None] on miss or on any unreadable/corrupt entry. *)
 
-val store : key -> Cobra_uarch.Perf.t -> unit
+val store : key -> Cobra_uarch.Perf.t -> (unit, string) result
 (** Atomically (re)write the entry; creates {!dir} on demand. IO failures
-    (read-only filesystem, disk full) are swallowed — the cache is an
-    optimisation, never a correctness dependency. *)
+    (read-only filesystem, disk full) are reported as [Error message] — the
+    cache is an optimisation, so callers keep going, but a silently dead
+    cache hides a recompute-everything slowdown, so the failure must reach
+    the runner's telemetry rather than vanish. Each store also sweeps
+    orphaned [.tmp.*] files (from writers killed mid-store) older than an
+    hour out of {!dir}. *)

@@ -51,7 +51,12 @@ let run_perfs ?(label = "runner") ?jobs ?attempts ?progress specs =
       perf
     | None ->
       let perf = j.run () in
-      if use_cache then Cache.store k perf;
+      (if use_cache then
+         match Cache.store k perf with
+         | Ok () -> ()
+         | Error message ->
+           Progress.emit progress
+             (Progress.Store_error { job = i; key = Cache.hex k; message }));
       perf
   in
   let on_start i =

@@ -4,6 +4,7 @@ type event =
   | Retry of { job : int; attempt : int; message : string }
   | Finish of { job : int; ok : bool; cached : bool; elapsed : float }
   | Stats of { design : string; workload : string; summary : string }
+  | Store_error of { job : int; key : string; message : string }
 
 type t = {
   label : string;
@@ -16,6 +17,7 @@ type t = {
   mutable hits : int;
   mutable failures : int;
   mutable retries : int;
+  mutable store_errors : int;
   mutable closed : bool;
 }
 
@@ -46,6 +48,7 @@ let create ?(label = "jobs") ?events_path ?live ~total () =
     hits = 0;
     failures = 0;
     retries = 0;
+    store_errors = 0;
     closed = false;
   }
 
@@ -85,6 +88,10 @@ let json_of_event t e =
        \"workload\": \"%s\", \"summary\": \"%s\"}"
       (Unix.gettimeofday ()) (json_escape t.label) (json_escape design)
       (json_escape workload) (json_escape summary)
+  | Store_error { job; key; message } ->
+    common "store_error" job
+      (Printf.sprintf ", \"key\": \"%s\", \"error\": \"%s\"" (json_escape key)
+         (json_escape message))
 
 (* Every derived figure (rate, ETA) must stay finite on degenerate inputs:
    zero-job grids, the first event arriving at elapsed ~ 0, clock skew. *)
@@ -110,8 +117,11 @@ let status_line t =
     | Some eta -> Printf.sprintf ", ETA %.0fs" eta
     | None -> ""
   in
-  Printf.sprintf "[%s %d/%d, %d hits, %d failures%s%s]" t.label t.done_ t.total t.hits
-    t.failures rate eta
+  let store_errors =
+    if t.store_errors > 0 then Printf.sprintf ", %d store-errors" t.store_errors else ""
+  in
+  Printf.sprintf "[%s %d/%d, %d hits, %d failures%s%s%s]" t.label t.done_ t.total t.hits
+    t.failures store_errors rate eta
 
 let render t = Printf.eprintf "\r%s%!" (status_line t)
 
@@ -121,13 +131,16 @@ let record t e =
   | Start _ | Stats _ -> ()
   | Cache_hit _ -> t.hits <- t.hits + 1
   | Retry _ -> t.retries <- t.retries + 1
+  | Store_error _ -> t.store_errors <- t.store_errors + 1
   | Finish { ok; _ } ->
     t.done_ <- t.done_ + 1;
     if not ok then t.failures <- t.failures + 1);
   (match t.events with
   | Some oc -> ( try output_string oc (json_of_event t e ^ "\n"); flush oc with _ -> ())
   | None -> ());
-  match e with (Finish _ | Cache_hit _ | Retry _) when t.live -> render t | _ -> ()
+  match e with
+  | (Finish _ | Cache_hit _ | Retry _ | Store_error _) when t.live -> render t
+  | _ -> ()
 
 let with_lock t f =
   Mutex.lock t.lock;
@@ -138,15 +151,16 @@ let jobs_done t = with_lock t (fun () -> t.done_)
 let hits t = with_lock t (fun () -> t.hits)
 let failures t = with_lock t (fun () -> t.failures)
 let retries t = with_lock t (fun () -> t.retries)
+let store_errors t = with_lock t (fun () -> t.store_errors)
 
 let summary_json t =
   let elapsed = Float.max 0.0 (Unix.gettimeofday () -. t.t0) in
   Printf.sprintf
     "{\"ts\": %.6f, \"label\": \"%s\", \"event\": \"summary\", \"total\": %d, \"done\": \
-     %d, \"hits\": %d, \"failures\": %d, \"retries\": %d, \"elapsed\": %.6f, \"rate\": \
-     %.6f}"
+     %d, \"hits\": %d, \"failures\": %d, \"retries\": %d, \"store_errors\": %d, \
+     \"elapsed\": %.6f, \"rate\": %.6f}"
     (Unix.gettimeofday ()) (json_escape t.label) t.total t.done_ t.hits t.failures
-    t.retries elapsed (rate_of t ~elapsed)
+    t.retries t.store_errors elapsed (rate_of t ~elapsed)
 
 let finish t =
   with_lock t (fun () ->

@@ -15,9 +15,9 @@
       "start"|"cache_hit"|"retry"|"finish"|"stats"|"summary", ...}] with
     ["job"] and ["key"] on start/cache_hit, ["job"], ["attempt"] and
     ["error"] on retry, ["job"], ["ok"], ["cached"], ["elapsed"] on finish,
-    ["design"], ["workload"], ["summary"] on stats, and the final counters
-    plus ["elapsed"] and ["rate"] on the summary line written by
-    {!finish}. *)
+    ["design"], ["workload"], ["summary"] on stats, ["job"], ["key"] and
+    ["error"] on store_error, and the final counters plus ["elapsed"] and
+    ["rate"] on the summary line written by {!finish}. *)
 
 type t
 
@@ -29,6 +29,10 @@ type event =
   | Stats of { design : string; workload : string; summary : string }
       (** out-of-band statistics report announcement (no counter changes);
           mirrored to the events file as an ["event": "stats"] line *)
+  | Store_error of { job : int; key : string; message : string }
+      (** a result-cache write failed; the job itself still succeeded, but a
+          dead cache means every future run recomputes — surfaced in the
+          status line and counted so it cannot pass silently *)
 
 val create : ?label:string -> ?events_path:string -> ?live:bool -> total:int -> unit -> t
 val emit : t -> event -> unit
@@ -37,6 +41,7 @@ val jobs_done : t -> int
 val hits : t -> int
 val failures : t -> int
 val retries : t -> int
+val store_errors : t -> int
 
 val status_line : t -> string
 (** The live one-line rendering. Every derived figure (rate, ETA) is

@@ -57,6 +57,10 @@ type t = {
   fb : fb_entry Queue.t;
   rob : rentry Cb.t;
   mutable pending_branches : int list;  (* rob ids, oldest first *)
+  fire_scratch : Types.resolved array;
+      (* per-fire predicted-outcome slots handed to [Pipeline.fire], which
+         copies the records into the history file but never keeps the array
+         itself, so one fetch_width-sized buffer serves every fire *)
   scoreboard : int array;
   alu_busy : int array;
   mem_busy : int array;
@@ -89,6 +93,7 @@ let create ?(decode = fun _ -> None) cfg pl stream =
     fb = Queue.create ();
     rob = Cb.create ~capacity:cfg.Config.rob_entries;
     pending_branches = [];
+    fire_scratch = Array.make cfg.Config.fetch_width Types.no_branch;
     scoreboard = Array.make 32 0;
     alu_busy = Array.make cfg.Config.int_alus 0;
     mem_busy = Array.make cfg.Config.mem_ports 0;
@@ -163,31 +168,34 @@ let slots_to_block_end t pc = t.cfg.Config.fetch_width - ((pc / 4) mod t.cfg.Con
    actually-taken branch hold wrong-path block content (Junk). *)
 let pull_contents t ~pc ~max_len =
   let contents = Array.make max_len Junk in
-  let rec loop i expected =
-    if i < max_len then
-      match Trace.Buffered.peek t.stream with
-      | Some ev when ev.Trace.pc = expected ->
-        ignore (Trace.Buffered.next t.stream);
-        contents.(i) <- Real ev;
-        let seq_next = expected + 4 in
-        (* an actually-taken branch ends the correct-path content; later
-           slots hold wrong-path block bytes *)
-        if ev.Trace.next_pc = seq_next then loop (i + 1) seq_next
-      | Some _ | None -> ()
-  in
-  loop 0 pc;
+  let i = ref 0 in
+  let expected = ref pc in
+  let continue_ = ref true in
+  while !continue_ && !i < max_len do
+    (match Trace.Buffered.peek t.stream with
+    | Some ev when ev.Trace.pc = !expected ->
+      ignore (Trace.Buffered.next t.stream);
+      contents.(!i) <- Real ev;
+      let seq_next = !expected + 4 in
+      (* an actually-taken branch ends the correct-path content; later
+         slots hold wrong-path block bytes *)
+      if ev.Trace.next_pc = seq_next then begin
+        incr i;
+        expected := seq_next
+      end
+      else continue_ := false
+    | Some _ | None -> continue_ := false)
+  done;
   contents
 
-let first_branch_slot contents =
-  let n = Array.length contents in
-  let rec loop i =
-    if i >= n then None
-    else
-      match contents.(i) with
-      | (Real ev | Decoded ev) when ev.Trace.branch <> None -> Some i
-      | Real _ | Decoded _ | Junk -> loop (i + 1)
-  in
-  loop 0
+let rec first_branch_slot_from contents n i =
+  if i >= n then None
+  else
+    match contents.(i) with
+    | (Real ev | Decoded ev) when ev.Trace.branch != None -> Some i
+    | Real _ | Decoded _ | Junk -> first_branch_slot_from contents n (i + 1)
+
+let first_branch_slot contents = first_branch_slot_from contents (Array.length contents) 0
 
 let on_true_path t =
   match Trace.Buffered.peek t.stream with
@@ -271,7 +279,9 @@ let corrected_decision t pkt =
   let rec walk i =
     if i >= pkt.max_len then { d_slot = None; d_len = pkt.max_len; d_next = fallthrough }
     else
-      let predicted_taken_here = pkt.acted_slot = Some i in
+      let predicted_taken_here =
+        match pkt.acted_slot with Some j -> j = i | None -> false
+      in
       match pkt.contents.(i) with
       | Real ev | Decoded ev -> (
         match ev.Trace.branch with
@@ -314,17 +324,21 @@ let opinion_resolved (op : Types.opinion) ~taken ~target =
    positions and kinds come from predecode (real slots), directions from the
    acted decision. *)
 let fire_slots t pkt (d : decision) ~comp =
-  Array.init t.cfg.Config.fetch_width (fun i ->
-      if i >= d.d_len || i >= pkt.max_len then Types.no_branch
-      else
-        let taken = d.d_slot = Some i in
-        let target = if taken then d.d_next else 0 in
-        match pkt.contents.(i) with
-        | Real ev | Decoded ev -> (
-          match ev.Trace.branch with
-          | Some info -> Types.resolved_branch ~kind:info.Trace.kind ~taken ~target
-          | None -> Types.no_branch)
-        | Junk -> opinion_resolved comp.(i) ~taken ~target)
+  let slots = t.fire_scratch in
+  for i = 0 to t.cfg.Config.fetch_width - 1 do
+    slots.(i) <-
+      (if i >= d.d_len || i >= pkt.max_len then Types.no_branch
+       else
+         let taken = match d.d_slot with Some j -> j = i | None -> false in
+         let target = if taken then d.d_next else 0 in
+         match pkt.contents.(i) with
+         | Real ev | Decoded ev -> (
+           match ev.Trace.branch with
+           | Some info -> Types.resolved_branch ~kind:info.Trace.kind ~taken ~target
+           | None -> Types.no_branch)
+         | Junk -> opinion_resolved comp.(i) ~taken ~target)
+  done;
+  slots
 
 let update_ras t pkt (d : decision) ~comp =
   for i = 0 to d.d_len - 1 do
@@ -404,13 +418,14 @@ let try_fire t pkt =
     update_ras t pkt d ~comp;
     let ras_snap = Ras.checkpoint t.ras in
     for i = 0 to d.d_len - 1 do
+      let taken_here = match d.d_slot with Some j -> j = i | None -> false in
       Queue.add
         {
           f_content = pkt.contents.(i);
           f_seq = seq;
           f_slot = i;
-          f_pred_taken = d.d_slot = Some i;
-          f_pred_target = (if d.d_slot = Some i then d.d_next else 0);
+          f_pred_taken = taken_here;
+          f_pred_target = (if taken_here then d.d_next else 0);
           f_ras = ras_snap;
         }
         t.fb
@@ -609,7 +624,16 @@ let resolve_branches t =
         let ev =
           match e.content with Real ev -> ev | Decoded _ | Junk -> assert false
         in
-        let info = Option.get ev.Trace.branch in
+        let info =
+          match ev.Trace.branch with
+          | Some info -> info
+          | None ->
+            failwith
+              (Printf.sprintf
+                 "Core.resolve_branches: ROB entry at pc=0x%x tracked as a \
+                  pending branch carries no branch info (cycle %d)"
+                 ev.Trace.pc t.cycle)
+        in
         let actual_taken = info.Trace.taken in
         let actual =
           Types.resolved_branch ~kind:info.Trace.kind ~taken:actual_taken
@@ -765,5 +789,9 @@ let run ?max_cycles t ~max_insns =
         t.perf.Perf.cycles <- t.cycle
     end
   done;
-  drain_history t;
+  (* Only force-retire the history file once the program is over: [run] is
+     resumable (the instruction budget is cumulative), and draining entries
+     whose branches are still in flight would make a later resolution look
+     up a seq the history file no longer holds. *)
+  if finished t then drain_history t;
   t.perf

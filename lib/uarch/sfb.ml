@@ -39,7 +39,7 @@ let transform ~max_offset source =
           | None -> false
         in
         if Trace.is_short_forward_branch ~max_offset ev then begin
-          let info = Option.get ev.Trace.branch in
+          let info = Trace.branch_exn ~who:"Sfb.transform" ev in
           let flag = predicated_flag_of ev in
           if info.Trace.taken then begin
             (* Skipped shadow slots execute as predicated no-ops. *)

@@ -34,6 +34,69 @@ let pack ~width fields =
     Bits.init width (fun i -> bitvals.(i))
   end
 
+(* --- allocation-free packing ------------------------------------------------- *)
+
+let limb_bits = 62
+let limb_mask = (1 lsl limb_bits) - 1
+
+module Packer = struct
+  type t = {
+    width : int;
+    nlimbs : int;
+    scratch : int array;  (* accumulated in place, copied out by [finish] *)
+    mutable pos : int;
+  }
+
+  let create ~width =
+    if width < 0 then invalid_arg "Bitpack.Packer.create: negative width";
+    let nlimbs = (width + limb_bits - 1) / limb_bits in
+    { width; nlimbs; scratch = Array.make (max 1 nlimbs) 0; pos = 0 }
+
+  let reset t =
+    Array.fill t.scratch 0 (Array.length t.scratch) 0;
+    t.pos <- 0
+
+  let add t v ~bits =
+    if bits < 0 || bits > limb_bits then
+      invalid_arg "Bitpack.Packer.add: field width out of [0,62]";
+    if v < 0 || (bits < limb_bits && v >= 1 lsl bits) then
+      invalid_arg
+        (Printf.sprintf "Bitpack.Packer.add: value %d does not fit in %d bits" v bits);
+    if t.pos + bits > t.width then
+      invalid_arg
+        (Printf.sprintf "Bitpack.Packer.add: fields overflow declared width %d" t.width);
+    let j = t.pos / limb_bits and k = t.pos mod limb_bits in
+    t.scratch.(j) <- t.scratch.(j) lor ((v lsl k) land limb_mask);
+    if k + bits > limb_bits then t.scratch.(j + 1) <- t.scratch.(j + 1) lor (v lsr (limb_bits - k));
+    t.pos <- t.pos + bits
+
+  let finish t =
+    if t.pos <> t.width then
+      invalid_arg
+        (Printf.sprintf "Bitpack.Packer.finish: fields cover %d bits, declared %d" t.pos
+           t.width);
+    let b = Bits.of_limbs ~width:t.width (Array.sub t.scratch 0 t.nlimbs) in
+    reset t;
+    b
+end
+
+module Cursor = struct
+  type t = { mutable bits : Bits.t; mutable pos : int }
+
+  let create () = { bits = Bits.zero 0; pos = 0 }
+
+  let reset t bits =
+    t.bits <- bits;
+    t.pos <- 0
+
+  let take t ~bits =
+    let v = Bits.extract_int t.bits ~lo:t.pos ~len:bits in
+    t.pos <- t.pos + bits;
+    v
+
+  let skip t ~bits = t.pos <- t.pos + bits
+end
+
 let unpack bits layout =
   if width_of layout <> Bits.width bits then
     invalid_arg "Bitpack.unpack: layout does not match vector width";

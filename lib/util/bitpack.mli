@@ -15,3 +15,44 @@ val pack : width:int -> (int * int) list -> Bits.t
 val unpack : Bits.t -> int list -> int list
 (** [unpack bits layout] recovers the field values; [layout] must cover the
     vector exactly. *)
+
+(** Reusable accumulator for the per-cycle hot path: the same checks and bit
+    layout as {!pack}, but fields are written straight into a persistent
+    scratch buffer instead of consing a [(value, width)] list per call. A
+    component allocates one packer at elaboration time and calls
+    [add]* / [finish] once per predict. *)
+module Packer : sig
+  type t
+
+  val create : width:int -> t
+  (** A packer for metadata vectors of exactly [width] bits. *)
+
+  val add : t -> int -> bits:int -> unit
+  (** [add t v ~bits] appends [v] as the next [bits]-wide field (first field
+      in the low bits, matching {!pack}). Raises [Invalid_argument] when the
+      value does not fit or the fields overflow [width]. *)
+
+  val finish : t -> Bits.t
+  (** Seal the accumulated fields into a fresh vector and reset the packer
+      for the next cycle. Raises [Invalid_argument] unless the fields cover
+      [width] exactly. *)
+
+  val reset : t -> unit
+  (** Discard any partially accumulated fields (error recovery). *)
+end
+
+(** Zero-allocation field reader, the inverse of {!Packer}: walk a metadata
+    vector field-by-field without materialising the [int list] that {!unpack}
+    returns. One cursor per component, [reset] at the top of each event. *)
+module Cursor : sig
+  type t
+
+  val create : unit -> t
+  val reset : t -> Bits.t -> unit
+
+  val take : t -> bits:int -> int
+  (** Read the next [bits]-wide field ([bits <= 62]). *)
+
+  val skip : t -> bits:int -> unit
+  (** Advance past a field without decoding it. *)
+end

@@ -13,6 +13,12 @@ val zero : int -> t
 (** [zero w] is the all-zeros vector of width [w]. Raises [Invalid_argument]
     if [w < 0]. *)
 
+val of_limbs : width:int -> int array -> t
+(** [of_limbs ~width limbs] adopts [limbs] (little-endian, 62 bits per limb)
+    as the backing store — the caller must not mutate the array afterwards.
+    Raises [Invalid_argument] when the limb count does not match [width].
+    This is the zero-copy constructor behind {!Bitpack.Packer}. *)
+
 val of_int : width:int -> int -> t
 (** [of_int ~width v] keeps the low [width] bits of [v] ([v >= 0]). *)
 

@@ -1,15 +1,23 @@
 let pc_bits pc = pc lsr 2
 
+(* A while-loop over local refs: the refs never escape, so ocamlopt keeps
+   them in registers — an inner recursive closure here would heap-allocate
+   on every call of this extremely hot hash. *)
 let fold_int v ~width ~bits =
   if bits < 0 || bits > 62 then invalid_arg "Hashing.fold_int: bits out of [0,62]";
   if bits = 0 then 0
-  else
-  let mask = (1 lsl bits) - 1 in
-  let rec loop acc v remaining =
-    if remaining <= 0 then acc
-    else loop (acc lxor (v land mask)) (v lsr bits) (remaining - bits)
-  in
-  loop 0 (v land ((1 lsl (min width 62)) - 1)) width
+  else begin
+    let mask = (1 lsl bits) - 1 in
+    let acc = ref 0 in
+    let v = ref (v land ((1 lsl min width 62) - 1)) in
+    let remaining = ref width in
+    while !remaining > 0 do
+      acc := !acc lxor (!v land mask);
+      v := !v lsr bits;
+      remaining := !remaining - bits
+    done;
+    !acc
+  end
 
 let pc_index ~pc ~bits = fold_int (pc_bits pc) ~width:62 ~bits
 

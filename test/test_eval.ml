@@ -117,6 +117,20 @@ let test_sweep_reports () =
       check Alcotest.bool ("report mentions " ^ marker) true (contains report marker))
     checks
 
+(* --- ablations -------------------------------------------------------------------- *)
+
+(* Regression: the VI-B Dhrystone sensitivity runs used to be recovered from
+   the flat result list by index arithmetic (List.nth at 3*n), which silently
+   mispaired results whenever the job list changed shape. The keyed lookup
+   must find both Dhrystone variants and produce a coherent report. *)
+let test_history_repair_keyed_results () =
+  let o = Ablations.history_repair ~insns:400 () in
+  check Alcotest.string "id" "VI-B" o.Ablations.id;
+  check Alcotest.bool "Dhrystone sensitivity present" true
+    (contains o.Ablations.measured "Dhrystone replay IPC");
+  check Alcotest.bool "per-workload table present" true
+    (contains o.Ablations.report "IPC repair")
+
 (* --- reference data ------------------------------------------------------------------ *)
 
 let test_reference_complete () =
@@ -159,6 +173,8 @@ let () =
           Alcotest.test_case "figure 10" `Slow test_figure_10_emitter;
         ] );
       ("sweeps", [ Alcotest.test_case "reports" `Slow test_sweep_reports ]);
+      ( "ablations",
+        [ Alcotest.test_case "VI-B keyed results" `Quick test_history_repair_keyed_results ] );
       ( "reference",
         [
           Alcotest.test_case "complete" `Quick test_reference_complete;

@@ -4,6 +4,11 @@ module P = Program
 let check = Alcotest.check
 let qcheck = QCheck_alcotest.to_alcotest
 
+let contains haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec go i = i + n <= m && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
 (* --- instruction classification ------------------------------------------- *)
 
 let test_classify () =
@@ -191,9 +196,52 @@ let test_trace_file_comments_skipped () =
   check Alcotest.bool "comment" true (parsed = None);
   check Alcotest.bool "blank" true (Trace_file.event_of_string "   " = None)
 
+let expect_failure_containing label needles f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Failure" label
+  | exception Failure msg ->
+    List.iter
+      (fun needle ->
+        if not (contains msg needle) then
+          Alcotest.failf "%s: message %S does not mention %S" label msg needle)
+      needles
+
 let test_trace_file_rejects_garbage () =
-  Alcotest.check_raises "garbage" (Failure "Trace_file: malformed line: zz") (fun () ->
-      ignore (Trace_file.event_of_string "zz"))
+  expect_failure_containing "garbage" [ "zz"; "truncated" ] (fun () ->
+      Trace_file.event_of_string "zz");
+  (* with a line number supplied, the message names it *)
+  expect_failure_containing "garbage with lnum" [ "zz"; "line 7" ] (fun () ->
+      Trace_file.event_of_string ~lnum:7 "zz")
+
+let test_trace_file_rejects_negative_registers () =
+  expect_failure_containing "negative D" [ "negative D register"; "-3" ] (fun () ->
+      Trace_file.event_of_string "1000 alu 1004 D -3");
+  expect_failure_containing "negative S" [ "negative S register"; "-2" ] (fun () ->
+      Trace_file.event_of_string "1000 alu 1004 S 1,-2");
+  expect_failure_containing "bad taken flag" [ "taken flag" ] (fun () ->
+      Trace_file.event_of_string "1000 alu 1004 B cond 2 1040");
+  expect_failure_containing "unknown field" [ "unknown field" ] (fun () ->
+      Trace_file.event_of_string "1000 alu 1004 X 5")
+
+let test_trace_file_errors_name_line_numbers () =
+  (* line 1 is the header comment, lines 2-3 are valid, line 4 is corrupt *)
+  let path = Filename.temp_file "cobra" ".trace" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc
+            "# cobra trace v1\n1000 alu 1004\n1004 alu 1008\n1008 bogus 100c\n");
+      expect_failure_containing "load" [ "line 4"; "bogus" ] (fun () ->
+          Trace_file.load ~path))
+
+let test_branch_exn () =
+  let ev = Trace.plain ~pc:0xbeef ~cls:Trace.Alu in
+  expect_failure_containing "branch_exn" [ "Sfb.transform"; "beef" ] (fun () ->
+      Trace.branch_exn ~who:"Sfb.transform" ev);
+  let b =
+    { Trace.kind = Cobra.Types.Cond; taken = true; target = 0x1040 }
+  in
+  check Alcotest.bool "passes branch info through" true
+    (Trace.branch_exn { ev with Trace.branch = Some b } = b)
 
 let test_trace_file_stream_replays_through_core () =
   let events = Trace.take (Cobra_workloads.Kernels.periodic_loop ~trips:5 ()) 2_000 in
@@ -255,6 +303,11 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_trace_file_roundtrip;
           Alcotest.test_case "comments" `Quick test_trace_file_comments_skipped;
           Alcotest.test_case "garbage" `Quick test_trace_file_rejects_garbage;
+          Alcotest.test_case "negative registers" `Quick
+            test_trace_file_rejects_negative_registers;
+          Alcotest.test_case "line numbers" `Quick
+            test_trace_file_errors_name_line_numbers;
+          Alcotest.test_case "branch_exn" `Quick test_branch_exn;
           Alcotest.test_case "replay through core" `Quick
             test_trace_file_stream_replays_through_core;
         ] );

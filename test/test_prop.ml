@@ -386,6 +386,122 @@ let test_gshare_differential () =
               (List.length branches) e g)
         (List.combine expected got))
 
+(* --- trace-file serialization ------------------------------------------------ *)
+
+module Trace_file = Cobra_isa.Trace_file
+
+let random_event st =
+  let pc = 4 * (1 + Random.State.int st 0xFFFFF) in
+  let cls =
+    [| Trace.Alu; Trace.Mul; Trace.Div; Trace.Load; Trace.Store; Trace.Fp; Trace.Nop |]
+    .(Random.State.int st 7)
+  in
+  let branch =
+    if Random.State.bool st then
+      Some
+        {
+          Trace.kind =
+            [| Types.Cond; Types.Jump; Types.Call; Types.Ret; Types.Ind |]
+            .(Random.State.int st 5);
+          taken = Random.State.bool st;
+          target = 4 * Random.State.int st 0xFFFFF;
+        }
+    else None
+  in
+  {
+    Trace.pc;
+    cls;
+    addr = (if Random.State.bool st then Some (Random.State.int st 0xFFFF) else None);
+    srcs = List.init (Random.State.int st 4) (fun _ -> Random.State.int st 32);
+    dst = (if Random.State.bool st then Some (Random.State.int st 32) else None);
+    branch;
+    next_pc = 4 * (1 + Random.State.int st 0xFFFFF);
+  }
+
+let event_arb =
+  Prop.make ~show:Trace_file.event_to_string (fun st -> random_event st)
+
+let test_trace_file_roundtrip_prop () =
+  Prop.check ~name:"event_of_string inverts event_to_string" event_arb (fun ev ->
+      match Trace_file.event_of_string (Trace_file.event_to_string ev) with
+      | Some ev' ->
+        if ev <> ev' then
+          Alcotest.failf "round trip changed the event: %s -> %s"
+            (Trace_file.event_to_string ev)
+            (Trace_file.event_to_string ev')
+      | None -> Alcotest.fail "serialized event parsed as blank")
+
+let malformed_lines =
+  [
+    "zz";
+    "1000 alu";
+    "1000 bogus 1004";
+    "1000 alu zz";
+    "1000 alu 1004 B cond 2 1040";
+    "1000 alu 1004 B flip 1 1040";
+    "1000 alu 1004 D -3";
+    "1000 alu 1004 S 1,-2";
+    "1000 alu 1004 X 5";
+  ]
+
+let contains haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec go i = i + n <= m && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_trace_file_rejection_prop () =
+  let case =
+    Prop.pair (Prop.int_range 0 6) (Prop.oneof malformed_lines)
+  in
+  let st = Random.State.make [| 0xbad |] in
+  Prop.check ~name:"a malformed line fails naming its 1-based line number" case
+    (fun (n_before, bad) ->
+      let events = List.init n_before (fun _ -> random_event st) in
+      let path = Filename.temp_file "cobra_prop" ".trace" in
+      Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+          Out_channel.with_open_text path (fun oc ->
+              List.iter
+                (fun ev -> Out_channel.output_string oc (Trace_file.event_to_string ev ^ "\n"))
+                events;
+              Out_channel.output_string oc (bad ^ "\n"));
+          match Trace_file.load ~path with
+          | _ -> Alcotest.failf "malformed line %S was accepted" bad
+          | exception Failure msg ->
+            let expected = Printf.sprintf "line %d" (n_before + 1) in
+            if not (contains msg expected) then
+              Alcotest.failf "error %S does not name %S" msg expected))
+
+(* --- steady-state allocation budget ------------------------------------------ *)
+
+(* The gshare-only hot path is the tightest loop in the simulator; this pins
+   its steady-state allocation rate so a regression (a closure reintroduced
+   in predict/update, an un-memoized fold) fails loudly. The budget is far
+   above the measured rate (~5.4 KB/insn at PR time) but well below the
+   pre-optimization rate (~8.7 KB/insn). Allocation, unlike wall-clock, is
+   deterministic, so this does not flake under load. *)
+let alloc_budget_bytes_per_insn = 7_000.0
+
+let test_gshare_alloc_budget () =
+  let d = Designs.gshare_only in
+  let w = Cobra_workloads.Suite.find "aliasing" in
+  let pl = Cobra.Pipeline.create d.Designs.pipeline_config (d.Designs.make ()) in
+  let core =
+    Cobra_uarch.Core.create ?decode:w.Cobra_workloads.Suite.decode
+      Cobra_uarch.Config.default pl
+      (w.Cobra_workloads.Suite.make ())
+  in
+  (* warm the tables so one-time growth does not count against the budget *)
+  ignore (Cobra_uarch.Core.run core ~max_insns:10_000);
+  let i0 = (Cobra_uarch.Core.perf core).Cobra_uarch.Perf.instructions in
+  let a0 = Gc.allocated_bytes () in
+  let perf = Cobra_uarch.Core.run core ~max_insns:40_000 in
+  let da = Gc.allocated_bytes () -. a0 in
+  let measured = max 1 (perf.Cobra_uarch.Perf.instructions - i0) in
+  let per_insn = da /. float_of_int measured in
+  if per_insn > alloc_budget_bytes_per_insn then
+    Alcotest.failf "gshare steady state allocates %.1f B/insn (budget %.1f)" per_insn
+      alloc_budget_bytes_per_insn
+
 let () =
   Alcotest.run "prop"
     [
@@ -403,4 +519,11 @@ let () =
         ] );
       ( "differential",
         [ Alcotest.test_case "gshare vs reference" `Quick test_gshare_differential ] );
+      ( "trace_file",
+        [
+          Alcotest.test_case "round trip" `Quick test_trace_file_roundtrip_prop;
+          Alcotest.test_case "malformed rejection" `Quick test_trace_file_rejection_prop;
+        ] );
+      ( "allocation",
+        [ Alcotest.test_case "gshare alloc budget" `Quick test_gshare_alloc_budget ] );
     ]

@@ -64,6 +64,11 @@ let sample_perf () =
   p.Perf.frontend_stall_cycles <- 5;
   p
 
+let store_ok k p =
+  match Cache.store k p with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("cache store failed: " ^ e)
+
 let perf_fields (p : Perf.t) =
   [
     p.Perf.cycles; p.Perf.instructions; p.Perf.branches; p.Perf.cond_branches;
@@ -145,7 +150,7 @@ let test_cache_roundtrip () =
       let k = Cache.key [ "roundtrip"; "insns:1000" ] in
       check Alcotest.bool "initially a miss" true (Cache.load k = None);
       let p = sample_perf () in
-      Cache.store k p;
+      store_ok k p;
       match Cache.load k with
       | Some q -> check Alcotest.(list int) "all fields survive" (perf_fields p) (perf_fields q)
       | None -> Alcotest.fail "expected a hit after store")
@@ -154,7 +159,7 @@ let test_cache_corruption_recovery () =
   with_cache_dir (fun _ ->
       let k = Cache.key [ "corrupt"; "insns:1000" ] in
       let p = sample_perf () in
-      Cache.store k p;
+      store_ok k p;
       (* truncate the entry mid-file *)
       let text = In_channel.with_open_bin (Cache.path k) In_channel.input_all in
       Out_channel.with_open_bin (Cache.path k) (fun oc ->
@@ -174,7 +179,7 @@ let test_cache_corruption_recovery () =
         check Alcotest.bool "checksum mismatch is a miss" true (Cache.load k = None)
       | None -> Alcotest.fail "expected a digit to tamper with");
       (* and the slot can be rewritten afterwards *)
-      Cache.store k p;
+      store_ok k p;
       check Alcotest.bool "rewritten entry hits again" true (Cache.load k <> None))
 
 let test_cache_digest_sensitivity () =
@@ -195,6 +200,55 @@ let test_cache_digest_sensitivity () =
         (String.equal (Cache.hex k) (Cache.hex (Cache.key parts))))
     variants;
   check Alcotest.string "same parts, same key" (Cache.hex k) (Cache.hex (Cache.key base))
+
+let test_store_failure_is_reported () =
+  (* Point the cache "directory" at a regular file: every store must fail,
+     and the failure must come back as [Error], not vanish. *)
+  let file = Filename.temp_file "cobra_not_a_dir" ".txt" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) (fun () ->
+      with_env [ ("COBRA_CACHE_DIR", file); ("COBRA_CACHE", "1"); ("COBRA_PROGRESS", "0") ]
+        (fun () ->
+          let k = Cache.key [ "store-failure" ] in
+          match Cache.store k (sample_perf ()) with
+          | Ok () -> Alcotest.fail "store into a non-directory reported Ok"
+          | Error msg ->
+            check Alcotest.bool "error message is non-empty" true (msg <> "")))
+
+let test_store_failure_reaches_telemetry () =
+  let file = Filename.temp_file "cobra_not_a_dir" ".txt" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) (fun () ->
+      with_env [ ("COBRA_CACHE_DIR", file); ("COBRA_CACHE", "1"); ("COBRA_PROGRESS", "0") ]
+        (fun () ->
+          let events = Filename.concat (fresh_dir ()) "events.jsonl" in
+          let progress = Progress.create ~label:"t" ~events_path:events ~live:false ~total:1 () in
+          let jobs = [ { Runner.key = [ "telemetry-store" ]; run = sample_perf } ] in
+          let results = Runner.run_perfs ~progress jobs in
+          Progress.finish progress;
+          (* the job itself still succeeds: a dead cache is not a dead run *)
+          check Alcotest.int "job succeeded" 1
+            (List.length (List.filter Result.is_ok results));
+          check Alcotest.int "store error counted" 1 (Progress.store_errors progress);
+          let lines = In_channel.with_open_text events In_channel.input_lines in
+          check Alcotest.bool "store_error event in the stream" true
+            (List.exists (fun l -> contains l "\"event\": \"store_error\"") lines);
+          let summary = List.find (fun l -> contains l "\"event\": \"summary\"") lines in
+          check Alcotest.bool "summary carries the counter" true
+            (contains summary "\"store_errors\": 1")))
+
+let test_store_sweeps_stale_tmp_files () =
+  with_cache_dir (fun d ->
+      let old_tmp = Filename.concat d ".tmp.123.0.0" in
+      let fresh_tmp = Filename.concat d ".tmp.456.0.0" in
+      Out_channel.with_open_bin old_tmp (fun oc -> Out_channel.output_string oc "orphan");
+      Out_channel.with_open_bin fresh_tmp (fun oc -> Out_channel.output_string oc "live");
+      (* age the orphan two hours past; the fresh one keeps its mtime *)
+      let two_hours_ago = Unix.gettimeofday () -. 7200.0 in
+      Unix.utimes old_tmp two_hours_ago two_hours_ago;
+      store_ok (Cache.key [ "sweep" ]) (sample_perf ());
+      check Alcotest.bool "stale tmp swept" false (Sys.file_exists old_tmp);
+      check Alcotest.bool "fresh tmp untouched" true (Sys.file_exists fresh_tmp);
+      check Alcotest.bool "entry still written" true
+        (Cache.load (Cache.key [ "sweep" ]) <> None))
 
 let test_config_specs_are_sensitive () =
   let open Cobra_uarch in
@@ -319,6 +373,10 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_cache_roundtrip;
           Alcotest.test_case "corruption recovery" `Quick test_cache_corruption_recovery;
           Alcotest.test_case "digest sensitivity" `Quick test_cache_digest_sensitivity;
+          Alcotest.test_case "store failure reported" `Quick test_store_failure_is_reported;
+          Alcotest.test_case "store failure telemetry" `Quick
+            test_store_failure_reaches_telemetry;
+          Alcotest.test_case "stale tmp sweep" `Quick test_store_sweeps_stale_tmp_files;
           Alcotest.test_case "spec sensitivity" `Quick test_config_specs_are_sensitive;
         ] );
       ( "warm runs",

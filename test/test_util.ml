@@ -201,6 +201,34 @@ let prop_bitpack_roundtrip =
       let width = Bitpack.width_of layout in
       Bitpack.unpack (Bitpack.pack ~width fields) layout = List.map fst fields)
 
+(* The incremental Packer must produce bit-identical vectors to the
+   list-based pack, and the Cursor must read back exactly what unpack does —
+   including fields straddling the 62-bit limb boundary (hence widths that
+   push the total past 62). The same packer/cursor pair is reused across
+   rounds, as the component hot paths do. *)
+let prop_packer_cursor_equivalence =
+  QCheck.Test.make ~name:"Packer/Cursor agree with pack/unpack" ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 16) (pair (int_bound 100000) (int_range 0 20)))
+    (fun fields ->
+      let fields = List.map (fun (v, w) -> (v land ((1 lsl w) - 1), w)) fields in
+      let layout = List.map snd fields in
+      let width = Bitpack.width_of layout in
+      let packer = Bitpack.Packer.create ~width in
+      let cursor = Bitpack.Cursor.create () in
+      List.for_all
+        (fun _round ->
+          List.iter (fun (v, bits) -> Bitpack.Packer.add packer v ~bits) fields;
+          let incremental = Bitpack.Packer.finish packer in
+          let listwise = Bitpack.pack ~width fields in
+          Bits.equal incremental listwise
+          && begin
+               Bitpack.Cursor.reset cursor incremental;
+               List.for_all
+                 (fun (v, bits) -> Bitpack.Cursor.take cursor ~bits = v)
+                 fields
+             end)
+        [ 1; 2; 3 ])
+
 (* --- Stats --------------------------------------------------------------- *)
 
 let test_harmonic_mean () =
@@ -272,6 +300,7 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_bitpack_roundtrip;
           Alcotest.test_case "overflow" `Quick test_bitpack_overflow;
           qcheck prop_bitpack_roundtrip;
+          qcheck prop_packer_cursor_equivalence;
         ] );
       ( "stats",
         [
