@@ -315,6 +315,55 @@ let stats_cmd =
         (const run $ design_arg $ workload_arg $ insns_arg $ json_flag $ csv_flag
          $ out_arg))
 
+(* --- conform ------------------------------------------------------------------ *)
+
+let conform_cmd =
+  let seed_arg =
+    Arg.(value & opt (some int) None
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Fuzz seed (default: \\$COBRA_SEED or 2906). Failures replay from this one \
+                   integer.")
+  in
+  let length_arg =
+    Arg.(value & opt int 300
+         & info [ "length" ] ~docv:"N" ~doc:"Packets per fuzz shape / branches per stream.")
+  in
+  let artifact_arg =
+    Arg.(value & opt (some string) None
+         & info [ "artifact" ] ~docv:"FILE"
+             ~doc:"On failure, write the replayable counterexample report to $(docv).")
+  in
+  let run seed length artifact =
+    let seed =
+      match seed with
+      | Some s -> s
+      | None -> (
+        match Sys.getenv_opt "COBRA_SEED" with
+        | Some s -> (try int_of_string s with _ -> 0x0b5a)
+        | None -> 0x0b5a)
+    in
+    let verdicts = Cobra_conformance.Crosscheck.run_all ~length ~seed () in
+    print_string (Cobra_conformance.Crosscheck.render verdicts);
+    match Cobra_conformance.Crosscheck.counterexample verdicts with
+    | None -> Ok ()
+    | Some report ->
+      (match artifact with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc report;
+        close_out oc;
+        Printf.eprintf "counterexample written to %s\n" path);
+      Error (`Msg (Printf.sprintf "conformance failures (seed %d):\n%s" seed report))
+  in
+  Cmd.v
+    (Cmd.info "conform"
+       ~doc:
+         "Cross-check every component against its pure-functional golden model (lockstep \
+          fuzzing, storage accounting, twin-design differentials, repair-restores-state \
+          metamorphic checks, Table-I storage pins)")
+    Term.(term_result (const run $ seed_arg $ length_arg $ artifact_arg))
+
 let tables_cmd =
   let run () =
     print_string (Tables.table_1 ());
@@ -330,6 +379,6 @@ let main =
     (Cmd.info "cobra" ~version:"1.0.0"
        ~doc:"COBRA: composition of hardware branch predictors (cycle-level model)")
     [ list_cmd; run_cmd; topology_cmd; storage_cmd; tables_cmd; trace_cmd; replay_cmd;
-      sweep_cmd; stats_cmd ]
+      sweep_cmd; stats_cmd; conform_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -52,7 +52,9 @@ let make cfg =
     let pred =
       Array.init cfg.fetch_width (fun slot ->
           let sum = ref 0 in
-          for t = ntables - 1 downto 0 do
+          (* ascending table order: update's List.iteri pairs field [t] with
+             bank [t], so the pack order must match *)
+          for t = 0 to ntables - 1 do
             let c = banks.(t).(index ctx ~slot ~table:t) in
             sum := !sum + c;
             fields := (c + bias, cfg.counter_bits + 1) :: !fields

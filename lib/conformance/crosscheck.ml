@@ -1,0 +1,376 @@
+module Bits = Cobra_util.Bits
+module Rng = Cobra_util.Rng
+module Text = Cobra_util.Text_render
+module Designs = Cobra_eval.Designs
+open Cobra
+
+type verdict = {
+  v_check : string;
+  v_subject : string;
+  v_pass : bool;
+  v_detail : string;
+}
+
+let pass ~check ~subject detail =
+  { v_check = check; v_subject = subject; v_pass = true; v_detail = detail }
+
+let fail ~check ~subject detail =
+  { v_check = check; v_subject = subject; v_pass = false; v_detail = detail }
+
+let all_pass vs = List.for_all (fun v -> v.v_pass) vs
+let failures vs = List.filter (fun v -> not v.v_pass) vs
+
+(* --- pretty-printing helpers -------------------------------------------------- *)
+
+let kind_name = function
+  | Types.Cond -> "cond"
+  | Types.Jump -> "jump"
+  | Types.Call -> "call"
+  | Types.Ret -> "ret"
+  | Types.Ind -> "ind"
+
+let show_opinion (o : Types.opinion) =
+  let field name show = function
+    | None -> []
+    | Some v -> [ Printf.sprintf "%s=%s" name (show v) ]
+  in
+  let parts =
+    field "br" string_of_bool o.Types.o_branch
+    @ field "kind" kind_name o.Types.o_kind
+    @ field "taken" string_of_bool o.Types.o_taken
+    @ field "target" (Printf.sprintf "0x%x") o.Types.o_target
+  in
+  if parts = [] then "-" else String.concat "," parts
+
+let show_prediction (p : Types.prediction) =
+  "[" ^ String.concat " | " (Array.to_list (Array.map show_opinion p)) ^ "]"
+
+(* --- per-component lockstep ---------------------------------------------------- *)
+
+(* Every zoo instance is built 4-wide; the fuzz scripts match. *)
+let zoo_fetch_width = 4
+
+exception Mismatch of string
+
+let lockstep ?(length = 300) ~seed (packed : Golden.packed) =
+  let subject = Golden.packed_name packed in
+  let check = "lockstep" in
+  let (Golden.P { make_real; _ }) = packed in
+  let events = ref 0 in
+  let run_shape shape =
+    (* fresh state per shape on both sides: each script stands alone *)
+    let inst = Golden.instantiate packed in
+    let real = make_real () in
+    let sc = { Fuzz.seed; shape; length } in
+    let packets = Fuzz.packets sc ~arity:inst.Golden.i_arity ~fetch_width:zoo_fetch_width in
+    let where i what =
+      Printf.sprintf "shape=%s packet=%d/%d seed=%d: %s (replay: cobra conform --seed %d)"
+        (Fuzz.shape_name shape) i length seed what seed
+    in
+    List.iteri
+      (fun i (pk : Fuzz.packet) ->
+        incr events;
+        let gp, gmeta = inst.Golden.i_predict pk.Fuzz.pk_ctx ~pred_in:pk.Fuzz.pk_pred_in in
+        let rp, rmeta = real.Component.predict pk.Fuzz.pk_ctx ~pred_in:pk.Fuzz.pk_pred_in in
+        if Bits.width gmeta <> real.Component.meta_bits then
+          raise
+            (Mismatch
+               (where i
+                  (Printf.sprintf "golden metadata width %d <> declared meta_bits %d"
+                     (Bits.width gmeta) real.Component.meta_bits)));
+        if not (Types.equal_prediction gp rp) then
+          raise
+            (Mismatch
+               (where i
+                  (Printf.sprintf "prediction mismatch: golden %s vs real %s"
+                     (show_prediction gp) (show_prediction rp))));
+        if not (Bits.equal gmeta rmeta) then
+          raise
+            (Mismatch
+               (where i
+                  (Printf.sprintf "metadata mismatch: golden %s vs real %s"
+                     (Bits.to_string gmeta) (Bits.to_string rmeta))));
+        let gev culprit =
+          {
+            Component.ctx = pk.Fuzz.pk_ctx;
+            meta = gmeta;
+            slots = pk.Fuzz.pk_slots;
+            culprit;
+          }
+        in
+        let rev culprit = { (gev culprit) with Component.meta = rmeta } in
+        (match pk.Fuzz.pk_path with
+        | Fuzz.Commit ->
+          inst.Golden.i_fire (gev None);
+          real.Component.fire (rev None);
+          inst.Golden.i_update (gev None);
+          real.Component.update (rev None)
+        | Fuzz.Wrong_path ->
+          inst.Golden.i_fire (gev None);
+          real.Component.fire (rev None);
+          inst.Golden.i_repair (gev None);
+          real.Component.repair (rev None)
+        | Fuzz.Storm c ->
+          inst.Golden.i_fire (gev None);
+          real.Component.fire (rev None);
+          inst.Golden.i_mispredict (gev (Some c));
+          real.Component.mispredict (rev (Some c));
+          inst.Golden.i_update (gev None);
+          real.Component.update (rev None));
+        if i land 31 = 0 then
+          match inst.Golden.i_invariant () with
+          | Ok () -> ()
+          | Error e -> raise (Mismatch (where i ("invariant violated: " ^ e))))
+      packets
+  in
+  match List.iter run_shape Fuzz.all_shapes with
+  | () ->
+    pass ~check ~subject
+      (Printf.sprintf "ok (%d packets across %d shapes)" !events (List.length Fuzz.all_shapes))
+  | exception Mismatch m -> fail ~check ~subject m
+
+(* --- storage accounting -------------------------------------------------------- *)
+
+let storage_accounting (packed : Golden.packed) =
+  let subject = Golden.packed_name packed in
+  let check = "storage" in
+  let (Golden.P { make_real; storage_bits; _ }) = packed in
+  let real = make_real () in
+  let actual = Storage.total_bits real.Component.storage in
+  if actual = storage_bits then pass ~check ~subject (Printf.sprintf "ok (%d bits)" actual)
+  else
+    fail ~check ~subject
+      (Printf.sprintf "component declares %d storage bits, independent formula gives %d"
+         actual storage_bits)
+
+(* --- software-model step driver ------------------------------------------------ *)
+
+let drive pl ~width (b : Fuzz.branch) =
+  let tok = Pipeline.predict pl ~pc:b.Fuzz.br_pc ~max_len:1 in
+  let stages = Pipeline.stages pl tok in
+  let final = (stages.(Array.length stages - 1)).(0) in
+  let taken_pred =
+    match final.Types.o_taken with
+    | Some t -> t
+    | None -> Types.is_unconditional b.Fuzz.br_kind
+  in
+  let target_pred = Option.value final.Types.o_target ~default:(-1) in
+  let wrong =
+    taken_pred <> b.Fuzz.br_taken
+    || (b.Fuzz.br_taken
+       && Types.is_unconditional b.Fuzz.br_kind
+       && b.Fuzz.br_kind <> Types.Ret
+       && target_pred <> b.Fuzz.br_target)
+  in
+  let slots = Array.make width Types.no_branch in
+  slots.(0) <-
+    Types.resolved_branch ~kind:b.Fuzz.br_kind ~taken:taken_pred
+      ~target:(if taken_pred then b.Fuzz.br_target else 0);
+  let seq = Pipeline.fire pl tok ~slots ~packet_len:1 in
+  let actual =
+    Types.resolved_branch ~kind:b.Fuzz.br_kind ~taken:b.Fuzz.br_taken ~target:b.Fuzz.br_target
+  in
+  if wrong then Pipeline.mispredict pl ~seq ~slot:0 actual
+  else Pipeline.resolve pl ~seq ~slot:0 actual;
+  Pipeline.commit pl;
+  (taken_pred, wrong)
+
+(* --- twin-design differential --------------------------------------------------- *)
+
+let twin ?(length = 400) ~seed (design : Designs.t) =
+  let check = "twin" in
+  let subject = design.Designs.name in
+  match Golden.twin_design design with
+  | exception Invalid_argument m -> fail ~check ~subject m
+  | golden ->
+    let p_real = Designs.pipeline design in
+    let p_gold = Designs.pipeline golden in
+    let width = design.Designs.pipeline_config.Pipeline.fetch_width in
+    let bs = Fuzz.branches { Fuzz.seed; shape = Fuzz.Mixed; length } in
+    let bad = ref None in
+    List.iteri
+      (fun i b ->
+        if !bad = None then begin
+          let tp_r, w_r = drive p_real ~width b in
+          let tp_g, w_g = drive p_gold ~width b in
+          if tp_r <> tp_g || w_r <> w_g then
+            bad :=
+              Some
+                (Printf.sprintf
+                   "branch %d/%d (pc=0x%x %s taken=%b) seed=%d: real taken_pred=%b wrong=%b, \
+                    golden taken_pred=%b wrong=%b (replay: cobra conform --seed %d)"
+                   i length b.Fuzz.br_pc (kind_name b.Fuzz.br_kind) b.Fuzz.br_taken seed tp_r
+                   w_r tp_g w_g seed)
+        end)
+      bs;
+    (match !bad with
+    | None -> pass ~check ~subject (Printf.sprintf "ok (%d branches, golden twin agrees)" length)
+    | Some m -> fail ~check ~subject m)
+
+(* --- metamorphic: repair restores pre-speculation state ------------------------- *)
+
+let repair_restore ?(length = 400) ~seed (design : Designs.t) =
+  let check = "repair" in
+  let subject = design.Designs.name in
+  let p_clean = Designs.pipeline design in
+  let p_dirty = Designs.pipeline design in
+  let width = design.Designs.pipeline_config.Pipeline.fetch_width in
+  let rng = Rng.create ~seed:(seed lxor 0x0b5a5eed) in
+  let bs = Fuzz.branches { Fuzz.seed; shape = Fuzz.Mixed; length } in
+  let excursions = ref 0 and repaired = ref 0 in
+  let bad = ref None in
+  List.iteri
+    (fun i b ->
+      if !bad = None then begin
+        (* pending-only excursion: wrong-path packets predicted then squashed;
+           their speculative history contributions must unwind completely *)
+        if Rng.chance rng 0.3 then begin
+          incr excursions;
+          for _ = 1 to 1 + Rng.int rng 3 do
+            ignore (Pipeline.predict p_dirty ~pc:(0x8000 + (16 * Rng.int rng 64)) ~max_len:1)
+          done;
+          Pipeline.squash_all_pending p_dirty
+        end;
+        let tp_c, _ = drive p_clean ~width b in
+        (* dirty side, driven by hand so a fired wrong-path youngster can be
+           injected ahead of a misprediction and unwound by the repair walk *)
+        let tok = Pipeline.predict p_dirty ~pc:b.Fuzz.br_pc ~max_len:1 in
+        let stages = Pipeline.stages p_dirty tok in
+        let final = (stages.(Array.length stages - 1)).(0) in
+        let tp_d =
+          match final.Types.o_taken with
+          | Some t -> t
+          | None -> Types.is_unconditional b.Fuzz.br_kind
+        in
+        if tp_c <> tp_d then
+          bad :=
+            Some
+              (Printf.sprintf
+                 "branch %d/%d (pc=0x%x) seed=%d: clean predicts taken=%b, excursion-disturbed \
+                  pipeline predicts taken=%b (replay: cobra conform --seed %d)"
+                 i length b.Fuzz.br_pc seed tp_c tp_d seed)
+        else begin
+          let target_pred = Option.value final.Types.o_target ~default:(-1) in
+          let wrong =
+            tp_d <> b.Fuzz.br_taken
+            || (b.Fuzz.br_taken
+               && Types.is_unconditional b.Fuzz.br_kind
+               && b.Fuzz.br_kind <> Types.Ret
+               && target_pred <> b.Fuzz.br_target)
+          in
+          let inject = wrong && Rng.chance rng 0.5 in
+          let wtok =
+            if inject then Some (Pipeline.predict p_dirty ~pc:(b.Fuzz.br_pc + 0x40) ~max_len:1)
+            else None
+          in
+          let slots = Array.make width Types.no_branch in
+          slots.(0) <-
+            Types.resolved_branch ~kind:b.Fuzz.br_kind ~taken:tp_d
+              ~target:(if tp_d then b.Fuzz.br_target else 0);
+          let seq = Pipeline.fire p_dirty tok ~slots ~packet_len:1 in
+          (match wtok with
+          | None -> ()
+          | Some wtok ->
+            incr repaired;
+            let wstages = Pipeline.stages p_dirty wtok in
+            let wfinal = (wstages.(Array.length wstages - 1)).(0) in
+            let wslots = Array.make width Types.no_branch in
+            (match wfinal.Types.o_taken with
+            | Some t ->
+              wslots.(0) <-
+                Types.resolved_branch ~kind:Types.Cond ~taken:t
+                  ~target:
+                    (if t then Option.value wfinal.Types.o_target ~default:(b.Fuzz.br_pc + 0x80)
+                     else 0)
+            | None -> ());
+            (* fired: components speculatively updated for a packet the
+               imminent mispredict must walk back *)
+            ignore (Pipeline.fire p_dirty wtok ~slots:wslots ~packet_len:1));
+          let actual =
+            Types.resolved_branch ~kind:b.Fuzz.br_kind ~taken:b.Fuzz.br_taken
+              ~target:b.Fuzz.br_target
+          in
+          if wrong then Pipeline.mispredict p_dirty ~seq ~slot:0 actual
+          else Pipeline.resolve p_dirty ~seq ~slot:0 actual;
+          Pipeline.commit p_dirty
+        end
+      end)
+    bs;
+  match !bad with
+  | None ->
+    pass ~check ~subject
+      (Printf.sprintf "ok (%d branches, %d squashed excursions, %d repair-walked packets)"
+         length !excursions !repaired)
+  | Some m -> fail ~check ~subject m
+
+(* --- Table-I storage pins ------------------------------------------------------- *)
+
+let table1_pins () =
+  let pins = [ ("Tourney", 209584, "6.3"); ("B2", 207520, "6.5"); ("TAGE-L", 403024, "29.4") ] in
+  List.concat_map
+    (fun (name, total_bits, dir_kb) ->
+      let d = Designs.find name in
+      let pl = Designs.pipeline d in
+      let actual = Storage.total_bits (Pipeline.storage pl) in
+      let bits_v =
+        if actual = total_bits then
+          pass ~check:"table1" ~subject:name (Printf.sprintf "ok (total %d bits)" actual)
+        else
+          fail ~check:"table1" ~subject:name
+            (Printf.sprintf "pipeline storage %d bits, Table-I pin expects %d" actual total_bits)
+      in
+      let actual_kb = Printf.sprintf "%.1f" (Designs.direction_state_kb d) in
+      let kb_v =
+        if String.equal actual_kb dir_kb then
+          pass ~check:"table1" ~subject:(name ^ " dir-state")
+            (Printf.sprintf "ok (%s KB)" actual_kb)
+        else
+          fail ~check:"table1" ~subject:(name ^ " dir-state")
+            (Printf.sprintf "direction state %s KB, Table-I pin expects %s" actual_kb dir_kb)
+      in
+      [ bits_v; kb_v ])
+    pins
+
+(* --- top level ------------------------------------------------------------------ *)
+
+let run_all ?(length = 300) ~seed () =
+  let zoo = Golden.zoo () in
+  let per_component =
+    List.concat_map (fun p -> [ lockstep ~length ~seed p; storage_accounting p ]) zoo
+  in
+  let twins =
+    List.map (twin ~length ~seed) (Designs.all @ [ Designs.gshare_only ])
+  in
+  let repairs = List.map (repair_restore ~length ~seed) Designs.all in
+  per_component @ twins @ repairs @ table1_pins ()
+
+let render vs =
+  let rows =
+    List.map
+      (fun v ->
+        [
+          v.v_check;
+          v.v_subject;
+          (if v.v_pass then "PASS" else "FAIL");
+          (if String.length v.v_detail > 72 then String.sub v.v_detail 0 69 ^ "..."
+           else v.v_detail);
+        ])
+      vs
+  in
+  let nfail = List.length (failures vs) in
+  let title =
+    if nfail = 0 then Printf.sprintf "conformance: %d checks, all passing" (List.length vs)
+    else Printf.sprintf "conformance: %d checks, %d FAILING" (List.length vs) nfail
+  in
+  Text.table ~title ~header:[ "check"; "subject"; "verdict"; "detail" ] ~rows ()
+
+let counterexample vs =
+  match failures vs with
+  | [] -> None
+  | fs ->
+    let blocks =
+      List.map
+        (fun v -> Printf.sprintf "%s/%s:\n  %s" v.v_check v.v_subject v.v_detail)
+        fs
+    in
+    Some (String.concat "\n\n" blocks ^ "\n")

@@ -1,0 +1,57 @@
+(** The differential conformance driver.
+
+    Replays {!Fuzz} streams through golden models ({!Golden}), real
+    components and composed {!Cobra.Pipeline}s, demanding exact equivalence
+    where the semantics require it (predictions, metadata bits, storage
+    accounting) and metamorphic invariants elsewhere (repair restores
+    pre-speculation state; squashed excursions leave no trace). Every
+    verdict that fails carries a replayable description: the fuzz streams
+    are pure functions of the seed, so one integer reproduces the run. *)
+
+type verdict = {
+  v_check : string;  (** lockstep / storage / twin / repair / table1 *)
+  v_subject : string;  (** component or design under test *)
+  v_pass : bool;
+  v_detail : string;  (** "ok (...)" or a replayable failure description *)
+}
+
+val lockstep : ?length:int -> seed:int -> Golden.packed -> verdict
+(** Drive the golden model and the real component through identical
+    {!Fuzz.packets} scripts across every shape: predictions and metadata
+    must be bit-identical at each step, metadata must have the declared
+    width, and the model's structural invariant must hold throughout. *)
+
+val storage_accounting : Golden.packed -> verdict
+(** The real component's [Storage.total_bits] must equal the textbook
+    formula recomputed independently in {!Golden}. *)
+
+val twin : ?length:int -> seed:int -> Cobra_eval.Designs.t -> verdict
+(** End-to-end differential: the design and its {!Golden.twin_design} are
+    driven through the same branch stream (software-model protocol) and
+    must make identical predictions on every branch. *)
+
+val repair_restore : ?length:int -> seed:int -> Cobra_eval.Designs.t -> verdict
+(** Metamorphic check: a pipeline subjected to speculative excursions
+    (wrong-path packets that are squashed, and fired wrong-path packets
+    unwound by the mispredict repair walk) must predict identically to an
+    undisturbed pipeline fed the same committed branch stream. *)
+
+val table1_pins : unit -> verdict list
+(** Regression pins of the paper's Table-I storage accounting for the three
+    reference designs: exact [Storage.total_bits] and the rounded
+    direction-state KB figures. *)
+
+val run_all : ?length:int -> seed:int -> unit -> verdict list
+(** Everything above: per-component lockstep + storage over {!Golden.zoo},
+    twin differentials over the reference designs (plus gshare-only),
+    repair-restores-state over [Designs.all], and the Table-I pins. *)
+
+val all_pass : verdict list -> bool
+val failures : verdict list -> verdict list
+
+val render : verdict list -> string
+(** Per-component verdict table for the [cobra conform] CLI verb. *)
+
+val counterexample : verdict list -> string option
+(** Replayable failure report (one block per failed verdict), or [None]
+    when everything passed — the artifact CI uploads on failure. *)

@@ -117,7 +117,11 @@ let env_int name default =
   | None -> default
 
 let default_count = env_int "COBRA_PROP_COUNT" 100
-let default_seed = env_int "COBRA_PROP_SEED" 0x0b5a
+
+(* COBRA_SEED is the kit-wide seed knob shared with the conformance fuzzer
+   (and `cobra conform --seed`); COBRA_PROP_SEED still wins when set so old
+   replay instructions keep working. *)
+let default_seed = env_int "COBRA_PROP_SEED" (env_int "COBRA_SEED" 0x0b5a)
 
 exception Failed of string
 
@@ -161,6 +165,7 @@ let check ?(count = default_count) ?(seed = default_seed) ~name arb prop =
            (Printf.sprintf
               "property %S failed (case %d/%d, seed %d)\n\
                counterexample (shrunk): %s\n\
-               failure: %s"
-              name case count seed (arb.show x_min) msg_min))
+               failure: %s\n\
+               replay: COBRA_SEED=%d dune runtest"
+              name case count seed (arb.show x_min) msg_min seed))
   done
