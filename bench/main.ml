@@ -123,8 +123,8 @@ type perf_sample = {
   ps_counters : (string * int) list;
 }
 
-let measure_design (d : Designs.t) ~insns =
-  let w = Cobra_workloads.Suite.find bench_workload_name in
+let measure_design ?(workload = bench_workload_name) (d : Designs.t) ~insns =
+  let w = Cobra_workloads.Suite.find workload in
   let pl = Cobra.Pipeline.create d.Designs.pipeline_config (d.Designs.make ()) in
   let core =
     Cobra_uarch.Core.create ?decode:w.Cobra_workloads.Suite.decode
@@ -306,6 +306,170 @@ let perf () =
     Printf.printf "pinned new baseline at %s\n" (bench_baseline_path ())
   end
 
+(* --- trace-replay perf bench --------------------------------------------------- *)
+
+(* Exports a pinned multi-million-instruction branch trace from the h2p-mix
+   kernel, times the predictor-only replay fast path in branches/sec and
+   insns/sec against the uarch core on the same workload, probes constant
+   memory via the major-heap high-water mark across the replay, and emits
+   BENCH_PR6.json (schema cobra-bench-perf/2: the PR4-shaped "designs"
+   array plus a "replay" section). Scale with COBRA_BENCH_REPLAY_BRANCHES
+   (default 1_000_000). *)
+
+let replay_branches =
+  match Sys.getenv_opt "COBRA_BENCH_REPLAY_BRANCHES" with
+  | Some s -> ( try max 1_000 (int_of_string (String.trim s)) with Failure _ -> 1_000_000)
+  | None -> 1_000_000
+
+let replay_workload_name = "h2p-mix"
+
+let bench_json6_path () =
+  Option.value (Sys.getenv_opt "COBRA_BENCH_JSON6") ~default:"BENCH_PR6.json"
+
+type replay_sample = {
+  rs_uarch : perf_sample;
+  rs_branches : int;
+  rs_insns : int;
+  rs_mispredicts : int;
+  rs_mpki : float;
+  rs_branches_per_sec : float;
+  rs_insns_per_sec : float;
+  rs_alloc_per_branch : float;
+  rs_top_heap_delta_bytes : int;
+  rs_speedup_vs_uarch : float;
+}
+
+let json_of_replay ~insns ~trace_branches ~trace_insns samples =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"cobra-bench-perf/2\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"insns\": %d,\n" insns);
+  Buffer.add_string buf (Printf.sprintf "  \"workload\": %S,\n" replay_workload_name);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"trace\": {\"branches\": %d, \"insns\": %d},\n" trace_branches
+       trace_insns);
+  Buffer.add_string buf "  \"designs\": [\n";
+  List.iteri
+    (fun i r ->
+      let s = r.rs_uarch in
+      Buffer.add_string buf "    {\n";
+      Buffer.add_string buf (Printf.sprintf "      \"design\": %S,\n" s.ps_design);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"insns_per_sec\": %.1f,\n" s.ps_insns_per_sec);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"alloc_bytes_per_insn\": %.1f,\n" s.ps_alloc_per_insn);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"measured_insns\": %d,\n" s.ps_measured_insns);
+      Buffer.add_string buf "      \"counters\": {";
+      List.iteri
+        (fun j (name, v) ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf (Printf.sprintf "%S: %d" name v))
+        s.ps_counters;
+      Buffer.add_string buf "}\n";
+      Buffer.add_string buf
+        (if i = List.length samples - 1 then "    }\n" else "    },\n"))
+    samples;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"replay\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf "    {\n";
+      Buffer.add_string buf
+        (Printf.sprintf "      \"design\": %S,\n" r.rs_uarch.ps_design);
+      Buffer.add_string buf (Printf.sprintf "      \"branches\": %d,\n" r.rs_branches);
+      Buffer.add_string buf (Printf.sprintf "      \"insns\": %d,\n" r.rs_insns);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"mispredicts\": %d,\n" r.rs_mispredicts);
+      Buffer.add_string buf (Printf.sprintf "      \"mpki\": %.4f,\n" r.rs_mpki);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"branches_per_sec\": %.1f,\n" r.rs_branches_per_sec);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"insns_per_sec\": %.1f,\n" r.rs_insns_per_sec);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"alloc_bytes_per_branch\": %.1f,\n" r.rs_alloc_per_branch);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"top_heap_delta_bytes\": %d,\n" r.rs_top_heap_delta_bytes);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"uarch_insns_per_sec\": %.1f,\n"
+           r.rs_uarch.ps_insns_per_sec);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"speedup_vs_uarch\": %.2f\n" r.rs_speedup_vs_uarch);
+      Buffer.add_string buf
+        (if i = List.length samples - 1 then "    }\n" else "    },\n"))
+    samples;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let perf_replay () =
+  let w = Cobra_workloads.Suite.find replay_workload_name in
+  let path = Filename.temp_file "cobra_bench" ".btrace" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let trace_branches, trace_insns =
+        timed "export" (fun () ->
+            Cobra_trace_replay.Writer.export_workload ~max_branches:replay_branches ~path
+              w)
+      in
+      Printf.printf "exported %d branches (%d insns) to %s\n%!" trace_branches
+        trace_insns path;
+      let samples =
+        List.map
+          (fun (d : Designs.t) ->
+            let uarch =
+              timed ("uarch/" ^ d.Designs.name) (fun () ->
+                  measure_design ~workload:replay_workload_name d ~insns:bench_insns)
+            in
+            (* warm replay (tables + code paths), then the measured run with
+               allocation and major-heap high-water probes around it *)
+            ignore
+              (Cobra_trace_replay.Replay.run_design ~max_branches:(trace_branches / 10) d
+                 ~path);
+            Gc.compact ();
+            let h0 = (Gc.quick_stat ()).Gc.top_heap_words in
+            let a0 = Gc.allocated_bytes () in
+            let res =
+              timed ("replay/" ^ d.Designs.name) (fun () ->
+                  Cobra_trace_replay.Replay.run_design d ~path)
+            in
+            let da = Gc.allocated_bytes () -. a0 in
+            let h1 = (Gc.quick_stat ()).Gc.top_heap_words in
+            let word = Sys.word_size / 8 in
+            let speedup =
+              Cobra_trace_replay.Replay.insns_per_sec res /. uarch.ps_insns_per_sec
+            in
+            {
+              rs_uarch = uarch;
+              rs_branches = res.Cobra_trace_replay.Replay.branches;
+              rs_insns = res.Cobra_trace_replay.Replay.instructions;
+              rs_mispredicts = res.Cobra_trace_replay.Replay.mispredicts;
+              rs_mpki = Cobra_trace_replay.Replay.mpki res;
+              rs_branches_per_sec = Cobra_trace_replay.Replay.branches_per_sec res;
+              rs_insns_per_sec = Cobra_trace_replay.Replay.insns_per_sec res;
+              rs_alloc_per_branch =
+                da /. float_of_int (max 1 res.Cobra_trace_replay.Replay.branches);
+              rs_top_heap_delta_bytes = (h1 - h0) * word;
+              rs_speedup_vs_uarch = speedup;
+            })
+          [ Designs.gshare_only; Designs.tage_l ]
+      in
+      List.iter
+        (fun r ->
+          Printf.printf
+            "%-8s replay %10.0f branches/s (%10.0f insns/s), %5.1f alloc B/branch, \
+             heap +%d B, %.1fx vs uarch%s\n"
+            r.rs_uarch.ps_design r.rs_branches_per_sec r.rs_insns_per_sec
+            r.rs_alloc_per_branch r.rs_top_heap_delta_bytes r.rs_speedup_vs_uarch
+            (if r.rs_speedup_vs_uarch >= 10.0 then "" else "  [below 10x target]"))
+        samples;
+      let json =
+        json_of_replay ~insns:bench_insns ~trace_branches ~trace_insns samples
+      in
+      let path6 = bench_json6_path () in
+      Out_channel.with_open_text path6 (fun oc -> Out_channel.output_string oc json);
+      Printf.printf "wrote %s\n" path6)
+
 (* --- bechamel microbenchmarks ------------------------------------------------ *)
 
 let bechamel () =
@@ -379,6 +543,7 @@ let sections =
     ("software_vs_hardware", software_vs_hardware);
     ("energy", energy);
     ("perf", perf);
+    ("perf_replay", perf_replay);
     ("bechamel", bechamel);
   ]
 

@@ -20,10 +20,13 @@ let insns_arg =
   Arg.(value & opt int 100_000 & info [ "n"; "insns" ] ~docv:"N" ~doc)
 
 let lookup_design name =
-  try Ok (Designs.find name)
-  with Not_found ->
-    Error (`Msg (Printf.sprintf "unknown design %S (have: %s)" name
-                   (String.concat ", " design_names)))
+  if String.equal name Designs.gshare_only.Designs.name then Ok Designs.gshare_only
+  else
+    try Ok (Designs.find name)
+    with Not_found ->
+      Error (`Msg (Printf.sprintf "unknown design %S (have: %s)" name
+                     (String.concat ", "
+                        (design_names @ [ Designs.gshare_only.Designs.name ]))))
 
 let lookup_workload name =
   try Ok (Cobra_workloads.Suite.find name)
@@ -163,37 +166,119 @@ let trace_cmd =
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
          ~doc:"Trace file path.")
   in
-  let dump workload insns path =
+  let branch_flag =
+    Arg.(value & flag
+         & info [ "branch" ]
+             ~doc:"Export a conditional-branch trace (CBP-style, replayable by the \
+                   predictor-only fast path) instead of the full instruction-event trace.")
+  in
+  let text_flag =
+    Arg.(value & flag
+         & info [ "text" ] ~doc:"With $(b,--branch): human-readable text instead of binary.")
+  in
+  let branches_arg =
+    Arg.(value & opt (some int) None
+         & info [ "branches" ] ~docv:"N"
+             ~doc:"With $(b,--branch): stop after $(docv) branch records (default: bound by \
+                   $(b,--insns)).")
+  in
+  let dump workload insns path branch text branches =
     let ( let* ) = Result.bind in
     let* w = lookup_workload workload in
-    let events = Cobra_isa.Trace.take (w.Cobra_workloads.Suite.make ()) insns in
-    Cobra_isa.Trace_file.save ~path events;
-    Printf.printf "wrote %d events to %s\n" (List.length events) path;
-    Ok ()
+    if branch then begin
+      let format = if text then Cobra_trace_replay.Btrace.Text else Cobra_trace_replay.Btrace.Binary in
+      let nb, ni =
+        Cobra_trace_replay.Writer.export_workload ~format ?max_branches:branches
+          ~max_insns:insns ~path w
+      in
+      Printf.printf "wrote %d branch records (%d instructions) to %s\n" nb ni path;
+      Ok ()
+    end
+    else begin
+      let events = Cobra_isa.Trace.take (w.Cobra_workloads.Suite.make ()) insns in
+      Cobra_isa.Trace_file.save ~path events;
+      Printf.printf "wrote %d events to %s\n" (List.length events) path;
+      Ok ()
+    end
   in
   Cmd.v
     (Cmd.info "trace"
-       ~doc:"Dump a workload's retired-path trace to a file (replayable with run --trace)")
-    Term.(term_result (const dump $ workload_arg $ insns_arg $ path_arg))
+       ~doc:
+         "Dump a workload's retired-path trace to a file: full instruction events by \
+          default, or a compact branch trace with $(b,--branch) (both replayable with \
+          $(b,cobra replay))")
+    Term.(
+      term_result
+        (const dump $ workload_arg $ insns_arg $ path_arg $ branch_flag $ text_flag
+         $ branches_arg))
 
 let replay_cmd =
   let path_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
   in
-  let replay design path insns =
+  let branches_arg =
+    Arg.(value & opt (some int) None
+         & info [ "branches" ] ~docv:"N" ~doc:"Stop after $(docv) branch records.")
+  in
+  let stats_flag =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Attach the statistics collector (branch traces only): attribution, \
+                   hard-branch tables, interval MPKI series.")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"With $(b,--stats): emit the report as JSON.")
+  in
+  let replay design path insns branches stats json =
     let ( let* ) = Result.bind in
     let* d = lookup_design design in
-    let pl = Designs.pipeline d in
-    let core =
-      Cobra_uarch.Core.create Cobra_uarch.Config.default pl
-        (Cobra_isa.Trace_file.load_stream ~path)
-    in
-    let perf = Cobra_uarch.Core.run core ~max_insns:insns in
-    Format.printf "%s on %s:@.  %a@." design path Cobra_uarch.Perf.pp perf;
-    Ok ()
+    match Cobra_trace_replay.Reader.detect path with
+    | Cobra_trace_replay.Reader.Branch_binary | Cobra_trace_replay.Reader.Branch_text ->
+      (* predictor-only fast path: no uarch core, constant memory *)
+      if stats then begin
+        let res, report =
+          Cobra_trace_replay.Replay.run_design_with_stats ?max_branches:branches
+            ~max_insns:insns d ~path
+        in
+        print_endline (Cobra_trace_replay.Replay.summary res);
+        if json then
+          print_endline (Cobra_stats.Json.to_string (Cobra_stats.Report.to_json report))
+        else print_string (Cobra_stats.Report.render report);
+        Ok ()
+      end
+      else begin
+        let res =
+          Cobra_trace_replay.Replay.run_design ?max_branches:branches ~max_insns:insns d
+            ~path
+        in
+        print_endline (Cobra_trace_replay.Replay.summary res);
+        Ok ()
+      end
+    | Cobra_trace_replay.Reader.Other ->
+      let* () =
+        if stats || json then
+          Error (`Msg "--stats/--json need a branch trace (made with cobra trace --branch)")
+        else Ok ()
+      in
+      let pl = Designs.pipeline d in
+      let core =
+        Cobra_uarch.Core.create Cobra_uarch.Config.default pl
+          (Cobra_isa.Trace_file.load_stream ~path)
+      in
+      let perf = Cobra_uarch.Core.run core ~max_insns:insns in
+      Format.printf "%s on %s:@.  %a@." design path Cobra_uarch.Perf.pp perf;
+      Ok ()
   in
-  Cmd.v (Cmd.info "replay" ~doc:"Run a design over a saved trace file")
-    Term.(term_result (const replay $ design_arg $ path_arg $ insns_arg))
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Run a design over a saved trace file: branch traces (binary or text, \
+          auto-detected) take the predictor-only fast path; instruction-event traces \
+          drive the full uarch core")
+    Term.(
+      term_result
+        (const replay $ design_arg $ path_arg $ insns_arg $ branches_arg $ stats_flag
+         $ json_flag))
 
 (* --- sweep ------------------------------------------------------------------- *)
 
@@ -258,7 +343,17 @@ let sweep_cmd =
           | _ -> List.filter (fun (n, _) -> List.mem n names) sweeps
         in
         List.iter (fun (_, f) -> print_string (f ?insns ())) selected;
-        Ok ()
+        let store_errors = Cobra_runner.Progress.total_store_errors () in
+        if store_errors > 0 then
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "%d result-cache store error%s during the sweep — results above are \
+                  complete, but nothing was persisted and a re-run will recompute \
+                  everything (check COBRA_CACHE_DIR permissions/space)"
+                 store_errors
+                 (if store_errors = 1 then "" else "s")))
+        else Ok ()
     end
   in
   Cmd.v
@@ -364,6 +459,89 @@ let conform_cmd =
           metamorphic checks, Table-I storage pins)")
     Term.(term_result (const run $ seed_arg $ length_arg $ artifact_arg))
 
+(* --- serve ------------------------------------------------------------------- *)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(value & opt string "cobra.sock"
+         & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"JOBS"
+             ~doc:"Domain-pool width for sweep sharding (default: \\$COBRA_JOBS or the \
+                   machine's recommended domain count).")
+  in
+  let timeout_arg =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-request replay budget.")
+  in
+  let request_arg =
+    Arg.(value & opt (some string) None
+         & info [ "request" ] ~docv:"JSON"
+             ~doc:"Client mode: send one request line to a running daemon, print every \
+                   response line, and exit (non-zero if the server answered with an \
+                   error event).")
+  in
+  let shutdown_flag =
+    Arg.(value & flag
+         & info [ "shutdown" ] ~doc:"Client mode: ask a running daemon to exit.")
+  in
+  let run socket jobs timeout request shutdown =
+    let module Serve = Cobra_trace_replay.Serve in
+    if shutdown then begin
+      match Serve.shutdown ~socket () with
+      | () -> Ok ()
+      | exception Failure m -> Error (`Msg m)
+    end
+    else
+      match request with
+      | Some line -> (
+        match Serve.request ?timeout_s:timeout ~socket line with
+        | lines ->
+          List.iter print_endline lines;
+          let failed =
+            List.exists
+              (fun l ->
+                match Cobra_stats.Json.of_string l with
+                | Ok j -> (
+                  match Cobra_stats.Json.member "event" j with
+                  | Some (Cobra_stats.Json.String "error") -> true
+                  | _ -> false)
+                | Error _ -> false)
+              lines
+          in
+          if failed then Error (`Msg "server answered with an error event") else Ok ()
+        | exception Failure m -> Error (`Msg m))
+      | None ->
+        let cfg =
+          {
+            (Serve.default_config ~socket) with
+            Serve.timeout_s = timeout;
+            jobs =
+              (match jobs with
+              | Some j -> max 1 j
+              | None -> Cobra_runner.Pool.default_jobs ());
+          }
+        in
+        Printf.eprintf "cobra serve: listening on %s (%d jobs)\n%!" socket cfg.Serve.jobs;
+        (match Serve.serve cfg with
+        | () -> Ok ()
+        | exception Unix.Unix_error (e, fn, arg) ->
+          Error
+            (`Msg (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e))))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Persistent sweep-serving daemon: line-delimited JSON requests \
+          (ping/replay/sweep/shutdown) over a Unix socket, design x trace sweeps sharded \
+          over the domain pool, repeated points answered from the content-addressed \
+          result cache (protocol spec in EXPERIMENTS.md)")
+    Term.(
+      term_result
+        (const run $ socket_arg $ jobs_arg $ timeout_arg $ request_arg $ shutdown_flag))
+
 let tables_cmd =
   let run () =
     print_string (Tables.table_1 ());
@@ -379,6 +557,6 @@ let main =
     (Cmd.info "cobra" ~version:"1.0.0"
        ~doc:"COBRA: composition of hardware branch predictors (cycle-level model)")
     [ list_cmd; run_cmd; topology_cmd; storage_cmd; tables_cmd; trace_cmd; replay_cmd;
-      sweep_cmd; stats_cmd; conform_cmd ]
+      sweep_cmd; stats_cmd; conform_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main)

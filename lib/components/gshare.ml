@@ -30,11 +30,17 @@ let make cfg =
   let predict ctx ~pred_in =
     let base = match pred_in with [ p ] -> p | _ -> invalid_arg (cfg.name ^ ": one predict_in") in
     let pred = Array.make cfg.fetch_width Types.empty_opinion in
+    let live = Context.live_bound ctx cfg.fetch_width in
     for slot = 0 to cfg.fetch_width - 1 do
-      let c = table.(index ctx ~slot) in
-      Bitpack.Packer.add packer c ~bits:cfg.counter_bits;
-      if not (Types.unconditional_in base slot) then
-        pred.(slot) <- Types.direction_hint ~taken:(Counter.is_taken ~bits:cfg.counter_bits c)
+      if slot < live then begin
+        let c = table.(index ctx ~slot) in
+        Bitpack.Packer.add packer c ~bits:cfg.counter_bits;
+        if not (Types.unconditional_in base slot) then
+          pred.(slot) <- Types.direction_hint ~taken:(Counter.is_taken ~bits:cfg.counter_bits c)
+      end
+      else
+        (* dead slot: keep the declared meta layout *)
+        Bitpack.Packer.add packer 0 ~bits:cfg.counter_bits
     done;
     (pred, Bitpack.Packer.finish packer)
   in

@@ -55,18 +55,26 @@ let make cfg =
   let predict (ctx : Context.t) ~pred_in =
     let base = match pred_in with [ p ] -> p | _ -> invalid_arg (cfg.name ^ ": one predict_in") in
     let fields = ref [] in
+    let live = Context.live_bound ctx cfg.fetch_width in
     let pred =
       Array.init cfg.fetch_width (fun slot ->
-          let e = table.(index ctx ~slot) in
-          if (not (Types.unconditional_in base slot)) && e.valid && e.tag = tag ctx ~slot
-          then begin
-            fields := (e.ctr, cfg.counter_bits) :: (1, 1) :: !fields;
-            { Types.empty_opinion with
-              o_taken = Some (Counter.is_taken ~bits:cfg.counter_bits e.ctr) }
-          end
-          else begin
+          if slot >= live then begin
+            (* dead slot: keep the declared meta layout *)
             fields := (0, cfg.counter_bits) :: (0, 1) :: !fields;
             Types.empty_opinion
+          end
+          else begin
+            let e = table.(index ctx ~slot) in
+            if (not (Types.unconditional_in base slot)) && e.valid && e.tag = tag ctx ~slot
+            then begin
+              fields := (e.ctr, cfg.counter_bits) :: (1, 1) :: !fields;
+              { Types.empty_opinion with
+                o_taken = Some (Counter.is_taken ~bits:cfg.counter_bits e.ctr) }
+            end
+            else begin
+              fields := (0, cfg.counter_bits) :: (0, 1) :: !fields;
+              Types.empty_opinion
+            end
           end)
     in
     (pred, Bitpack.pack ~width:meta_bits (List.rev !fields))

@@ -61,9 +61,10 @@ let make cfg =
   let cursor = Bitpack.Cursor.create () in
   let predict (ctx : Context.t) ~pred_in:_ =
     let pred = Types.no_prediction ~width:cfg.fetch_width in
+    let live = Context.live_bound ctx cfg.fetch_width in
     for slot = 0 to cfg.fetch_width - 1 do
       let hit, c, pv, pd =
-        match lookup (Context.slot_pc ctx slot) with
+        match (if slot < live then lookup (Context.slot_pc ctx slot) else None) with
         | Some e ->
           if e.conf >= cfg.conf_threshold && e.p_count > 0 then begin
             let taken = if e.c_count >= e.p_count then not e.dir else e.dir in

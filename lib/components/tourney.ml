@@ -49,25 +49,36 @@ let make cfg =
              (List.length l))
     in
     let pred = Array.make cfg.fetch_width Types.empty_opinion in
+    let live = Context.live_bound ctx cfg.fetch_width in
     for slot = 0 to cfg.fetch_width - 1 do
-      let d0 = dir_of p0.(slot) and d1 = dir_of p1.(slot) in
-      let ctr = table.(index ctx ~slot) in
-      let bit = function Some true -> 1 | _ -> 0 in
-      let valid = function Some _ -> 1 | None -> 0 in
-      Bitpack.Packer.add packer (valid d0) ~bits:1;
-      Bitpack.Packer.add packer (bit d0) ~bits:1;
-      Bitpack.Packer.add packer (valid d1) ~bits:1;
-      Bitpack.Packer.add packer (bit d1) ~bits:1;
-      Bitpack.Packer.add packer ctr ~bits:cfg.counter_bits;
-      let chosen =
-        if Counter.is_taken ~bits:cfg.counter_bits ctr then
-          (match d1 with Some _ -> d1 | None -> d0)
-        else match d0 with Some _ -> d0 | None -> d1
-      in
-      match chosen with
-      | Some taken when not (Types.unconditional_in p0 slot) ->
-        pred.(slot) <- Types.direction_hint ~taken
-      | Some _ | None -> ()
+      if slot >= live then begin
+        (* dead slot: keep the declared meta layout *)
+        Bitpack.Packer.add packer 0 ~bits:1;
+        Bitpack.Packer.add packer 0 ~bits:1;
+        Bitpack.Packer.add packer 0 ~bits:1;
+        Bitpack.Packer.add packer 0 ~bits:1;
+        Bitpack.Packer.add packer 0 ~bits:cfg.counter_bits
+      end
+      else begin
+        let d0 = dir_of p0.(slot) and d1 = dir_of p1.(slot) in
+        let ctr = table.(index ctx ~slot) in
+        let bit = function Some true -> 1 | _ -> 0 in
+        let valid = function Some _ -> 1 | None -> 0 in
+        Bitpack.Packer.add packer (valid d0) ~bits:1;
+        Bitpack.Packer.add packer (bit d0) ~bits:1;
+        Bitpack.Packer.add packer (valid d1) ~bits:1;
+        Bitpack.Packer.add packer (bit d1) ~bits:1;
+        Bitpack.Packer.add packer ctr ~bits:cfg.counter_bits;
+        let chosen =
+          if Counter.is_taken ~bits:cfg.counter_bits ctr then
+            (match d1 with Some _ -> d1 | None -> d0)
+          else match d0 with Some _ -> d0 | None -> d1
+        in
+        match chosen with
+        | Some taken when not (Types.unconditional_in p0 slot) ->
+          pred.(slot) <- Types.direction_hint ~taken
+        | Some _ | None -> ()
+      end
     done;
     (pred, Bitpack.Packer.finish packer)
   in

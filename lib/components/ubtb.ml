@@ -49,9 +49,10 @@ let make cfg =
   let cursor = Bitpack.Cursor.create () in
   let predict (ctx : Context.t) ~pred_in:_ =
     let pred = Array.make cfg.fetch_width Types.empty_opinion in
+    let live = Context.live_bound ctx cfg.fetch_width in
     for slot = 0 to cfg.fetch_width - 1 do
       let pc = Context.slot_pc ctx slot in
-      match lookup pc with
+      match (if slot < live then lookup pc else None) with
       | Some i ->
         let e = table.(i) in
         Bitpack.Packer.add packer 1 ~bits:1;

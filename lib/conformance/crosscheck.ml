@@ -207,6 +207,90 @@ let twin ?(length = 400) ~seed (design : Designs.t) =
     | None -> pass ~check ~subject (Printf.sprintf "ok (%d branches, golden twin agrees)" length)
     | Some m -> fail ~check ~subject m)
 
+(* --- trace-replay engine vs the step driver and the golden twin ------------------ *)
+
+let replay_twin ?(length = 400) ~seed (design : Designs.t) =
+  let check = "replay" in
+  let subject = design.Designs.name in
+  match Golden.twin_design design with
+  | exception Invalid_argument m -> fail ~check ~subject m
+  | golden ->
+    let bs = Fuzz.branches { Fuzz.seed; shape = Fuzz.Mixed; length } in
+    let records =
+      List.map
+        (fun (b : Fuzz.branch) ->
+          {
+            Cobra_trace_replay.Btrace.b_pc = b.Fuzz.br_pc;
+            b_taken = b.Fuzz.br_taken;
+            b_kind = b.Fuzz.br_kind;
+            b_target = b.Fuzz.br_target;
+            b_gap = 0;
+          })
+        bs
+    in
+    (* the replay engine over the real design, observed per branch *)
+    let observed = ref [] in
+    let remaining = ref records in
+    let source () =
+      match !remaining with
+      | [] -> None
+      | r :: rest ->
+        remaining := rest;
+        Some r
+    in
+    let res =
+      Cobra_trace_replay.Replay.run
+        ~observe:(fun _ ~taken_pred ~wrong -> observed := (taken_pred, wrong) :: !observed)
+        ~design:subject ~trace:"fuzz" (Designs.pipeline design) source
+    in
+    let replay_obs = List.rev !observed in
+    (* the conformance step driver over a fresh real pipeline and the golden twin *)
+    let p_ref = Designs.pipeline design in
+    let p_gold = Designs.pipeline golden in
+    let width = design.Designs.pipeline_config.Pipeline.fetch_width in
+    let ref_obs = List.map (drive p_ref ~width) bs in
+    let gold_obs = List.map (drive p_gold ~width) bs in
+    let bad = ref None in
+    List.iteri
+      (fun i (b : Fuzz.branch) ->
+        if !bad = None then begin
+          let tp_y, w_y = List.nth replay_obs i in
+          let tp_r, w_r = List.nth ref_obs i in
+          let tp_g, w_g = List.nth gold_obs i in
+          if tp_y <> tp_r || w_y <> w_r then
+            bad :=
+              Some
+                (Printf.sprintf
+                   "branch %d/%d (pc=0x%x %s taken=%b) seed=%d: replay engine taken_pred=%b \
+                    wrong=%b, step driver taken_pred=%b wrong=%b"
+                   i length b.Fuzz.br_pc (kind_name b.Fuzz.br_kind) b.Fuzz.br_taken seed tp_y
+                   w_y tp_r w_r)
+          else if tp_y <> tp_g || w_y <> w_g then
+            bad :=
+              Some
+                (Printf.sprintf
+                   "branch %d/%d (pc=0x%x %s taken=%b) seed=%d: replay engine taken_pred=%b \
+                    wrong=%b, golden twin taken_pred=%b wrong=%b"
+                   i length b.Fuzz.br_pc (kind_name b.Fuzz.br_kind) b.Fuzz.br_taken seed tp_y
+                   w_y tp_g w_g)
+        end)
+      bs;
+    let total_wrong = List.length (List.filter snd replay_obs) in
+    (match !bad with
+    | None ->
+      if res.Cobra_trace_replay.Replay.mispredicts <> total_wrong then
+        fail ~check ~subject
+          (Printf.sprintf "replay counted %d mispredicts but observed %d wrong branches"
+             res.Cobra_trace_replay.Replay.mispredicts total_wrong)
+      else if res.Cobra_trace_replay.Replay.branches <> length then
+        fail ~check ~subject
+          (Printf.sprintf "replay consumed %d branches of %d"
+             res.Cobra_trace_replay.Replay.branches length)
+      else
+        pass ~check ~subject
+          (Printf.sprintf "ok (%d branches, replay = step driver = golden twin)" length)
+    | Some m -> fail ~check ~subject m)
+
 (* --- metamorphic: repair restores pre-speculation state ------------------------- *)
 
 let repair_restore ?(length = 400) ~seed (design : Designs.t) =
@@ -342,7 +426,10 @@ let run_all ?(length = 300) ~seed () =
     List.map (twin ~length ~seed) (Designs.all @ [ Designs.gshare_only ])
   in
   let repairs = List.map (repair_restore ~length ~seed) Designs.all in
-  per_component @ twins @ repairs @ table1_pins ()
+  let replays =
+    List.map (replay_twin ~length ~seed) (Designs.all @ [ Designs.gshare_only ])
+  in
+  per_component @ twins @ replays @ repairs @ table1_pins ()
 
 let render vs =
   let rows =

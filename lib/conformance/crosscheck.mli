@@ -30,6 +30,14 @@ val twin : ?length:int -> seed:int -> Cobra_eval.Designs.t -> verdict
     driven through the same branch stream (software-model protocol) and
     must make identical predictions on every branch. *)
 
+val replay_twin : ?length:int -> seed:int -> Cobra_eval.Designs.t -> verdict
+(** Certifies the trace-replay fast path: the same fuzz branch stream
+    (as gap-0 trace records) is run through
+    [Cobra_trace_replay.Replay.run], the conformance step driver and the
+    design's {!Golden.twin_design}; all three must agree on every
+    per-branch [(taken_pred, wrong)] decision, and the replay totals must
+    match the observation count. *)
+
 val repair_restore : ?length:int -> seed:int -> Cobra_eval.Designs.t -> verdict
 (** Metamorphic check: a pipeline subjected to speculative excursions
     (wrong-path packets that are squashed, and fired wrong-path packets
@@ -43,8 +51,9 @@ val table1_pins : unit -> verdict list
 
 val run_all : ?length:int -> seed:int -> unit -> verdict list
 (** Everything above: per-component lockstep + storage over {!Golden.zoo},
-    twin differentials over the reference designs (plus gshare-only),
-    repair-restores-state over [Designs.all], and the Table-I pins. *)
+    twin and replay-engine differentials over the reference designs (plus
+    gshare-only), repair-restores-state over [Designs.all], and the
+    Table-I pins. *)
 
 val all_pass : verdict list -> bool
 val failures : verdict list -> verdict list

@@ -1,6 +1,7 @@
 type t = {
   pc : int;
   fetch_width : int;
+  live_slots : int;
   ghist : Cobra_util.Bits.t;
   lhists : Cobra_util.Bits.t array;
   phist : Cobra_util.Bits.t;
@@ -16,10 +17,30 @@ type t = {
 
 let slot_pc t i = t.pc + (4 * i)
 
-let make ~pc ~fetch_width ~ghist ~lhists ?(phist = Cobra_util.Bits.zero 0) () =
+let make ~pc ~fetch_width ?live_slots ~ghist ~lhists ?(phist = Cobra_util.Bits.zero 0) () =
   if Array.length lhists <> fetch_width then
     invalid_arg "Context.make: lhists length must equal fetch width";
-  { pc; fetch_width; ghist; lhists; phist; memo_keys = [||]; memo_vals = [||]; memo_count = 0 }
+  let live_slots =
+    match live_slots with
+    | None -> fetch_width
+    | Some n ->
+      if n < 1 || n > fetch_width then
+        invalid_arg "Context.make: live_slots out of range"
+      else n
+  in
+  {
+    pc;
+    fetch_width;
+    live_slots;
+    ghist;
+    lhists;
+    phist;
+    memo_keys = [||];
+    memo_vals = [||];
+    memo_count = 0;
+  }
+
+let live_bound t width = if t.live_slots < width then t.live_slots else width
 
 let memo_capacity = 16
 

@@ -8,6 +8,14 @@
 type t = {
   pc : int;  (** fetch PC (byte address of slot 0) *)
   fetch_width : int;  (** slots per fetch packet *)
+  live_slots : int;
+      (** slots the host can actually use this packet ([1..fetch_width];
+          equals [fetch_width] unless the caller bounds it). Purely an
+          optimization hint: a component may skip table work for slots
+          [>= live_slots] — their opinions are never consumed and they never
+          resolve as branches — but computing them anyway is equally
+          correct. Skipping components must still pack their declared
+          [meta_bits] (zeros for the dead slots). *)
   ghist : Cobra_util.Bits.t;  (** speculative global history, youngest bit = LSB *)
   lhists : Cobra_util.Bits.t array;  (** per-slot local history, indexed by slot *)
   phist : Cobra_util.Bits.t;
@@ -25,11 +33,19 @@ val slot_pc : t -> int -> int
 val make :
   pc:int ->
   fetch_width:int ->
+  ?live_slots:int ->
   ghist:Cobra_util.Bits.t ->
   lhists:Cobra_util.Bits.t array ->
   ?phist:Cobra_util.Bits.t ->
   unit ->
   t
+(** [live_slots] defaults to [fetch_width]; raises [Invalid_argument]
+    outside [1..fetch_width]. *)
+
+val live_bound : t -> int -> int
+(** [live_bound t width] is [min width t.live_slots] — the slot bound a
+    component with [width] slots of its own should iterate to when it wants
+    to skip dead-slot work. *)
 
 val folded_ghist : t -> len:int -> bits:int -> int
 (** [folded_ghist t ~len ~bits] is

@@ -149,6 +149,39 @@ let check_meta (c : Component.t) meta =
 
 let is_silent pred = Array.for_all (fun o -> o == Types.empty_opinion) pred
 
+(* Consecutive stages usually share the same composite array (the bottom
+   is one shared array, and every merge below preserves the sharing) —
+   merging pointer-equal weak inputs yields equal results, so reuse the
+   previous stage's merge instead of recomputing it. The previous
+   (weak, merged) pair threads through arguments: no closure, no refs. *)
+let rec overlay_fill out below ~latency pred i prev_w prev_m =
+  if i < Array.length below then begin
+    let b = below.(i) in
+    if i + 1 < latency then begin
+      out.(i) <- b;
+      overlay_fill out below ~latency pred (i + 1) prev_w prev_m
+    end
+    else if b == prev_w then begin
+      out.(i) <- prev_m;
+      overlay_fill out below ~latency pred (i + 1) prev_w prev_m
+    end
+    else begin
+      let m = Types.merge ~strong:pred ~weak:b in
+      out.(i) <- m;
+      overlay_fill out below ~latency pred (i + 1) b m
+    end
+  end
+
+let overlay below ~latency pred =
+  if is_silent pred then below
+  else begin
+    let out = Array.make (Array.length below) below.(0) in
+    (* [pred] is non-silent, so it can never be the weak side's merge
+       result: using it as the initial "previous weak" sentinel is safe. *)
+    overlay_fill out below ~latency pred 0 pred pred;
+    out
+  end
+
 (* Evaluate every component once (tables are read with predict-time state),
    wiring predict_in per the topology, and build the per-stage composites:
    a node's opinion becomes visible at its latency and overrides everything
@@ -159,13 +192,6 @@ let evaluate t (ctx : Context.t) =
   let metas = Array.make (Array.length t.comps) (Bits.zero 0) in
   let raw = if observed t then Some (Array.make (Array.length t.comps) [||]) else None in
   let record id pred = match raw with Some r -> r.(id) <- pred | None -> () in
-  let overlay below ~latency pred =
-    if is_silent pred then below
-    else
-      Array.mapi
-        (fun i b -> if i + 1 < latency then b else Types.merge ~strong:pred ~weak:b)
-        below
-  in
   let clamp_stage latency = min latency t.depth - 1 in
   let rec eval topo (below : Types.prediction array) : Types.prediction array =
     match topo with
@@ -195,8 +221,13 @@ let evaluate t (ctx : Context.t) =
 
 (* --- frontend side ------------------------------------------------------ *)
 
-let read_lhists t ~pc =
-  Array.init t.cfg.fetch_width (fun i -> Lhist_provider.read t.lhist ~pc:(pc + (4 * i)))
+(* Slots past [live] can never be used this packet; a shared zero vector
+   saves the provider reads without changing what any component can see. *)
+let read_lhists t ~pc ~live =
+  let dead = lazy (Cobra_util.Bits.zero t.cfg.lhist_bits) in
+  Array.init t.cfg.fetch_width (fun i ->
+      if i < live then Lhist_provider.read t.lhist ~pc:(pc + (4 * i))
+      else Lazy.force dead)
 
 (* Slots of [pred] within [packet_len] that look like conditional branches
    push a speculative bit into the local history of their own PC. *)
@@ -269,8 +300,9 @@ let predict t ~pc ~max_len =
   if max_len < 1 || max_len > t.cfg.fetch_width then
     invalid_arg "Pipeline.predict: max_len out of range";
   let ctx =
-    Context.make ~pc ~fetch_width:t.cfg.fetch_width ~ghist:(Ghist_provider.value t.ghist)
-      ~lhists:(read_lhists t ~pc)
+    Context.make ~pc ~fetch_width:t.cfg.fetch_width ~live_slots:max_len
+      ~ghist:(Ghist_provider.value t.ghist)
+      ~lhists:(read_lhists t ~pc ~live:max_len)
       ~phist:(if t.cfg.path_bits = 0 then Bits.zero 0 else Ghist_provider.value t.path)
       ()
   in

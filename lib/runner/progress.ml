@@ -21,6 +21,11 @@ type t = {
   mutable closed : bool;
 }
 
+(* Process-wide tally across every [t] — a run may build several progress
+   sinks (one per sweep stage), and the CLI exit gate needs the sum. *)
+let global_store_errors = Atomic.make 0
+let total_store_errors () = Atomic.get global_store_errors
+
 let default_live () =
   match Sys.getenv_opt "COBRA_PROGRESS" with
   | Some "1" -> true
@@ -131,7 +136,9 @@ let record t e =
   | Start _ | Stats _ -> ()
   | Cache_hit _ -> t.hits <- t.hits + 1
   | Retry _ -> t.retries <- t.retries + 1
-  | Store_error _ -> t.store_errors <- t.store_errors + 1
+  | Store_error _ ->
+    t.store_errors <- t.store_errors + 1;
+    Atomic.incr global_store_errors
   | Finish { ok; _ } ->
     t.done_ <- t.done_ + 1;
     if not ok then t.failures <- t.failures + 1);

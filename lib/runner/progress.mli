@@ -43,6 +43,11 @@ val failures : t -> int
 val retries : t -> int
 val store_errors : t -> int
 
+val total_store_errors : unit -> int
+(** Process-wide store-error count summed across every sink ever created —
+    the basis of [cobra sweep]'s non-zero exit when the result cache went
+    silently dead mid-run. *)
+
 val status_line : t -> string
 (** The live one-line rendering. Every derived figure (rate, ETA) is
     division-guarded: zero-job grids, a first event at elapsed ~ 0 and

@@ -77,3 +77,14 @@ let ipc p = if p.p_cycles = 0 then 0.0 else float_of_int p.p_insns /. float_of_i
 let mpki p =
   if p.p_insns = 0 then 0.0
   else 1000.0 *. float_of_int p.p_mispredicts /. float_of_int p.p_insns
+
+let point_to_json p =
+  Json.Obj
+    [
+      ("start", Json.Int p.p_start);
+      ("insns", Json.Int p.p_insns);
+      ("cycles", Json.Int p.p_cycles);
+      ("mispredicts", Json.Int p.p_mispredicts);
+      ("ipc", Json.Float (ipc p));
+      ("mpki", Json.Float (mpki p));
+    ]

@@ -35,3 +35,7 @@ val ipc : point -> float
 (** 0.0 on an empty bucket rather than nan. *)
 
 val mpki : point -> float
+
+val point_to_json : point -> Json.t
+(** One interval bucket as a JSON object (raw counters plus derived
+    IPC/MPKI) — the serve daemon's ["interval"] event payload. *)

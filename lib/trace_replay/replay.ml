@@ -1,0 +1,170 @@
+open Cobra
+
+type source = unit -> Btrace.record option
+
+type result = {
+  design : string;
+  trace : string;
+  instructions : int;
+  branches : int;
+  cond_branches : int;
+  mispredicts : int;
+  cond_mispredicts : int;
+  elapsed_s : float;
+}
+
+exception Timeout of { branches : int; deadline_s : float }
+
+let () =
+  Printexc.register_printer (function
+    | Timeout { branches; deadline_s = _ } ->
+      Some (Printf.sprintf "Replay.Timeout after %d branches (deadline passed)" branches)
+    | _ -> None)
+
+let mpki r = Cobra_util.Stats.mpki ~misses:r.mispredicts ~instructions:r.instructions
+
+let accuracy r =
+  if r.branches = 0 then 1.0
+  else 1.0 -. (float_of_int r.mispredicts /. float_of_int r.branches)
+
+let per_sec count elapsed =
+  float_of_int count /. (if elapsed > 0.0 then elapsed else epsilon_float)
+
+let branches_per_sec r = per_sec r.branches r.elapsed_s
+let insns_per_sec r = per_sec r.instructions r.elapsed_s
+
+let to_perf r =
+  let p = Cobra_uarch.Perf.create () in
+  p.Cobra_uarch.Perf.instructions <- r.instructions;
+  p.Cobra_uarch.Perf.branches <- r.branches;
+  p.Cobra_uarch.Perf.cond_branches <- r.cond_branches;
+  p.Cobra_uarch.Perf.mispredicts <- r.mispredicts;
+  p.Cobra_uarch.Perf.cond_mispredicts <- r.cond_mispredicts;
+  p
+
+let summary r =
+  Printf.sprintf
+    "%s on %s: %d branches (%d cond) over %d insns, %d mispredicts (%d cond), MPKI %.3f, \
+     accuracy %.2f%%, %.2fs (%.0f branches/s)"
+    r.design r.trace r.branches r.cond_branches r.instructions r.mispredicts
+    r.cond_mispredicts (mpki r)
+    (100.0 *. accuracy r)
+    r.elapsed_s (branches_per_sec r)
+
+(* The per-branch protocol below must stay in lockstep with
+   Cobra_eval.Software_model.run and the conformance kit's twin driver: the
+   replay-vs-pipeline MPKI equality guarantee is exactly this. *)
+let run ?(max_branches = max_int) ?(max_insns = max_int) ?deadline ?observe ?progress
+    ?(progress_every = 262_144) ~design ~trace pl source =
+  if progress_every < 1 then invalid_arg "Replay.run: progress_every < 1";
+  let width = (Pipeline.config pl).Pipeline.fetch_width in
+  let slots = Array.make width Types.no_branch in
+  let instructions = ref 0 in
+  let branches = ref 0 in
+  let cond_branches = ref 0 in
+  let mispredicts = ref 0 in
+  let cond_mispredicts = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let continue_ = ref true in
+  while !continue_ do
+    (* amortized deadline check: a poisoned or huge trace cannot wedge a
+       serving domain past its budget *)
+    (match deadline with
+    | Some d when !branches land 2047 = 0 && Unix.gettimeofday () > d ->
+      raise (Timeout { branches = !branches; deadline_s = d })
+    | _ -> ());
+    match source () with
+    | None -> continue_ := false
+    | Some r ->
+      if !branches >= max_branches || !instructions + Btrace.insns r > max_insns then
+        continue_ := false
+      else begin
+        instructions := !instructions + Btrace.insns r;
+        incr branches;
+        let kind = r.Btrace.b_kind in
+        let is_cond = Types.equal_branch_kind kind Types.Cond in
+        if is_cond then incr cond_branches;
+        let tok = Pipeline.predict pl ~pc:r.Btrace.b_pc ~max_len:1 in
+        let stages = Pipeline.stages pl tok in
+        let final = (stages.(Array.length stages - 1)).(0) in
+        let taken_pred =
+          match final.Types.o_taken with
+          | Some t -> t
+          | None -> Types.is_unconditional kind
+        in
+        let target_pred = Option.value final.Types.o_target ~default:(-1) in
+        let known_target = r.Btrace.b_target >= 0 in
+        let wrong =
+          taken_pred <> r.Btrace.b_taken
+          || (r.Btrace.b_taken
+             && Types.is_unconditional kind
+             && (not (Types.equal_branch_kind kind Types.Ret))
+             && known_target
+             && target_pred <> r.Btrace.b_target)
+        in
+        if wrong then begin
+          incr mispredicts;
+          if is_cond then incr cond_mispredicts
+        end;
+        (match observe with Some f -> f r ~taken_pred ~wrong | None -> ());
+        let target = if known_target then r.Btrace.b_target else 0 in
+        slots.(0) <-
+          Types.resolved_branch ~kind ~taken:taken_pred
+            ~target:(if taken_pred then target else 0);
+        let seq = Pipeline.fire pl tok ~slots ~packet_len:1 in
+        let actual = Types.resolved_branch ~kind ~taken:r.Btrace.b_taken ~target in
+        if wrong then Pipeline.mispredict pl ~seq ~slot:0 actual
+        else Pipeline.resolve pl ~seq ~slot:0 actual;
+        (* immediate commit: predictor-only replay has no backend to wait on *)
+        Pipeline.commit pl;
+        match progress with
+        | Some f when !branches mod progress_every = 0 ->
+          f ~branches:!branches ~insns:!instructions
+        | _ -> ()
+      end
+  done;
+  {
+    design;
+    trace;
+    instructions = !instructions;
+    branches = !branches;
+    cond_branches = !cond_branches;
+    mispredicts = !mispredicts;
+    cond_mispredicts = !cond_mispredicts;
+    elapsed_s = Unix.gettimeofday () -. t0;
+  }
+
+let run_design ?max_branches ?max_insns ?deadline ?buffer_size (d : Cobra_eval.Designs.t)
+    ~path =
+  let pl = Cobra_eval.Designs.pipeline d in
+  Reader.with_file ?buffer_size path (fun rd ->
+      run ?max_branches ?max_insns ?deadline ~design:d.Cobra_eval.Designs.name
+        ~trace:path pl (fun () -> Reader.next rd))
+
+let run_design_with_stats ?max_branches ?max_insns ?deadline ?buffer_size ?(top = 20)
+    (d : Cobra_eval.Designs.t) ~path =
+  let pl = Cobra_eval.Designs.pipeline d in
+  let coll =
+    Cobra_stats.Collector.create ~interval_width:(Cobra_stats.Env.interval ()) pl
+  in
+  let insns_seen = ref 0 and mis_seen = ref 0 in
+  let observe r ~taken_pred:_ ~wrong =
+    insns_seen := !insns_seen + Btrace.insns r;
+    if wrong then incr mis_seen;
+    Cobra_stats.Collector.sample coll ~insns:!insns_seen ~cycles:0 ~mispredicts:!mis_seen
+  in
+  let res =
+    Reader.with_file ?buffer_size path (fun rd ->
+        run ?max_branches ?max_insns ?deadline ~observe
+          ~design:d.Cobra_eval.Designs.name ~trace:path pl (fun () -> Reader.next rd))
+  in
+  Cobra_stats.Collector.flush coll ~insns:res.instructions ~cycles:0
+    ~mispredicts:res.mispredicts;
+  Cobra_stats.Collector.detach coll;
+  let report =
+    Cobra_stats.Collector.report ~design:res.design
+      ~workload:(Filename.basename path)
+      ~perf:(Cobra_uarch.Perf.counters (to_perf res))
+      ~top coll
+  in
+  (res, report)

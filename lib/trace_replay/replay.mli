@@ -1,0 +1,93 @@
+(** Predictor-only trace replay — the fast path of the trace frontend.
+
+    Drives a composed {!Cobra.Pipeline} (any [Topology.spec]) through the
+    predict/fire/resolve/commit contract one retired branch at a time,
+    without instantiating the uarch core model: no scoreboard, no wrong-path
+    fetch, no cycle accounting. This is the standard ChampSim/CBP
+    predict/update replay idiom, and it follows {e exactly} the protocol of
+    [Cobra_eval.Software_model] (and of the conformance kit's twin driver),
+    so for a trace exported from a workload the mispredict counters — and
+    hence MPKI — are bit-identical to driving the full pipeline composer
+    over the original stream, while running an order of magnitude faster
+    than the uarch model (pinned in BENCH_PR6.json).
+
+    The hot loop allocates O(1) state up front (one reusable slot vector)
+    and streams records from the source, so a multi-million-branch trace
+    replays in constant memory. *)
+
+type source = unit -> Btrace.record option
+
+type result = {
+  design : string;
+  trace : string;
+  instructions : int;  (** instructions represented: sum of [gap + 1] *)
+  branches : int;
+  cond_branches : int;
+  mispredicts : int;  (** wrong direction, or wrong target on a taken
+                          non-return unconditional with a known target *)
+  cond_mispredicts : int;
+  elapsed_s : float;  (** wall-clock of the replay loop *)
+}
+
+exception Timeout of { branches : int; deadline_s : float }
+(** Raised from {!run} when a [deadline] passes mid-replay — the per-request
+    isolation mechanism of [cobra serve]. *)
+
+val mpki : result -> float
+(** Mispredicts per kilo-instruction represented by the trace. *)
+
+val accuracy : result -> float
+val branches_per_sec : result -> float
+val insns_per_sec : result -> float
+
+val to_perf : result -> Cobra_uarch.Perf.t
+(** The replay counters as a [Perf.t] (cycle counters zero — replay has no
+    timing model), which is what lets the runner's content-addressed result
+    cache store replay points unchanged. *)
+
+val summary : result -> string
+(** One human-readable line. *)
+
+val run :
+  ?max_branches:int ->
+  ?max_insns:int ->
+  ?deadline:float ->
+  ?observe:(Btrace.record -> taken_pred:bool -> wrong:bool -> unit) ->
+  ?progress:(branches:int -> insns:int -> unit) ->
+  ?progress_every:int ->
+  design:string ->
+  trace:string ->
+  Cobra.Pipeline.t ->
+  source ->
+  result
+(** Replay [source] through the pipeline. [deadline] is an absolute
+    [Unix.gettimeofday] time checked every 2048 branches; [observe] fires
+    per branch with the final-stage direction decision before state update
+    (the conformance lockstep hook); [progress] fires every
+    [progress_every] branches (default 262144). [design]/[trace] are labels
+    carried into the result. *)
+
+val run_design :
+  ?max_branches:int ->
+  ?max_insns:int ->
+  ?deadline:float ->
+  ?buffer_size:int ->
+  Cobra_eval.Designs.t ->
+  path:string ->
+  result
+(** Elaborate a fresh pipeline for the design and stream the trace file at
+    [path] through it ({!Reader} errors propagate). *)
+
+val run_design_with_stats :
+  ?max_branches:int ->
+  ?max_insns:int ->
+  ?deadline:float ->
+  ?buffer_size:int ->
+  ?top:int ->
+  Cobra_eval.Designs.t ->
+  path:string ->
+  result * Cobra_stats.Report.t
+(** Like {!run_design} with a [Cobra_stats.Collector] attached: the report
+    carries per-component mispredict attribution, arbitration tallies,
+    hard-branch tables and the interval MPKI series (interval cycle counts
+    are zero — replay has no timing model). *)

@@ -1,0 +1,385 @@
+module Json = Cobra_stats.Json
+
+type config = {
+  socket : string;
+  jobs : int;
+  timeout_s : float option;
+  log : (string -> unit) option;
+}
+
+let default_config ~socket =
+  { socket; jobs = Cobra_runner.Pool.default_jobs (); timeout_s = None; log = None }
+
+(* ---- response emission ------------------------------------------------ *)
+
+let event_obj ?id ~event fields =
+  let base =
+    [ ("ts", Json.Float (Unix.gettimeofday ())); ("label", Json.String "serve") ]
+  in
+  let id = match id with Some i -> [ ("id", Json.String i) ] | None -> [] in
+  Json.Obj ((base @ id) @ (("event", Json.String event) :: fields))
+
+let emit cfg send ?id ~event fields =
+  let line = Json.to_string (event_obj ?id ~event fields) in
+  (match cfg.log with Some f -> (try f line with _ -> ()) | None -> ());
+  send line
+
+let interval_fields p =
+  match Cobra_stats.Interval.point_to_json p with
+  | Json.Obj fields -> fields
+  | j -> [ ("point", j) ]
+
+let result_fields ~cached (r : Replay.result) =
+  [
+    ("design", Json.String r.Replay.design);
+    ("trace", Json.String r.Replay.trace);
+    ("instructions", Json.Int r.Replay.instructions);
+    ("branches", Json.Int r.Replay.branches);
+    ("cond_branches", Json.Int r.Replay.cond_branches);
+    ("mispredicts", Json.Int r.Replay.mispredicts);
+    ("cond_mispredicts", Json.Int r.Replay.cond_mispredicts);
+    ("mpki", Json.Float (Replay.mpki r));
+    ("accuracy", Json.Float (Replay.accuracy r));
+    ("elapsed_s", Json.Float r.Replay.elapsed_s);
+    ("cached", Json.Bool cached);
+  ]
+
+(* ---- request decoding ------------------------------------------------- *)
+
+type point_opts = { max_branches : int option; max_insns : int option }
+
+let opt_int name j =
+  match Json.member name j with
+  | Some (Json.Int n) when n > 0 -> Some n
+  | Some Json.Null | None -> None
+  | Some (Json.Int _) -> failwith (name ^ " must be positive")
+  | Some _ -> failwith (name ^ " must be an integer")
+
+let bool_member name j =
+  match Json.member name j with Some (Json.Bool b) -> b | _ -> false
+
+let str_list name j =
+  match Json.member name j with
+  | Some (Json.List l) ->
+    List.map
+      (fun e ->
+        match Json.to_str e with
+        | Some s -> s
+        | None -> failwith (name ^ " must be a list of strings"))
+      l
+  | Some Json.Null | None -> []
+  | Some _ -> failwith (name ^ " must be a list of strings")
+
+let find_design name =
+  if String.equal name Cobra_eval.Designs.gshare_only.Cobra_eval.Designs.name then
+    Cobra_eval.Designs.gshare_only
+  else
+    match Cobra_eval.Designs.find name with
+    | d -> d
+    | exception Not_found ->
+      let known =
+        Cobra_eval.Designs.gshare_only :: Cobra_eval.Designs.all
+        |> List.map (fun d -> d.Cobra_eval.Designs.name)
+        |> String.concat ", "
+      in
+      failwith (Printf.sprintf "unknown design %S (know: %s)" name known)
+
+(* ---- cached replay ---------------------------------------------------- *)
+
+let cache_key (d : Cobra_eval.Designs.t) ~trace_digest opts =
+  Cobra_runner.Cache.key
+    [
+      "btrace-replay";
+      "v1";
+      "design:" ^ d.Cobra_eval.Designs.name;
+      "topology:" ^ Cobra.Topology.spec (d.Cobra_eval.Designs.make ());
+      "pipeline:" ^ Cobra.Pipeline.config_spec d.Cobra_eval.Designs.pipeline_config;
+      "trace:" ^ trace_digest;
+      "branches:" ^ string_of_int (Option.value opts.max_branches ~default:0);
+      "insns:" ^ string_of_int (Option.value opts.max_insns ~default:0);
+    ]
+
+let result_of_perf ~design ~trace (p : Cobra_uarch.Perf.t) =
+  {
+    Replay.design;
+    trace;
+    instructions = p.Cobra_uarch.Perf.instructions;
+    branches = p.Cobra_uarch.Perf.branches;
+    cond_branches = p.Cobra_uarch.Perf.cond_branches;
+    mispredicts = p.Cobra_uarch.Perf.mispredicts;
+    cond_mispredicts = p.Cobra_uarch.Perf.cond_mispredicts;
+    elapsed_s = 0.0;
+  }
+
+(* Replay one (design, trace) point, answering repeats from the
+   content-addressed cache. Returns the result and whether it was a hit. *)
+let cached_replay cfg ?(use_cache = true) (d : Cobra_eval.Designs.t) ~trace opts =
+  if not (Sys.file_exists trace) then failwith ("no such trace file: " ^ trace);
+  let deadline =
+    Option.map (fun s -> Unix.gettimeofday () +. s) cfg.timeout_s
+  in
+  let use_cache = use_cache && Cobra_runner.Cache.enabled () in
+  let key =
+    if use_cache then Some (cache_key d ~trace_digest:(Digest.to_hex (Digest.file trace)) opts)
+    else None
+  in
+  match Option.bind key Cobra_runner.Cache.load with
+  | Some perf ->
+    (result_of_perf ~design:d.Cobra_eval.Designs.name ~trace perf, true)
+  | None ->
+    let r =
+      Replay.run_design ?max_branches:opts.max_branches ?max_insns:opts.max_insns
+        ?deadline d ~path:trace
+    in
+    (match key with
+    | Some k -> (
+      match Cobra_runner.Cache.store k (Replay.to_perf r) with
+      | Ok () -> ()
+      | Error _ -> () (* cache is an optimisation; the result still flows *))
+    | None -> ());
+    (r, false)
+
+(* ---- request handlers ------------------------------------------------- *)
+
+let handle_replay cfg send ?id req =
+  let design =
+    match Json.member "design" req with
+    | Some (Json.String s) -> s
+    | _ -> failwith "replay needs a \"design\" string"
+  in
+  let trace =
+    match Json.member "trace" req with
+    | Some (Json.String s) -> s
+    | _ -> failwith "replay needs a \"trace\" path"
+  in
+  let opts = { max_branches = opt_int "max_branches" req; max_insns = opt_int "max_insns" req } in
+  let d = find_design design in
+  emit cfg send ?id ~event:"accepted"
+    [ ("design", Json.String d.Cobra_eval.Designs.name); ("trace", Json.String trace) ];
+  if bool_member "stats" req then begin
+    (* stats runs are uncached: the report is not representable as Perf *)
+    let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) cfg.timeout_s in
+    let res, report =
+      Replay.run_design_with_stats ?max_branches:opts.max_branches
+        ?max_insns:opts.max_insns ?deadline d ~path:trace
+    in
+    List.iter
+      (fun p -> emit cfg send ?id ~event:"interval" (interval_fields p))
+      report.Cobra_stats.Report.intervals;
+    emit cfg send ?id ~event:"stats"
+      [ ("summary", Json.String (Cobra_stats.Report.summary report)) ];
+    emit cfg send ?id ~event:"result" (result_fields ~cached:false res)
+  end
+  else begin
+    let use_cache = not (bool_member "no_cache" req) in
+    let r, cached = cached_replay cfg ~use_cache d ~trace opts in
+    emit cfg send ?id ~event:"result" (result_fields ~cached r)
+  end
+
+let handle_sweep cfg send ?id req =
+  let traces = str_list "traces" req in
+  if traces = [] then failwith "sweep needs a non-empty \"traces\" list";
+  let designs =
+    match str_list "designs" req with
+    | [] -> Cobra_eval.Designs.all
+    | names -> List.map find_design names
+  in
+  let use_cache = not (bool_member "no_cache" req) in
+  let opts = { max_branches = opt_int "max_branches" req; max_insns = opt_int "max_insns" req } in
+  let points =
+    List.concat_map (fun trace -> List.map (fun d -> (d, trace)) designs) traces
+  in
+  emit cfg send ?id ~event:"accepted" [ ("points", Json.Int (List.length points)) ];
+  let outcomes =
+    Cobra_runner.Pool.map ~jobs:cfg.jobs ~attempts:1
+      (List.map
+         (fun (d, trace) () -> cached_replay cfg ~use_cache d ~trace opts)
+         points)
+  in
+  let failures = ref 0 in
+  List.iter2
+    (fun (d, trace) outcome ->
+      match outcome with
+      | Ok (r, cached) -> emit cfg send ?id ~event:"result" (result_fields ~cached r)
+      | Error (e : Cobra_runner.Pool.error) ->
+        incr failures;
+        emit cfg send ?id ~event:"error"
+          [
+            ("design", Json.String d.Cobra_eval.Designs.name);
+            ("trace", Json.String trace);
+            ("error", Json.String e.Cobra_runner.Pool.message);
+          ])
+    points outcomes;
+  emit cfg send ?id ~event:"sweep_summary"
+    [
+      ("points", Json.Int (List.length points));
+      ("failures", Json.Int !failures);
+    ]
+
+let handle_line cfg send line =
+  let id = ref None in
+  let verdict =
+    match Json.of_string line with
+    | Error e ->
+      emit cfg send ~event:"error" [ ("error", Json.String ("bad JSON: " ^ e)) ];
+      `Continue
+    | Ok req -> (
+      (match Json.member "id" req with
+      | Some (Json.String s) -> id := Some s
+      | _ -> ());
+      let id = !id in
+      match Json.member "op" req with
+      | Some (Json.String "ping") ->
+        emit cfg send ?id ~event:"pong" [];
+        `Continue
+      | Some (Json.String "shutdown") ->
+        emit cfg send ?id ~event:"bye" [];
+        `Shutdown
+      | Some (Json.String op) -> (
+        let handler =
+          match op with
+          | "replay" -> Some handle_replay
+          | "sweep" -> Some handle_sweep
+          | _ -> None
+        in
+        match handler with
+        | None ->
+          emit cfg send ?id ~event:"error"
+            [ ("error", Json.String ("unknown op: " ^ op)) ];
+          `Continue
+        | Some h ->
+          (try h cfg send ?id req with
+          | Replay.Timeout { branches; _ } ->
+            emit cfg send ?id ~event:"error"
+              [
+                ("error",
+                 Json.String
+                   (Printf.sprintf "timeout after %d branches" branches));
+              ]
+          | Failure m ->
+            emit cfg send ?id ~event:"error" [ ("error", Json.String m) ]
+          | e ->
+            emit cfg send ?id ~event:"error"
+              [ ("error", Json.String (Printexc.to_string e)) ]);
+          `Continue)
+      | _ ->
+        emit cfg send ?id ~event:"error"
+          [ ("error", Json.String "request needs an \"op\" string") ];
+        `Continue)
+  in
+  emit cfg send ?id:!id ~event:"done" [];
+  verdict
+
+(* ---- server loop ------------------------------------------------------ *)
+
+let ignore_sigpipe () =
+  match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception Invalid_argument _ -> ()
+
+let handle_connection cfg stopping fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let send_mutex = Mutex.create () in
+  let send line =
+    Mutex.lock send_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock send_mutex)
+      (fun () ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc)
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | exception Sys_error _ -> ()
+    | line ->
+      if String.trim line = "" then loop ()
+      else begin
+        match handle_line cfg send line with
+        | `Continue -> loop ()
+        | `Shutdown ->
+          Atomic.set stopping true;
+          (* the accept loop is blocked in [Unix.accept]; poke it awake *)
+          (try
+             let w = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+             (try Unix.connect w (Unix.ADDR_UNIX cfg.socket)
+              with Unix.Unix_error _ -> ());
+             Unix.close w
+           with Unix.Unix_error _ -> ())
+      end
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    loop
+
+let serve cfg =
+  ignore_sigpipe ();
+  if Sys.file_exists cfg.socket then Unix.unlink cfg.socket;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX cfg.socket);
+  Unix.listen sock 16;
+  let stopping = Atomic.make false in
+  let threads = ref [] in
+  (while not (Atomic.get stopping) do
+     match Unix.accept sock with
+     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+     | fd, _ ->
+       if Atomic.get stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
+       else
+         let t =
+           Thread.create
+             (fun () ->
+               try handle_connection cfg stopping fd
+               with _ -> (try Unix.close fd with Unix.Unix_error _ -> ()))
+             ()
+         in
+         threads := t :: !threads
+   done;
+   (* a shutdown handler flipped the flag; if it came from another thread's
+      connection the accept above already returned via the self-connect *)
+   List.iter (fun t -> try Thread.join t with _ -> ()) !threads);
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  if Sys.file_exists cfg.socket then (try Unix.unlink cfg.socket with Sys_error _ -> ())
+
+(* ---- client ----------------------------------------------------------- *)
+
+let is_done_line line =
+  (* the Json emitter renders object keys as  "key": value  *)
+  match Json.of_string line with
+  | Ok j -> ( match Json.member "event" j with Some (Json.String "done") -> true | _ -> false)
+  | Error _ -> false
+
+let request ?(timeout_s = 60.0) ~socket line =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | () -> ()
+      | exception Unix.Unix_error (e, _, _) ->
+        failwith
+          (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message e)));
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+      let oc = Unix.out_channel_of_descr fd in
+      let ic = Unix.in_channel_of_descr fd in
+      output_string oc line;
+      output_char oc '\n';
+      flush oc;
+      let deadline = Unix.gettimeofday () +. timeout_s in
+      let rec read acc =
+        if Unix.gettimeofday () > deadline then
+          failwith (Printf.sprintf "request timed out after %.0fs" timeout_s)
+        else
+          match input_line ic with
+          | exception End_of_file ->
+            failwith "server closed the connection before \"done\""
+          | exception Sys_error _ ->
+            failwith (Printf.sprintf "request timed out after %.0fs" timeout_s)
+          | l -> if is_done_line l then List.rev (l :: acc) else read (l :: acc)
+      in
+      read [])
+
+let shutdown ?timeout_s ~socket () =
+  ignore (request ?timeout_s ~socket {|{"op": "shutdown"}|})

@@ -1,0 +1,63 @@
+(** [cobra serve] — a persistent sweep-serving daemon over a Unix socket.
+
+    Protocol: line-delimited JSON. The client sends one request object per
+    line; the server answers with a stream of event objects, one per line,
+    always terminated by [{"event": "done"}] — so a client can multiplex
+    requests over one connection by reading to the terminator.
+
+    Requests ([op] selects):
+
+    - [{"op": "ping"}] — liveness probe; answered with ["pong"].
+    - [{"op": "replay", "design": D, "trace", PATH, ...}] — one replay
+      point. Optional fields: [max_branches], [max_insns] (caps),
+      [stats: true] (attach the collector; streams ["interval"] points and
+      a ["stats"] summary, skips the result cache), [no_cache: true].
+    - [{"op": "sweep", "designs": [..], "traces": [..], ...}] — the full
+      cross product, sharded over the domain pool; one ["result"] event per
+      point as it completes (submission order), same optional caps.
+      [designs] omitted or empty means the paper's Table I designs.
+    - [{"op": "shutdown"}] — answered with ["bye"]; the daemon drains and
+      exits.
+
+    Responses all carry ["ts"], ["label": "serve"] and the request's ["id"]
+    (when given) so they interleave safely in logs; ["result"] events carry
+    the replay counters, MPKI and ["cached": true|false]. Repeated points
+    are answered from the runner's content-addressed result cache keyed on
+    design topology + pipeline config + trace file digest + caps. A
+    malformed or failing request produces an ["error"] event (plus "done")
+    on that connection only — the daemon survives. Per-request work is
+    bounded by the server's timeout and runs isolated, so one poisoned
+    trace cannot wedge the pool. *)
+
+type config = {
+  socket : string;  (** Unix-domain socket path *)
+  jobs : int;  (** domain-pool width for sweep sharding *)
+  timeout_s : float option;  (** per-request replay budget *)
+  log : (string -> unit) option;  (** server-side event mirror *)
+}
+
+val default_config : socket:string -> config
+
+val serve : config -> unit
+(** Bind (unlinking any stale socket first), then accept-loop until a
+    [shutdown] request arrives. Each connection is handled on its own
+    thread; [SIGPIPE] is ignored so a client hanging up mid-stream only
+    ends that connection. *)
+
+(** {1 Client side} *)
+
+val request : ?timeout_s:float -> socket:string -> string -> string list
+(** Connect, send one request line, and return every response line through
+    the ["done"] terminator (inclusive). Raises [Failure] on connect
+    errors, EOF before the terminator, or [timeout_s] (default 60s)
+    expiring. *)
+
+val shutdown : ?timeout_s:float -> socket:string -> unit -> unit
+(** Send [{"op": "shutdown"}] and wait for the acknowledgement. *)
+
+(** {1 Exposed for tests} *)
+
+val handle_line : config -> (string -> unit) -> string -> [ `Continue | `Shutdown ]
+(** Process one request line, emitting response lines through the callback.
+    Never raises: protocol and execution failures become ["error"]
+    events. *)

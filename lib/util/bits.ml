@@ -158,6 +158,46 @@ let fold_xor_sub t ~len n =
 
 let fold_xor t n = fold_xor_sub t ~len:t.w n
 
+(* Shared-prefix batch fold: [fold_xor_sub t ~len n] for ascending [lens]
+   visits the same leading chunks over and over; one pass with running
+   prefix state answers every length. Must stay bit-identical to
+   [fold_xor_sub] — the chunking below mirrors its loop exactly. *)
+let fold_xor_sub_multi t ~lens n ~out =
+  if n < 1 || n > limb_bits then
+    invalid_arg "Bits.fold_xor_sub_multi: bits out of [1,62]";
+  let m = Array.length lens in
+  if Array.length out <> m then
+    invalid_arg "Bits.fold_xor_sub_multi: out length must match lens";
+  let limbs = t.limbs in
+  let nlimbs = Array.length limbs in
+  (* raw n-bit chunk at bit offset [i] *)
+  let chunk_at i =
+    let j = i / limb_bits and k = i mod limb_bits in
+    let low = if j >= nlimbs then 0 else limbs.(j) lsr k in
+    let v =
+      if k + n <= limb_bits || j + 1 >= nlimbs then low
+      else low lor (limbs.(j + 1) lsl (limb_bits - k))
+    in
+    v land ((1 lsl n) - 1)
+  in
+  let prefix = ref 0 in
+  let pos = ref 0 in
+  let prev_len = ref 0 in
+  for q = 0 to m - 1 do
+    if lens.(q) < !prev_len then
+      invalid_arg "Bits.fold_xor_sub_multi: lens must be ascending";
+    prev_len := lens.(q);
+    let len = min lens.(q) t.w in
+    while !pos + n <= len do
+      prefix := !prefix lxor chunk_at !pos;
+      pos := !pos + n
+    done;
+    let rem = len - !pos in
+    out.(q) <-
+      (if rem <= 0 then !prefix
+       else !prefix lxor (chunk_at !pos land ((1 lsl rem) - 1)))
+  done
+
 let popcount t =
   let count = ref 0 in
   for i = 0 to t.w - 1 do

@@ -53,6 +53,13 @@ val fold_xor : t -> int -> int
 (** [fold_xor t n] xor-folds the whole vector into an [n]-bit integer
     ([1 <= n <= 62]) — the classic history-compression function. *)
 
+val fold_xor_sub_multi : t -> lens:int array -> int -> out:int array -> unit
+(** [fold_xor_sub_multi t ~lens n ~out] writes [fold_xor_sub t ~len:lens.(i) n]
+    into [out.(i)] for every [i], in one allocation-free pass over the
+    vector. [lens] must be ascending ([Invalid_argument] otherwise) and
+    [out] the same length as [lens]. Bit-identical to calling
+    {!fold_xor_sub} per length. *)
+
 val fold_xor_sub : t -> len:int -> int -> int
 (** [fold_xor_sub t ~len n] folds only the low [len] bits (allocation-free
     history compression). *)

@@ -92,6 +92,41 @@ let aliasing ~sites ~seed () =
   in
   Gen.stream_of_program program
 
+let h2p_mix ~seed () =
+  (* 24 trivially-predictable sites plus 4 PRNG-driven hard-to-predict
+     sites, padded with ALU filler to ~8 instructions per branch — the
+     trace-shaped profile (mostly easy, a few H2P) of the replay bench. *)
+  let pad n = List.init n (fun _ -> addi tmp tmp 1) in
+  let easy i =
+    pad 5
+    @ [
+        beq Insn.zero Insn.zero (Printf.sprintf "e%d" i);
+        addi acc acc 3;
+        label (Printf.sprintf "e%d" i);
+        addi acc acc 1;
+      ]
+  in
+  let hard i =
+    pad 4
+    @ [
+        srli r7 x ((5 * i) + 1);
+        andi r7 r7 1;
+        beq r7 0 (Printf.sprintf "h%d" i);
+        addi acc acc 1;
+        label (Printf.sprintf "h%d" i);
+        addi acc acc 1;
+      ]
+  in
+  let body =
+    Gen.xorshift ~state:x ~tmp
+    @ List.concat (List.init 24 easy)
+    @ List.concat (List.init 4 hard)
+  in
+  let program =
+    assemble (Gen.seed_rng ~state:x seed @ [ li acc 0 ] @ Gen.forever ~label:"top" ~body)
+  in
+  Gen.stream_of_program program
+
 let calls ~depth () =
   let fn i =
     let name = Printf.sprintf "fn%d" i in

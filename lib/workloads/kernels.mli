@@ -20,6 +20,11 @@ val aliasing : sites:int -> seed:int -> unit -> Trace.stream
 (** Many branch sites, half strongly biased and half random, stressing
     untagged tables with destructive aliasing. *)
 
+val h2p_mix : seed:int -> unit -> Trace.stream
+(** Mostly easy branch sites with a handful of PRNG-driven hard-to-predict
+    ones at ~8 instructions per branch — the instruction-mix shape of a
+    real trace, used by the trace-replay bench and fixtures. *)
+
 val calls : depth:int -> unit -> Trace.stream
 (** Nested call/return chains (return-address-stack stress). *)
 

@@ -54,6 +54,12 @@ let microbenchmarks =
       decode = None;
     };
     {
+      name = "h2p-mix";
+      description = "mostly-easy sites with a few hard-to-predict branches";
+      make = Kernels.h2p_mix ~seed:11;
+      decode = None;
+    };
+    {
       name = "calls";
       description = "deep call/return chains";
       make = Kernels.calls ~depth:6;
