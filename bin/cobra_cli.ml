@@ -428,7 +428,16 @@ let conform_cmd =
          & info [ "artifact" ] ~docv:"FILE"
              ~doc:"On failure, write the replayable counterexample report to $(docv).")
   in
-  let run seed length artifact =
+  let shapes_arg =
+    Arg.(value & opt string ""
+         & info [ "shape" ] ~docv:"SHAPES"
+             ~doc:
+               (Printf.sprintf
+                  "Comma-separated fuzz shapes to run (case-insensitive; default: all). \
+                   Valid: %s."
+                  (String.concat ", " Cobra_conformance.Fuzz.shape_names)))
+  in
+  let run seed length artifact shapes =
     let seed =
       match seed with
       | Some s -> s
@@ -437,7 +446,17 @@ let conform_cmd =
         | Some s -> (try int_of_string s with _ -> 0x0b5a)
         | None -> 0x0b5a)
     in
-    let verdicts = Cobra_conformance.Crosscheck.run_all ~length ~seed () in
+    let ( let* ) = Result.bind in
+    let* shapes =
+      match
+        List.filter (fun s -> s <> "") (List.map String.trim (String.split_on_char ',' shapes))
+      with
+      | [] -> Ok Cobra_conformance.Fuzz.all_shapes
+      | names -> (
+        try Ok (List.map Cobra_conformance.Fuzz.shape_of_name_exn names)
+        with Failure m -> Error (`Msg m))
+    in
+    let verdicts = Cobra_conformance.Crosscheck.run_all ~length ~shapes ~seed () in
     print_string (Cobra_conformance.Crosscheck.render verdicts);
     match Cobra_conformance.Crosscheck.counterexample verdicts with
     | None -> Ok ()
@@ -457,7 +476,7 @@ let conform_cmd =
          "Cross-check every component against its pure-functional golden model (lockstep \
           fuzzing, storage accounting, twin-design differentials, repair-restores-state \
           metamorphic checks, Table-I storage pins)")
-    Term.(term_result (const run $ seed_arg $ length_arg $ artifact_arg))
+    Term.(term_result (const run $ seed_arg $ length_arg $ artifact_arg $ shapes_arg))
 
 (* --- serve ------------------------------------------------------------------- *)
 
@@ -522,6 +541,9 @@ let serve_cmd =
               (match jobs with
               | Some j -> max 1 j
               | None -> Cobra_runner.Pool.default_jobs ());
+            (* the probe fidelity sweep plugs in here: cobra_trace_replay
+               itself stays free of a probe dependency *)
+            extra_ops = [ ("probe", Cobra_probe.Oracle.serve_op) ];
           }
         in
         Printf.eprintf "cobra serve: listening on %s (%d jobs)\n%!" socket cfg.Serve.jobs;
@@ -542,6 +564,204 @@ let serve_cmd =
       term_result
         (const run $ socket_arg $ jobs_arg $ timeout_arg $ request_arg $ shutdown_flag))
 
+(* --- probe ------------------------------------------------------------------- *)
+
+let probe_cmd =
+  let module Pattern = Cobra_probe.Pattern in
+  let module Target = Cobra_probe.Target in
+  let module Oracle = Cobra_probe.Oracle in
+  let split s =
+    List.filter (fun x -> x <> "") (List.map String.trim (String.split_on_char ',' s))
+  in
+  let list_flag =
+    Arg.(value & flag & info [ "list" ] ~doc:"List probe patterns and targets, then exit.")
+  in
+  let all_flag =
+    Arg.(value & flag
+         & info [ "all" ]
+             ~doc:"Run the full matrix: every probe over every catalogued component and \
+                   design (the default when no $(b,-p)/$(b,-t) is given; spelled out for \
+                   CI legibility).")
+  in
+  let probes_arg =
+    Arg.(value & opt string ""
+         & info [ "p"; "probes" ] ~docv:"NAMES"
+             ~doc:"Comma-separated probe patterns (case-insensitive; default: all).")
+  in
+  let targets_arg =
+    Arg.(value & opt string ""
+         & info [ "t"; "targets" ] ~docv:"NAMES"
+             ~doc:"Comma-separated probe targets (case-insensitive; default: all).")
+  in
+  let demo_flag =
+    Arg.(value & flag
+         & info [ "demo-missized" ]
+             ~doc:"Include the deliberately mis-parameterized demo target (declares 12 \
+                   history bits, built with 8) — it must fail its capacity probe.")
+  in
+  let seed_arg =
+    Arg.(value & opt (some int) None
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Probe stream seed (default: \\$COBRA_SEED or 2906). Streams are \
+                   bit-identical per seed.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the cobra-probe-report/1 JSON report to $(docv) ($(b,-) for \
+                   stdout).")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE" ~doc:"Write the per-level CSV report to $(docv).")
+  in
+  let level_arg =
+    Arg.(value & opt int 8
+         & info [ "level" ] ~docv:"N"
+             ~doc:"Probe level for $(b,--export-trace)/$(b,--timing) (default 8).")
+  in
+  let export_arg =
+    Arg.(value & opt (some string) None
+         & info [ "export-trace" ] ~docv:"FILE"
+             ~doc:"Instead of running the oracle: write the selected probe's stream (one \
+                   probe, $(b,--level)) as a replayable branch trace and print its \
+                   digest.")
+  in
+  let text_flag =
+    Arg.(value & flag
+         & info [ "text" ] ~doc:"With $(b,--export-trace): text format instead of binary.")
+  in
+  let timing_arg =
+    Arg.(value & opt (some string) None
+         & info [ "timing" ] ~docv:"FILE"
+             ~doc:"Instead of the matrix verdicts: run one probe (one probe, one target, \
+                   $(b,--level)) and write the cobra-probe-timing/1 interval series \
+                   ($(b,-) for stdout).")
+  in
+  let write_out path text =
+    if path = "-" then print_string text
+    else begin
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc
+    end
+  in
+  let run list_flag _all probes targets demo seed json csv level export text timing =
+    let ( let* ) = Result.bind in
+    let seed =
+      match seed with
+      | Some s -> s
+      | None -> (
+        match Sys.getenv_opt "COBRA_SEED" with
+        | Some s -> (try int_of_string s with _ -> 0x0b5a)
+        | None -> 0x0b5a)
+    in
+    if list_flag then begin
+      Printf.printf "probes:\n";
+      List.iter
+        (fun (p : Pattern.t) ->
+          Printf.printf "  %-8s level = %-10s %s\n" p.Pattern.p_name p.Pattern.p_unit
+            p.Pattern.p_doc)
+        Pattern.all;
+      Printf.printf "targets:\n";
+      List.iter
+        (fun (t : Target.t) ->
+          Printf.printf "  %-16s %-12s %s\n" t.Target.t_name t.Target.t_family
+            t.Target.t_doc)
+        (Target.all @ Target.demos);
+      Ok ()
+    end
+    else
+      let lift r = Result.map_error (fun m -> `Msg m) r in
+      let* probes =
+        match split probes with
+        | [] -> Ok Pattern.all
+        | names ->
+          List.fold_left
+            (fun acc n ->
+              let* acc = acc in
+              let* p = lift (Pattern.find n) in
+              Ok (acc @ [ p ]))
+            (Ok []) names
+      in
+      let* targets =
+        let* base =
+          match split targets with
+          | [] -> Ok Target.all
+          | names ->
+            List.fold_left
+              (fun acc n ->
+                let* acc = acc in
+                let* t = lift (Target.find n) in
+                Ok (acc @ [ t ]))
+              (Ok []) names
+        in
+        Ok (if demo then base @ Target.demos else base)
+      in
+      match export with
+      | Some path ->
+        let* probe =
+          match probes with
+          | [ p ] -> Ok p
+          | _ -> Error (`Msg "--export-trace needs exactly one -p probe")
+        in
+        let stream = probe.Pattern.p_gen ~level ~seed in
+        let format =
+          if text then Cobra_trace_replay.Btrace.Text else Cobra_trace_replay.Btrace.Binary
+        in
+        Pattern.to_trace_file ~format ~path stream;
+        Printf.printf "wrote %d records (warmup %d) to %s\n  digest %s\n"
+          (Array.length stream.Pattern.s_records) stream.Pattern.s_warmup path
+          (Pattern.digest stream);
+        Ok ()
+      | None -> (
+        match timing with
+        | Some path ->
+          let* probe, target =
+            match (probes, targets) with
+            | [ p ], [ t ] -> Ok (p, t)
+            | _ -> Error (`Msg "--timing needs exactly one -p probe and one -t target")
+          in
+          let j = Oracle.timing_series ~target ~probe ~level ~seed () in
+          write_out path (Cobra_stats.Json.to_string j ^ "\n");
+          Ok ()
+        | None ->
+          let rep = Oracle.run_matrix ~targets ~probes ~seed () in
+          print_string (Oracle.render rep);
+          (match json with
+          | None -> ()
+          | Some path ->
+            write_out path (Cobra_stats.Json.to_string (Oracle.report_json rep) ^ "\n"));
+          (match csv with
+          | None -> ()
+          | Some path -> write_out path (Oracle.report_csv rep));
+          let fails = Oracle.failures rep in
+          if fails = [] then Ok ()
+          else
+            Error
+              (`Msg
+                (Printf.sprintf "%d fidelity failure(s): %s" (List.length fails)
+                   (String.concat ", "
+                      (List.map
+                         (fun (r : Oracle.result) ->
+                           r.Oracle.r_target ^ "/" ^ r.Oracle.r_probe)
+                         fails)))))
+  in
+  Cmd.v
+    (Cmd.info "probe"
+       ~doc:
+         "Adversarial microbenchmark probe suite + predictor fidelity oracle: replay \
+          parameterized branch patterns (history ladder, correlated pairs, loop scans, \
+          phase storms, aliasing and tag stress) against predictors of declared geometry \
+          and check the measured response against the analytical model — \
+          semantics-vs-theory, complementing $(b,cobra conform)'s impl-vs-reimpl \
+          lockstep")
+    Term.(
+      term_result
+        (const run $ list_flag $ all_flag $ probes_arg $ targets_arg $ demo_flag
+         $ seed_arg $ json_arg $ csv_arg $ level_arg $ export_arg $ text_flag
+         $ timing_arg))
+
 let tables_cmd =
   let run () =
     print_string (Tables.table_1 ());
@@ -557,6 +777,6 @@ let main =
     (Cmd.info "cobra" ~version:"1.0.0"
        ~doc:"COBRA: composition of hardware branch predictors (cycle-level model)")
     [ list_cmd; run_cmd; topology_cmd; storage_cmd; tables_cmd; trace_cmd; replay_cmd;
-      sweep_cmd; stats_cmd; conform_cmd; serve_cmd ]
+      sweep_cmd; stats_cmd; conform_cmd; serve_cmd; probe_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -52,7 +52,7 @@ let zoo_fetch_width = 4
 
 exception Mismatch of string
 
-let lockstep ?(length = 300) ~seed (packed : Golden.packed) =
+let lockstep ?(length = 300) ?(shapes = Fuzz.all_shapes) ~seed (packed : Golden.packed) =
   let subject = Golden.packed_name packed in
   let check = "lockstep" in
   let (Golden.P { make_real; _ }) = packed in
@@ -123,10 +123,10 @@ let lockstep ?(length = 300) ~seed (packed : Golden.packed) =
           | Error e -> raise (Mismatch (where i ("invariant violated: " ^ e))))
       packets
   in
-  match List.iter run_shape Fuzz.all_shapes with
+  match List.iter run_shape shapes with
   | () ->
     pass ~check ~subject
-      (Printf.sprintf "ok (%d packets across %d shapes)" !events (List.length Fuzz.all_shapes))
+      (Printf.sprintf "ok (%d packets across %d shapes)" !events (List.length shapes))
   | exception Mismatch m -> fail ~check ~subject m
 
 (* --- storage accounting -------------------------------------------------------- *)
@@ -417,10 +417,10 @@ let table1_pins () =
 
 (* --- top level ------------------------------------------------------------------ *)
 
-let run_all ?(length = 300) ~seed () =
+let run_all ?(length = 300) ?(shapes = Fuzz.all_shapes) ~seed () =
   let zoo = Golden.zoo () in
   let per_component =
-    List.concat_map (fun p -> [ lockstep ~length ~seed p; storage_accounting p ]) zoo
+    List.concat_map (fun p -> [ lockstep ~length ~shapes ~seed p; storage_accounting p ]) zoo
   in
   let twins =
     List.map (twin ~length ~seed) (Designs.all @ [ Designs.gshare_only ])

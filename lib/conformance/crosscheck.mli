@@ -15,11 +15,12 @@ type verdict = {
   v_detail : string;  (** "ok (...)" or a replayable failure description *)
 }
 
-val lockstep : ?length:int -> seed:int -> Golden.packed -> verdict
+val lockstep : ?length:int -> ?shapes:Fuzz.shape list -> seed:int -> Golden.packed -> verdict
 (** Drive the golden model and the real component through identical
-    {!Fuzz.packets} scripts across every shape: predictions and metadata
-    must be bit-identical at each step, metadata must have the declared
-    width, and the model's structural invariant must hold throughout. *)
+    {!Fuzz.packets} scripts across every shape (or just [shapes] when
+    given): predictions and metadata must be bit-identical at each step,
+    metadata must have the declared width, and the model's structural
+    invariant must hold throughout. *)
 
 val storage_accounting : Golden.packed -> verdict
 (** The real component's [Storage.total_bits] must equal the textbook
@@ -49,11 +50,12 @@ val table1_pins : unit -> verdict list
     reference designs: exact [Storage.total_bits] and the rounded
     direction-state KB figures. *)
 
-val run_all : ?length:int -> seed:int -> unit -> verdict list
+val run_all : ?length:int -> ?shapes:Fuzz.shape list -> seed:int -> unit -> verdict list
 (** Everything above: per-component lockstep + storage over {!Golden.zoo},
     twin and replay-engine differentials over the reference designs (plus
     gshare-only), repair-restores-state over [Designs.all], and the
-    Table-I pins. *)
+    Table-I pins. [shapes] restricts the lockstep fuzz shapes (default:
+    all, including the probe-derived ladder / alias-stress / loop-scan). *)
 
 val all_pass : verdict list -> bool
 val failures : verdict list -> verdict list

@@ -2,9 +2,19 @@ module Bits = Cobra_util.Bits
 module Rng = Cobra_util.Rng
 open Cobra
 
-type shape = Loops | Correlated | Aliasing | Phases | Storms | Mixed
+type shape =
+  | Loops
+  | Correlated
+  | Aliasing
+  | Phases
+  | Storms
+  | Mixed
+  | Ladder
+  | Alias_stress
+  | Loop_scan
 
-let all_shapes = [ Loops; Correlated; Aliasing; Phases; Storms; Mixed ]
+let all_shapes =
+  [ Loops; Correlated; Aliasing; Phases; Storms; Mixed; Ladder; Alias_stress; Loop_scan ]
 
 let shape_name = function
   | Loops -> "loops"
@@ -13,9 +23,23 @@ let shape_name = function
   | Phases -> "phases"
   | Storms -> "storms"
   | Mixed -> "mixed"
+  | Ladder -> "ladder"
+  | Alias_stress -> "alias-stress"
+  | Loop_scan -> "loop-scan"
+
+let shape_names = List.map shape_name all_shapes
 
 let shape_of_name n =
+  let n = String.lowercase_ascii (String.trim n) in
   List.find_opt (fun s -> String.equal (shape_name s) n) all_shapes
+
+let shape_of_name_exn n =
+  match shape_of_name n with
+  | Some s -> s
+  | None ->
+    failwith
+      (Printf.sprintf "unknown fuzz shape %S (valid shapes: %s)" n
+         (String.concat ", " shape_names))
 
 type scenario = { seed : int; shape : shape; length : int }
 
@@ -48,6 +72,9 @@ let shape_tag = function
   | Phases -> 4
   | Storms -> 5
   | Mixed -> 6
+  | Ladder -> 7
+  | Alias_stress -> 8
+  | Loop_scan -> 9
 
 (* --- direction engine -------------------------------------------------------- *)
 
@@ -70,6 +97,16 @@ let engine_create seed shape =
 
 (* Trip counts deliberately small and mixed so exits are frequent. *)
 let trip_counts = [| 3; 5; 7; 12 |]
+
+(* Loop_scan sweeps a much wider trip ladder, reaching past typical folded
+   history lengths so a predictor's loop-bound limit is actually crossed. *)
+let scan_trip_counts = [| 2; 4; 9; 17; 33; 65; 129; 257 |]
+
+(* Ladder directions follow a de Bruijn B(2,6) sequence per PC: every
+   6-window unique, so anything with >= 6 usable history bits can learn it
+   and anything shorter is pinned near chance. *)
+let ladder_order = 6
+let ladder_seq = lazy (Cobra_util.Debruijn.sequence ~order:ladder_order)
 
 let rec direction eng shape pc =
   match shape with
@@ -106,9 +143,37 @@ let rec direction eng shape pc =
   | Mixed ->
     let sub = [| Loops; Correlated; Aliasing; Phases; Storms |] in
     direction eng sub.(eng.tick / 64 mod Array.length sub) pc
+  | Ladder ->
+    let seq = Lazy.force ladder_seq in
+    let pos = match Hashtbl.find_opt eng.iters pc with Some i -> i | None -> 0 in
+    Hashtbl.replace eng.iters pc ((pos + 1) mod Array.length seq);
+    seq.(pos)
+  | Alias_stress ->
+    (* fully deterministic conflicting per-PC biases: adjacent sites want
+       opposite directions, so any index collision is destructive *)
+    (pc lsr 4) land 1 = 0
+  | Loop_scan ->
+    let trips = scan_trip_counts.((pc lsr 4) land 7) in
+    let iter = match Hashtbl.find_opt eng.iters pc with Some i -> i | None -> 0 in
+    if iter + 1 >= trips then begin
+      Hashtbl.replace eng.iters pc 0;
+      false
+    end
+    else begin
+      Hashtbl.replace eng.iters pc (iter + 1);
+      true
+    end
 
 let pick_pc eng shape =
-  let pool_size = match shape with Aliasing -> 24 | Loops -> 6 | _ -> 12 in
+  let pool_size =
+    match shape with
+    | Aliasing -> 24
+    | Loops -> 6
+    | Ladder -> 4
+    | Alias_stress -> 32
+    | Loop_scan -> 8
+    | _ -> 12
+  in
   let base = 0x4000 in
   base + (16 * Rng.int eng.rng pool_size)
 

@@ -16,10 +16,20 @@ type shape =
   | Phases  (** bias inversions every few hundred branches *)
   | Storms  (** near-random directions plus frequent wrong-path excursions *)
   | Mixed  (** round-robin through all of the above *)
+  | Ladder  (** per-PC de Bruijn B(2,6) direction sequences (history probe) *)
+  | Alias_stress  (** deterministic conflicting biases over a dense PC set *)
+  | Loop_scan  (** counted loops with trip counts up to 257 (loop-bound probe) *)
 
 val all_shapes : shape list
 val shape_name : shape -> string
+val shape_names : string list
+
 val shape_of_name : string -> shape option
+(** Case-insensitive (and whitespace-trimmed) lookup by {!shape_name}. *)
+
+val shape_of_name_exn : string -> shape
+(** Like {!shape_of_name} but raises [Failure] with a message listing the
+    valid shape names — the error the CLI surfaces verbatim. *)
 
 type scenario = { seed : int; shape : shape; length : int }
 

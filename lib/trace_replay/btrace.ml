@@ -94,7 +94,9 @@ type decoded = Need_more | Decoded of record * int
 exception Short
 
 (* Returns (value, next_pos); raises Short when the window ends mid-varint
-   and Failure on a varint that would not fit 63 bits. *)
+   and Failure on a varint that would not fit 63 bits or is non-minimally
+   encoded (the writer never pads, so a redundant final 0x00 means a
+   corrupt or adversarial stream, not a value). *)
 let read_varint bytes ~pos ~limit ~abs_offset =
   let rec go p shift acc seen =
     if seen > max_varint_bytes then
@@ -110,7 +112,14 @@ let read_varint bytes ~pos ~limit ~abs_offset =
         failwith
           (Printf.sprintf "byte %d: varint exceeds 63 bits (corrupt or overlong)"
              (abs_offset + (p - pos)))
-      else if b land 0x80 = 0 then (acc, p + 1)
+      else if b land 0x80 = 0 then
+        if b = 0 && seen > 1 then
+          failwith
+            (Printf.sprintf
+               "byte %d: non-minimal varint (redundant trailing 0x00 after %d bytes)"
+               (abs_offset + (p - pos))
+               seen)
+        else (acc, p + 1)
       else go (p + 1) (shift + 7) acc (seen + 1)
   in
   go pos 0 0 1

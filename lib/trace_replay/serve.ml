@@ -5,10 +5,17 @@ type config = {
   jobs : int;
   timeout_s : float option;
   log : (string -> unit) option;
+  extra_ops : (string * (config -> (string -> unit) -> ?id:string -> Json.t -> unit)) list;
 }
 
 let default_config ~socket =
-  { socket; jobs = Cobra_runner.Pool.default_jobs (); timeout_s = None; log = None }
+  {
+    socket;
+    jobs = Cobra_runner.Pool.default_jobs ();
+    timeout_s = None;
+    log = None;
+    extra_ops = [];
+  }
 
 (* ---- response emission ------------------------------------------------ *)
 
@@ -131,6 +138,10 @@ let cached_replay cfg ?(use_cache = true) (d : Cobra_eval.Designs.t) ~trace opts
       Replay.run_design ?max_branches:opts.max_branches ?max_insns:opts.max_insns
         ?deadline d ~path:trace
     in
+    if r.Replay.branches = 0 then
+      failwith
+        (Printf.sprintf "trace %s contains no branch records (empty or header-only file)"
+           trace);
     (match key with
     | Some k -> (
       match Cobra_runner.Cache.store k (Replay.to_perf r) with
@@ -216,6 +227,8 @@ let handle_sweep cfg send ?id req =
       ("failures", Json.Int !failures);
     ]
 
+let emit_event = emit
+
 let handle_line cfg send line =
   let id = ref None in
   let verdict =
@@ -240,12 +253,19 @@ let handle_line cfg send line =
           match op with
           | "replay" -> Some handle_replay
           | "sweep" -> Some handle_sweep
-          | _ -> None
+          | _ -> List.assoc_opt op cfg.extra_ops
         in
         match handler with
         | None ->
+          let known =
+            "ping" :: "shutdown" :: "replay" :: "sweep" :: List.map fst cfg.extra_ops
+          in
           emit cfg send ?id ~event:"error"
-            [ ("error", Json.String ("unknown op: " ^ op)) ];
+            [
+              ("error",
+               Json.String
+                 (Printf.sprintf "unknown op: %s (know: %s)" op (String.concat ", " known)));
+            ];
           `Continue
         | Some h ->
           (try h cfg send ?id req with

@@ -34,9 +34,17 @@ type config = {
   jobs : int;  (** domain-pool width for sweep sharding *)
   timeout_s : float option;  (** per-request replay budget *)
   log : (string -> unit) option;  (** server-side event mirror *)
+  extra_ops :
+    (string * (config -> (string -> unit) -> ?id:string -> Cobra_stats.Json.t -> unit)) list;
+      (** additional [op] handlers registered by the embedding binary (the
+          CLI plugs the probe sweep in here, keeping this library free of a
+          dependency on the probe oracle). A handler emits its own event
+          lines through the send callback; any [Failure] it raises becomes
+          an id-tagged ["error"] event and the daemon keeps serving. *)
 }
 
 val default_config : socket:string -> config
+(** No timeout, no log, no extra ops, pool-default jobs. *)
 
 val serve : config -> unit
 (** Bind (unlinking any stale socket first), then accept-loop until a
@@ -54,6 +62,16 @@ val request : ?timeout_s:float -> socket:string -> string -> string list
 
 val shutdown : ?timeout_s:float -> socket:string -> unit -> unit
 (** Send [{"op": "shutdown"}] and wait for the acknowledgement. *)
+
+val emit_event :
+  config ->
+  (string -> unit) ->
+  ?id:string ->
+  event:string ->
+  (string * Cobra_stats.Json.t) list ->
+  unit
+(** Emit one protocol event line (ts/label/id envelope) through the send
+    callback — the building block for [extra_ops] handlers. *)
 
 (** {1 Exposed for tests} *)
 

@@ -1,0 +1,39 @@
+(* Binary de Bruijn sequences via the classic db(t,p) Lyndon-word
+   concatenation (Fredricksen & Maiorana); output length is 2^order. *)
+
+let max_order = 20
+
+let sequence ~order =
+  if order < 1 || order > max_order then
+    invalid_arg (Printf.sprintf "Debruijn.sequence: order %d not in [1,%d]" order max_order);
+  let n = order in
+  let a = Array.make (n + 1) 0 in
+  let out = ref [] in
+  let emitted = ref 0 in
+  let rec db t p =
+    if t > n then begin
+      if n mod p = 0 then
+        for j = 1 to p do
+          out := a.(j) :: !out;
+          incr emitted
+        done
+    end
+    else begin
+      a.(t) <- a.(t - p);
+      db (t + 1) p;
+      if a.(t - p) = 0 then begin
+        a.(t) <- 1;
+        db (t + 1) t
+      end
+    end
+  in
+  db 1 1;
+  let len = 1 lsl n in
+  assert (!emitted = len);
+  let arr = Array.make len false in
+  List.iteri (fun i b -> arr.(len - 1 - i) <- b = 1) !out;
+  arr
+
+let bit seq i =
+  let n = Array.length seq in
+  seq.(((i mod n) + n) mod n)

@@ -212,6 +212,39 @@ let indirect_pure ~targets () =
   in
   Gen.stream_of_program ~init program
 
+let pattern_rom ~pattern () =
+  let len = Array.length pattern in
+  if len < 1 || len > 4096 then invalid_arg "Kernels.pattern_rom: pattern length in [1,4096]";
+  let rom = 0x200 in
+  let program =
+    assemble
+      ([ li r7 0; li acc 0 ]
+      @ Gen.forever ~label:"top"
+          ~body:
+            [
+              (* fetch this step's direction from the ROM *)
+              addi r8 r7 rom;
+              lw r8 r8 0;
+              (* the probe site: follows the ROM pattern exactly *)
+              beq r8 0 "rom_nt";
+              addi acc acc 1;
+              label "rom_nt";
+              addi acc acc 1;
+              (* advance and wrap the pattern cursor *)
+              addi r7 r7 1;
+              slti r8 r7 len;
+              bne r8 0 "rom_nowrap";
+              li r7 0;
+              label "rom_nowrap";
+            ])
+  in
+  let init m =
+    Array.iteri
+      (fun i b -> Machine.poke m ~addr:(rom + i) (if b then 1 else 0))
+      pattern
+  in
+  Gen.stream_of_program ~init program
+
 let matrix () =
   let a = 0x200 and b = 0x240 and c_base = 0x280 in
   let program =

@@ -43,6 +43,14 @@ val indirect_pure : targets:int -> unit -> Trace.stream
     history stays empty and only a path-history-indexed target predictor can
     learn the rotation. [targets] must be a power of two in [2,8]. *)
 
+val pattern_rom : pattern:bool array -> unit -> Trace.stream
+(** One branch site replaying the given direction pattern cyclically from a
+    poked memory table (length in [1,4096]). With a de Bruijn B(2,k)
+    sequence as the pattern this is the executed-program twin of the probe
+    suite's history-length ladder: perfectly predictable iff the predictor's
+    usable history reaches [k]. The cursor-wrap branch is trivially biased
+    and does not disturb the measurement. *)
+
 val matrix : unit -> Trace.stream
 (** Dense 8x8 matrix multiply: fixed-trip triple loop, loads, high ILP —
     an easy, compute-bound control-flow profile. *)

@@ -78,6 +78,12 @@ let microbenchmarks =
       decode = None;
     };
     {
+      name = "debruijn8";
+      description = "branch replaying a B(2,8) de Bruijn pattern from memory";
+      make = Kernels.pattern_rom ~pattern:(Cobra_util.Debruijn.sequence ~order:8);
+      decode = None;
+    };
+    {
       name = "matrix";
       description = "8x8 matrix multiply, fixed-trip triple loop";
       make = Kernels.matrix;

@@ -199,6 +199,38 @@ let test_fuzz_deterministic () =
   let b0 = Fuzz.branches sc in
   check Alcotest.bool "different seeds differ" true (b0 <> b1)
 
+(* Shape lookup is the CLI's parsing surface: case-insensitive, trimmed,
+   and unknown names are answered with the full valid list. *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_shape_of_name () =
+  List.iter
+    (fun shape ->
+      let name = Fuzz.shape_name shape in
+      check Alcotest.bool (name ^ " exact") true (Fuzz.shape_of_name name = Some shape);
+      check Alcotest.bool (name ^ " upper-case") true
+        (Fuzz.shape_of_name (String.uppercase_ascii name) = Some shape);
+      check Alcotest.bool (name ^ " padded") true
+        (Fuzz.shape_of_name ("  " ^ name ^ " ") = Some shape))
+    Fuzz.all_shapes;
+  check Alcotest.bool "unknown is None" true (Fuzz.shape_of_name "no-such-shape" = None);
+  match Fuzz.shape_of_name_exn "no-such-shape" with
+  | _ -> Alcotest.fail "shape_of_name_exn accepted garbage"
+  | exception Failure msg ->
+    List.iter
+      (fun n ->
+        if not (contains msg n) then Alcotest.failf "shape error %S misses %s" msg n)
+      Fuzz.shape_names
+
+(* The probe-derived shapes drive the whole kit through the ?shapes
+   restriction — the seed-matrix CI job's code path. *)
+let test_run_all_probe_shapes () =
+  let shapes = [ Fuzz.Ladder; Fuzz.Alias_stress; Fuzz.Loop_scan ] in
+  List.iter assert_verdict (Crosscheck.run_all ~length:100 ~shapes ~seed ())
+
 let () =
   let zoo = Golden.zoo () in
   let lockstep_cases =
@@ -254,5 +286,12 @@ let () =
       ("repair-restore", repair_cases);
       ("table1", [ Alcotest.test_case "storage pins" `Quick test_table1_pins ]);
       ("coverage", coverage_cases);
-      ("fuzz", [ Alcotest.test_case "deterministic" `Quick test_fuzz_deterministic ]);
+      ( "fuzz",
+        [
+          Alcotest.test_case "deterministic" `Quick test_fuzz_deterministic;
+          Alcotest.test_case "shape lookup case-insensitive, errors list names" `Quick
+            test_shape_of_name;
+          Alcotest.test_case "probe shapes drive the whole kit" `Quick
+            test_run_all_probe_shapes;
+        ] );
     ]

@@ -191,6 +191,36 @@ let varint_overflow () =
       in
       check_contains "overflow message" msg "byte")
 
+let nonminimal_varint () =
+  with_temp (fun path ->
+      (* tag 0x01 (taken cond), pc encoded as 0x80 0x00: a redundant
+         trailing zero continuation — a value the writer never emits *)
+      write_bytes path (Btrace.magic ^ "\x01\x80\x00");
+      let msg =
+        expect_failure "non-minimal varint" (fun () ->
+            Reader.fold path ~init:0 ~f:(fun n _ -> n + 1))
+      in
+      check_contains "overlong-zero message" msg "non-minimal";
+      (* the offending byte is the trailing 0x00: magic(8) + tag + 0x80 *)
+      check_contains "overlong-zero offset" msg
+        (Printf.sprintf "byte %d" (String.length Btrace.magic + 2)))
+
+let truncated_mid_varint () =
+  with_temp (fun path ->
+      let buf = Buffer.create 16 in
+      Btrace.encode_record buf (Btrace.cond ~pc:0x123456 ~taken:true ());
+      let body = Buffer.contents buf in
+      (* one good record, then a tag and half a pc varint: EOF lands
+         mid-varint, which must read as truncation at the record start *)
+      write_bytes path (Btrace.magic ^ body ^ "\x01\x80\x81");
+      let msg =
+        expect_failure "eof mid-varint" (fun () ->
+            Reader.fold path ~init:0 ~f:(fun n _ -> n + 1))
+      in
+      check_contains "mid-varint names the file" msg (Filename.basename path);
+      check_contains "mid-varint names the offset" msg
+        (Printf.sprintf "byte %d" (String.length Btrace.magic + String.length body)))
+
 let malformed_text_line () =
   with_temp (fun path ->
       write_bytes path (Btrace.text_header ^ "\n4000 T C - 0\nnot a record\n");
@@ -316,6 +346,49 @@ let prop_text_binary_agree () =
                       (Printf.sprintf "text drift: %s vs %s" (Btrace.show_record a)
                          (Btrace.show_record b)))
                 records from_text)))
+
+(* Property: cutting a valid binary stream anywhere, or flipping a
+   continuation bit, never mis-decodes — the reader either stops cleanly at
+   a record boundary (asking for more) or fails with a byte-offset
+   diagnostic. Complements the round-trip property above: that one pins the
+   happy path, this one pins the failure mode. *)
+let prop_decoder_never_misdecodes () =
+  Prop.check ~count:60 ~name:"mutated binary streams never decode silently"
+    (Prop.pair (Prop.list ~min_len:1 ~max_len:8 record_arb) (Prop.int_range 0 1000))
+    (fun (records, salt) ->
+      let buf = Buffer.create 64 in
+      List.iter (Btrace.encode_record buf) records;
+      let bytes = Buffer.to_bytes buf in
+      let len = Bytes.length bytes in
+      let decode_all bytes limit =
+        let pos = ref 0 and n = ref 0 in
+        let rec go () =
+          if !pos < limit then
+            match Btrace.decode_record bytes ~pos:!pos ~limit ~abs_offset:!pos with
+            | Btrace.Need_more -> `Partial !n
+            | Btrace.Decoded (_, consumed) ->
+              pos := !pos + consumed;
+              incr n;
+              go ()
+          else `Complete !n
+        in
+        go ()
+      in
+      (* cut: every decode stops at a record boundary, never invents data *)
+      let cut = salt mod len in
+      (match decode_all bytes cut with
+      | `Complete n | `Partial n ->
+        if n > List.length records then failwith "cut stream decoded extra records"
+      | exception Failure msg ->
+        if not (contains msg "byte") then failwith ("cut diagnostic lacks offset: " ^ msg));
+      (* mutate one byte: decoding must never loop or crash untyped *)
+      let mutated = Bytes.copy bytes in
+      let i = salt mod len in
+      Bytes.set mutated i (Char.chr (Char.code (Bytes.get mutated i) lxor 0x80));
+      match decode_all mutated len with
+      | `Complete _ | `Partial _ -> ()
+      | exception Failure msg ->
+        if not (contains msg "byte") then failwith ("mutation diagnostic lacks offset: " ^ msg))
 
 (* --- replay vs full-pipeline equality ---------------------------------------- *)
 
@@ -451,6 +524,100 @@ let serve_malformed () =
   let _, out = collect_handle cfg {|{"op": "ping"}|} in
   check_contains "alive after malformed storm" (joined out) {|"event": "pong"|}
 
+(* --- serve: degenerate requests ----------------------------------------------- *)
+
+module Probe_pattern = Cobra_probe.Pattern
+module Probe_oracle = Cobra_probe.Oracle
+
+let probe_cfg () =
+  { (serve_cfg ()) with Serve.extra_ops = [ ("probe", Probe_oracle.serve_op) ] }
+
+let serve_zero_length_trace () =
+  (* a header-only (zero-branch) trace must be an id-tagged error, not a
+     zero-filled result, and the daemon must keep serving *)
+  with_temp (fun path ->
+      write_bytes path Btrace.magic;
+      let cfg = serve_cfg () in
+      let status, out =
+        collect_handle cfg
+          (Printf.sprintf {|{"op": "replay", "design": "B2", "trace": "%s", "id": "z1"}|} path)
+      in
+      check Alcotest.bool "continue" true (status = `Continue);
+      let all = joined out in
+      check_contains "error event" all {|"event": "error"|};
+      check_contains "id tagged" all {|"id": "z1"|};
+      check_contains "names the cause" all "no branch records";
+      check_contains "done still sent" all {|"event": "done"|};
+      let _, out2 = collect_handle cfg {|{"op": "ping"}|} in
+      check_contains "alive after zero-length trace" (joined out2) {|"event": "pong"|})
+
+let serve_empty_sweep () =
+  (* an empty trace list is a contract violation, not an empty success *)
+  let cfg = serve_cfg () in
+  let status, out = collect_handle cfg {|{"op": "sweep", "traces": [], "id": "z2"}|} in
+  check Alcotest.bool "continue" true (status = `Continue);
+  let all = joined out in
+  check_contains "error event" all {|"event": "error"|};
+  check_contains "id tagged" all {|"id": "z2"|};
+  check_contains "names the field" all "traces";
+  let _, out2 = collect_handle cfg {|{"op": "ping"}|} in
+  check_contains "alive after empty sweep" (joined out2) {|"event": "pong"|}
+
+let serve_probe_unknown_name () =
+  let cfg = probe_cfg () in
+  let status, out =
+    collect_handle cfg {|{"op": "probe", "probes": ["no-such-probe"], "id": "p1"}|}
+  in
+  check Alcotest.bool "continue" true (status = `Continue);
+  let all = joined out in
+  check_contains "error event" all {|"event": "error"|};
+  check_contains "id tagged" all {|"id": "p1"|};
+  check_contains "lists valid probes" all "ladder";
+  check_contains "done still sent" all {|"event": "done"|};
+  (* unknown target likewise *)
+  let _, out_t =
+    collect_handle cfg {|{"op": "probe", "targets": ["NoSuchTarget"], "id": "p2"}|}
+  in
+  let all_t = joined out_t in
+  check_contains "target error" all_t {|"event": "error"|};
+  check_contains "target id tagged" all_t {|"id": "p2"|};
+  (* and a well-formed probe sweep still works on the same daemon *)
+  let _, out2 =
+    collect_handle cfg
+      {|{"op": "probe", "probes": ["ladder"], "targets": ["GSHARE6"], "id": "p3"}|}
+  in
+  let all2 = joined out2 in
+  check_contains "probe event" all2 {|"event": "probe"|};
+  check_contains "probe summary" all2 {|"event": "probe-summary"|};
+  check_contains "probe id echoed" all2 {|"id": "p3"|}
+
+let serve_unknown_op_lists_probe () =
+  (* with the probe op registered, the unknown-op error advertises it *)
+  let _, out = collect_handle (probe_cfg ()) {|{"op": "frobnicate", "id": "p4"}|} in
+  let all = joined out in
+  check_contains "unknown op lists probe" all "probe";
+  check_contains "unknown op id tagged" all {|"id": "p4"|}
+
+let serve_probe_trace_sweep () =
+  (* end to end: a probe stream exported to a trace file is a first-class
+     sweep input *)
+  let s =
+    let p = Probe_pattern.find_exn "loop" in
+    p.Probe_pattern.p_gen ~level:12 ~seed:0x0b5a
+  in
+  with_temp (fun path ->
+      Probe_pattern.to_trace_file ~path s;
+      let req =
+        Printf.sprintf {|{"op": "sweep", "designs": ["GShare", "TAGE-L"], "traces": ["%s"]}|}
+          path
+      in
+      let _, out = collect_handle (serve_cfg ()) req in
+      let results =
+        List.length (List.filter (fun l -> contains l {|"event": "result"|}) out)
+      in
+      check Alcotest.int "one result per design" 2 results;
+      check_contains "sweep summary" (joined out) {|"event": "sweep_summary"|})
+
 let serve_shutdown () =
   let status, out = collect_handle (serve_cfg ()) {|{"op": "shutdown"}|} in
   check Alcotest.bool "shutdown requested" true (status = `Shutdown);
@@ -539,6 +706,10 @@ let () =
           Alcotest.test_case "truncated binary names byte offset" `Quick truncated_binary;
           Alcotest.test_case "reserved tag bits rejected" `Quick corrupt_tag;
           Alcotest.test_case "varint overflow rejected" `Quick varint_overflow;
+          Alcotest.test_case "non-minimal varint rejected with offset" `Quick nonminimal_varint;
+          Alcotest.test_case "EOF mid-varint reads as truncation" `Quick truncated_mid_varint;
+          Alcotest.test_case "mutated streams never mis-decode (prop)" `Quick
+            prop_decoder_never_misdecodes;
           Alcotest.test_case "malformed text names line" `Quick malformed_text_line;
           Alcotest.test_case "rejection is survivable" `Quick reader_survives_rejection;
         ] );
@@ -574,6 +745,14 @@ let () =
           Alcotest.test_case "replay, cached repeat, no_cache" `Quick serve_replay_and_cache;
           Alcotest.test_case "sweep cross product" `Quick serve_sweep;
           Alcotest.test_case "malformed requests survive" `Quick serve_malformed;
+          Alcotest.test_case "zero-length trace is an id-tagged error" `Quick
+            serve_zero_length_trace;
+          Alcotest.test_case "empty sweep spec is an id-tagged error" `Quick serve_empty_sweep;
+          Alcotest.test_case "unknown probe name is an id-tagged error" `Quick
+            serve_probe_unknown_name;
+          Alcotest.test_case "unknown op advertises the probe op" `Quick
+            serve_unknown_op_lists_probe;
+          Alcotest.test_case "probe trace sweeps end to end" `Quick serve_probe_trace_sweep;
           Alcotest.test_case "shutdown handshake" `Quick serve_shutdown;
           Alcotest.test_case "live daemon, concurrent clients" `Quick serve_live_daemon;
         ] );
