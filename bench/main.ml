@@ -103,9 +103,7 @@ let energy () =
    COBRA_BENCH_INSNS (default 400_000; the first fifth is warmup). *)
 
 let bench_insns =
-  match Sys.getenv_opt "COBRA_BENCH_INSNS" with
-  | Some s -> ( try max 1_000 (int_of_string (String.trim s)) with Failure _ -> 400_000)
-  | None -> 400_000
+  Cobra_util.Env.int_var ~min:1_000 "COBRA_BENCH_INSNS" ~default:400_000
 
 let bench_workload_name = "aliasing"
 let bench_json_path () =
@@ -317,9 +315,7 @@ let perf () =
    (default 1_000_000). *)
 
 let replay_branches =
-  match Sys.getenv_opt "COBRA_BENCH_REPLAY_BRANCHES" with
-  | Some s -> ( try max 1_000 (int_of_string (String.trim s)) with Failure _ -> 1_000_000)
-  | None -> 1_000_000
+  Cobra_util.Env.int_var ~min:1_000 "COBRA_BENCH_REPLAY_BRANCHES" ~default:1_000_000
 
 let replay_workload_name = "h2p-mix"
 
@@ -470,6 +466,191 @@ let perf_replay () =
       Out_channel.with_open_text path6 (fun oc -> Out_channel.output_string oc json);
       Printf.printf "wrote %s\n" path6)
 
+(* --- snapshot-sweep perf bench -------------------------------------------------- *)
+
+(* Pins the payoff of the flat-state engine: a windowed sweep over the
+   pinned h2p-mix trace (shared warmup, N measurement windows) replayed two
+   ways — the baseline re-replays the trace from the top for every window
+   (what a sweep without checkpoints must do), the snapshot path warms
+   once and restores the boundary checkpoint per window. Counters must be
+   bit-identical between the two; the wall-clock ratio is the headline.
+   Also times Pipeline.snapshot/restore at two warmup depths: the flat
+   slabs make both O(state size), independent of how far the replay ran.
+   Emits BENCH_PR9.json (schema cobra-bench-snapshot/1). *)
+
+let bench_json9_path () =
+  Option.value (Sys.getenv_opt "COBRA_BENCH_JSON9") ~default:"BENCH_PR9.json"
+
+let snapshot_windows = 8
+
+type snapshot_sample = {
+  ss_design : string;
+  ss_cells : int;
+  ss_snapshot_us_shallow : float;  (* after 1/10 of the warmup *)
+  ss_snapshot_us_deep : float;  (* after the full warmup *)
+  ss_restore_us : float;
+  ss_baseline_s : float;
+  ss_snapshot_s : float;
+  ss_speedup : float;
+  ss_windows : (int * int) list;  (* (branches, mispredicts) per window *)
+}
+
+let time_us f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  (Unix.gettimeofday () -. t0) *. 1e6
+
+let json_of_snapshot ~trace_branches ~trace_insns ~warmup ~window samples =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"cobra-bench-snapshot/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"workload\": %S,\n" replay_workload_name);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"trace\": {\"branches\": %d, \"insns\": %d},\n" trace_branches
+       trace_insns);
+  Buffer.add_string buf (Printf.sprintf "  \"warmup_branches\": %d,\n" warmup);
+  Buffer.add_string buf (Printf.sprintf "  \"window_branches\": %d,\n" window);
+  Buffer.add_string buf (Printf.sprintf "  \"windows\": %d,\n" snapshot_windows);
+  Buffer.add_string buf "  \"designs\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf "    {\n";
+      Buffer.add_string buf (Printf.sprintf "      \"design\": %S,\n" s.ss_design);
+      Buffer.add_string buf (Printf.sprintf "      \"snapshot_cells\": %d,\n" s.ss_cells);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"snapshot_us_shallow\": %.1f,\n" s.ss_snapshot_us_shallow);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"snapshot_us_deep\": %.1f,\n" s.ss_snapshot_us_deep);
+      Buffer.add_string buf (Printf.sprintf "      \"restore_us\": %.1f,\n" s.ss_restore_us);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"baseline_sweep_s\": %.3f,\n" s.ss_baseline_s);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"snapshot_sweep_s\": %.3f,\n" s.ss_snapshot_s);
+      Buffer.add_string buf (Printf.sprintf "      \"speedup\": %.2f,\n" s.ss_speedup);
+      Buffer.add_string buf "      \"counters_identical\": true,\n";
+      Buffer.add_string buf "      \"windows\": [";
+      List.iteri
+        (fun j (b, m) ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf
+            (Printf.sprintf "{\"branches\": %d, \"mispredicts\": %d}" b m))
+        s.ss_windows;
+      Buffer.add_string buf "]\n";
+      Buffer.add_string buf
+        (if i = List.length samples - 1 then "    }\n" else "    },\n"))
+    samples;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let perf_snapshot () =
+  let w = Cobra_workloads.Suite.find replay_workload_name in
+  let path = Filename.temp_file "cobra_bench" ".btrace" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let trace_branches, trace_insns =
+        timed "export" (fun () ->
+            Cobra_trace_replay.Writer.export_workload ~max_branches:replay_branches ~path
+              w)
+      in
+      let warmup = trace_branches * 3 / 5 in
+      let window = (trace_branches - warmup) / snapshot_windows in
+      Printf.printf
+        "exported %d branches; warmup %d, %d windows x %d branches\n%!" trace_branches
+        warmup snapshot_windows window;
+      let module Replay = Cobra_trace_replay.Replay in
+      let module Reader = Cobra_trace_replay.Reader in
+      let samples =
+        List.map
+          (fun (d : Designs.t) ->
+            let name = d.Designs.name in
+            (* O(1) evidence: snapshot/restore cost at two warmup depths *)
+            let probe_depth branches =
+              Cobra_trace_replay.Reader.with_file path (fun rd ->
+                  let pl = Designs.pipeline d in
+                  let ck, _ = Replay.warmup ~branches ~design:name ~trace:path pl rd in
+                  let snap_us = time_us (fun () -> ignore (Cobra.Pipeline.snapshot pl)) in
+                  let rest_us = time_us (fun () -> Replay.restore pl rd ck) in
+                  (Cobra.Pipeline.snapshot_cells pl, snap_us, rest_us))
+            in
+            let cells, snap_shallow, _ = probe_depth (warmup / 10) in
+            let _, snap_deep, restore_us = probe_depth warmup in
+            (* baseline sweep: every window replays the trace from the top *)
+            let t0 = Unix.gettimeofday () in
+            let baseline_windows =
+              List.init snapshot_windows (fun i ->
+                  Reader.with_file path (fun rd ->
+                      let pl = Designs.pipeline d in
+                      let _ck, _skip =
+                        Replay.warmup ~branches:(warmup + (i * window)) ~design:name
+                          ~trace:path pl rd
+                      in
+                      let _ck, r =
+                        Replay.warmup ~branches:window ~design:name ~trace:path pl rd
+                      in
+                      r))
+            in
+            let baseline_s = Unix.gettimeofday () -. t0 in
+            (* snapshot sweep: warm once, restore the boundary per window *)
+            let t1 = Unix.gettimeofday () in
+            let snapshot_windows_rs =
+              Reader.with_file path (fun rd ->
+                  let pl = Designs.pipeline d in
+                  let ck0, _ =
+                    Replay.warmup ~branches:warmup ~design:name ~trace:path pl rd
+                  in
+                  let boundary = ref ck0 in
+                  List.init snapshot_windows (fun _i ->
+                      Replay.restore pl rd !boundary;
+                      let ck, r =
+                        Replay.warmup ~branches:window ~design:name ~trace:path pl rd
+                      in
+                      boundary := ck;
+                      r))
+            in
+            let snapshot_s = Unix.gettimeofday () -. t1 in
+            List.iteri
+              (fun i (b, s) ->
+                if not (Replay.counters_equal b s) then
+                  failwith
+                    (Printf.sprintf
+                       "perf_snapshot: %s window %d: snapshot path diverged from the \
+                        baseline (%d/%d mispredicts/branches vs %d/%d)"
+                       name i s.Replay.mispredicts s.Replay.branches b.Replay.mispredicts
+                       b.Replay.branches))
+              (List.combine baseline_windows snapshot_windows_rs);
+            {
+              ss_design = name;
+              ss_cells = cells;
+              ss_snapshot_us_shallow = snap_shallow;
+              ss_snapshot_us_deep = snap_deep;
+              ss_restore_us = restore_us;
+              ss_baseline_s = baseline_s;
+              ss_snapshot_s = snapshot_s;
+              ss_speedup = baseline_s /. (if snapshot_s > 0.0 then snapshot_s else epsilon_float);
+              ss_windows =
+                List.map
+                  (fun (r : Replay.result) -> (r.Replay.branches, r.Replay.mispredicts))
+                  snapshot_windows_rs;
+            })
+          [ Designs.tourney; Designs.tage_l ]
+      in
+      List.iter
+        (fun s ->
+          Printf.printf
+            "%-8s %7d cells, snapshot %6.1f us shallow / %6.1f us deep, restore %6.1f us, \
+             sweep %6.3fs -> %6.3fs (%.1fx)%s\n"
+            s.ss_design s.ss_cells s.ss_snapshot_us_shallow s.ss_snapshot_us_deep
+            s.ss_restore_us s.ss_baseline_s s.ss_snapshot_s s.ss_speedup
+            (if s.ss_speedup >= 3.0 then "" else "  [below 3x target]"))
+        samples;
+      let json =
+        json_of_snapshot ~trace_branches ~trace_insns ~warmup ~window samples
+      in
+      let path9 = bench_json9_path () in
+      Out_channel.with_open_text path9 (fun oc -> Out_channel.output_string oc json);
+      Printf.printf "wrote %s\n" path9)
+
 (* --- bechamel microbenchmarks ------------------------------------------------ *)
 
 let bechamel () =
@@ -544,6 +725,7 @@ let sections =
     ("energy", energy);
     ("perf", perf);
     ("perf_replay", perf_replay);
+    ("perf_snapshot", perf_snapshot);
     ("bechamel", bechamel);
   ]
 
@@ -564,7 +746,7 @@ let () =
       (String.concat "\n" (List.map (fun n -> "  " ^ n) section_names));
     exit 2);
   let enabled name = args = [] || List.mem name args in
-  Printf.printf "COBRA benchmark harness (insns per run: %d)\n" Experiment.default_insns;
+  Printf.printf "COBRA benchmark harness (insns per run: %d)\n" (Experiment.default_insns ());
   List.iter
     (fun (name, f) ->
       if enabled name then begin

@@ -441,10 +441,7 @@ let conform_cmd =
     let seed =
       match seed with
       | Some s -> s
-      | None -> (
-        match Sys.getenv_opt "COBRA_SEED" with
-        | Some s -> (try int_of_string s with _ -> 0x0b5a)
-        | None -> 0x0b5a)
+      | None -> Cobra_util.Env.int_var "COBRA_SEED" ~default:0x0b5a
     in
     let ( let* ) = Result.bind in
     let* shapes =
@@ -651,10 +648,7 @@ let probe_cmd =
     let seed =
       match seed with
       | Some s -> s
-      | None -> (
-        match Sys.getenv_opt "COBRA_SEED" with
-        | Some s -> (try int_of_string s with _ -> 0x0b5a)
-        | None -> 0x0b5a)
+      | None -> Cobra_util.Env.int_var "COBRA_SEED" ~default:0x0b5a
     in
     if list_flag then begin
       Printf.printf "probes:\n";

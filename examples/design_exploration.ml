@@ -12,7 +12,7 @@ let workloads = [ "x264"; "leela"; "exchange2"; "aliasing" ]
 let () =
   let entries = List.map Cobra_workloads.Suite.find workloads in
   Format.printf "design exploration (%d instructions per run)@."
-    Experiment.default_insns;
+    (Experiment.default_insns ());
   Format.printf "%-10s %-12s %10s %8s %8s@." "design" "workload" "accuracy" "MPKI" "IPC";
   List.iter
     (fun (d : Designs.t) ->

@@ -1,6 +1,7 @@
 module Bitpack = Cobra_util.Bitpack
 module Bitops = Cobra_util.Bitops
 module Hashing = Cobra_util.Hashing
+module Slab = Cobra_util.Slab
 open Cobra
 
 type config = {
@@ -17,9 +18,6 @@ let default ~name =
 
 let entries cfg = cfg.sets * cfg.ways
 
-type entry = { mutable valid : bool; mutable tag : int; mutable target : int;
-               mutable kind : Types.branch_kind }
-
 (* Metadata layout: per slot, hit flag + hit way. *)
 let way_bits cfg = max 1 (Bitops.bits_needed cfg.ways)
 let meta_layout cfg = List.concat_map (fun _ -> [ 1; way_bits cfg ]) (List.init cfg.fetch_width Fun.id)
@@ -31,23 +29,28 @@ let make cfg =
     invalid_arg (cfg.name ^ ": sets must be a power of two");
   if cfg.ways < 1 then invalid_arg (cfg.name ^ ": ways < 1");
   let set_bits = Bitops.log2_exact cfg.sets in
-  let table =
-    Array.init cfg.sets (fun _ ->
-        Array.init cfg.ways (fun _ -> { valid = false; tag = 0; target = 0; kind = Types.Cond }))
-  in
-  (* Round-robin replacement pointer per set. *)
-  let replace = Array.make cfg.sets 0 in
+  (* slab layout: entry (set s, way w) at stride 4 from cell 4*(s*ways+w) —
+     [+0]=valid, [+1]=tag, [+2]=target, [+3]=kind (branch_kind_to_int);
+     then one round-robin replacement pointer per set at cell
+     4*sets*ways + s *)
+  let state = Slab.create ((cfg.sets * cfg.ways * 4) + cfg.sets) in
+  let replace_base = cfg.sets * cfg.ways * 4 in
+  let entry_off s w = 4 * ((s * cfg.ways) + w) in
+  let e_valid off = Slab.unsafe_get state off = 1 in
+  let e_tag off = Slab.unsafe_get state (off + 1) in
+  let e_target off = Slab.unsafe_get state (off + 2) in
+  let e_kind off = Types.branch_kind_of_int (Slab.unsafe_get state (off + 3)) in
   let set_of pc = Hashing.pc_index ~pc ~bits:set_bits in
   let tag_of pc = Hashing.fold_int (Hashing.mix2 (Hashing.pc_bits pc) 0) ~width:62 ~bits:cfg.tag_bits in
   (* A ref-based scan: an inner recursive closure would heap-allocate per
      lookup, and this runs per slot per predict. *)
   let lookup pc =
-    let set = table.(set_of pc) and tag = tag_of pc in
+    let s = set_of pc and tag = tag_of pc in
     let hit = ref (-1) in
     let w = ref 0 in
     while !hit < 0 && !w < cfg.ways do
-      let e = set.(!w) in
-      if e.valid && e.tag = tag then hit := !w;
+      let off = entry_off s !w in
+      if e_valid off && e_tag off = tag then hit := !w;
       incr w
     done;
     if !hit < 0 then None else Some !hit
@@ -64,13 +67,14 @@ let make cfg =
       | Some w ->
         Bitpack.Packer.add packer 1 ~bits:1;
         Bitpack.Packer.add packer w ~bits:(way_bits cfg);
-        let e = table.(set_of pc).(w) in
+        let off = entry_off (set_of pc) w in
+        let kind = e_kind off in
         pred.(slot) <-
           {
             Types.o_branch = Some true;
-            o_kind = Some e.kind;
-            o_taken = (if Types.is_unconditional e.kind then Some true else None);
-            o_target = Some e.target;
+            o_kind = Some kind;
+            o_taken = (if Types.is_unconditional kind then Some true else None);
+            o_target = Some (e_target off);
           }
       | None ->
         Bitpack.Packer.add packer 0 ~bits:1;
@@ -90,7 +94,6 @@ let make cfg =
       if r.r_is_branch && r.r_taken then begin
         let pc = Context.slot_pc ev.ctx slot in
         let set_idx = set_of pc in
-        let set = table.(set_idx) in
         let w =
           if hit = 1 then way
           else begin
@@ -98,22 +101,22 @@ let make cfg =
             let invalid = ref (-1) in
             let i = ref 0 in
             while !invalid < 0 && !i < cfg.ways do
-              if not set.(!i).valid then invalid := !i;
+              if not (e_valid (entry_off set_idx !i)) then invalid := !i;
               incr i
             done;
             if !invalid >= 0 then !invalid
             else begin
-              let i = replace.(set_idx) in
-              replace.(set_idx) <- (i + 1) mod cfg.ways;
+              let i = Slab.unsafe_get state (replace_base + set_idx) in
+              Slab.unsafe_set state (replace_base + set_idx) ((i + 1) mod cfg.ways);
               i
             end
           end
         in
-        let e = set.(w) in
-        e.valid <- true;
-        e.tag <- tag_of pc;
-        e.target <- r.r_target;
-        e.kind <- r.r_kind
+        let off = entry_off set_idx w in
+        Slab.unsafe_set state off 1;
+        Slab.unsafe_set state (off + 1) (tag_of pc);
+        Slab.unsafe_set state (off + 2) r.r_target;
+        Slab.unsafe_set state (off + 3) (Types.branch_kind_to_int r.r_kind)
       end
     done
   in
@@ -126,4 +129,4 @@ let make cfg =
       ()
   in
   Component.make ~name:cfg.name ~family:Component.Btb ~latency:cfg.latency ~meta_bits ~storage
-    ~predict ~update ()
+    ~state ~predict ~update ()

@@ -1,6 +1,7 @@
 module Bitpack = Cobra_util.Bitpack
 module Counter = Cobra_util.Counter
 module Hashing = Cobra_util.Hashing
+module Slab = Cobra_util.Slab
 open Cobra
 
 type config = {
@@ -35,7 +36,9 @@ let make cfg =
   let ntables = List.length cfg.history_lengths in
   if ntables < 1 then invalid_arg (cfg.name ^ ": no tables");
   let lengths = Array.of_list cfg.history_lengths in
-  let banks = Array.init ntables (fun _ -> Array.make (1 lsl cfg.table_bits) 0) in
+  (* slab layout: table t's entry i (signed counter) at cell t*2^table_bits + i *)
+  let bank_size = 1 lsl cfg.table_bits in
+  let state = Slab.create (ntables * bank_size) in
   let bias = 1 lsl cfg.counter_bits in
   let index (ctx : Context.t) ~slot ~table =
     let pc_part = Hashing.pc_index ~pc:(Context.slot_pc ctx slot) ~bits:cfg.table_bits in
@@ -55,7 +58,7 @@ let make cfg =
           (* ascending table order: update's List.iteri pairs field [t] with
              bank [t], so the pack order must match *)
           for t = 0 to ntables - 1 do
-            let c = banks.(t).(index ctx ~slot ~table:t) in
+            let c = Slab.get state ((t * bank_size) + index ctx ~slot ~table:t) in
             sum := !sum + c;
             fields := (c + bias, cfg.counter_bits + 1) :: !fields
           done;
@@ -79,9 +82,10 @@ let make cfg =
           if predicted <> r.r_taken || abs sum <= cfg.threshold then
             List.iteri
               (fun t c ->
-                banks.(t).(index ev.ctx ~slot ~table:t) <-
-                  Counter.update_signed ~bits:cfg.counter_bits c
-                    ~dir:(if r.r_taken then 1 else -1))
+                Slab.set state
+                  ((t * bank_size) + index ev.ctx ~slot ~table:t)
+                  (Counter.update_signed ~bits:cfg.counter_bits c
+                     ~dir:(if r.r_taken then 1 else -1)))
               counters
         end;
         per_slot (slot + 1) rest'
@@ -90,4 +94,4 @@ let make cfg =
   in
   Component.make ~name:cfg.name ~family:Component.Perceptron ~latency:cfg.latency ~meta_bits
     ~storage:(Storage.make ~sram_bits:(storage_bits cfg) ())
-    ~predict ~update ()
+    ~state ~predict ~update ()

@@ -2,6 +2,7 @@ module Bitpack = Cobra_util.Bitpack
 module Counter = Cobra_util.Counter
 module Hashing = Cobra_util.Hashing
 module Bits = Cobra_util.Bits
+module Slab = Cobra_util.Slab
 open Cobra
 
 type config = {
@@ -21,7 +22,9 @@ let meta_layout cfg = List.init cfg.fetch_width (fun _ -> cfg.counter_bits)
 let make cfg =
   let index_bits = cfg.pc_bits + cfg.history_bits in
   let entries = 1 lsl index_bits in
-  let table = Array.make entries (Counter.weakly_not_taken ~bits:cfg.counter_bits) in
+  (* slab layout: one counter per cell, entry (pc_part << history_bits | hist_part) *)
+  let state = Slab.create entries in
+  Slab.fill state (Counter.weakly_not_taken ~bits:cfg.counter_bits);
   let index (ctx : Context.t) ~slot =
     let pc_part = Hashing.pc_index ~pc:(Context.slot_pc ctx slot) ~bits:cfg.pc_bits in
     let hist_part = Bits.extract_int ctx.ghist ~lo:0 ~len:cfg.history_bits in
@@ -30,7 +33,7 @@ let make cfg =
   let meta_bits = Bitpack.width_of (meta_layout cfg) in
   let predict ctx ~pred_in =
     let base = match pred_in with [ p ] -> p | _ -> invalid_arg (cfg.name ^ ": one predict_in") in
-    let counters = Array.init cfg.fetch_width (fun slot -> table.(index ctx ~slot)) in
+    let counters = Array.init cfg.fetch_width (fun slot -> Slab.get state (index ctx ~slot)) in
     let pred =
       Array.mapi
         (fun slot c ->
@@ -49,10 +52,11 @@ let make cfg =
       (fun slot c ->
         let (r : Types.resolved) = ev.slots.(slot) in
         if Types.cond_branch r then
-          table.(index ev.ctx ~slot) <- Counter.update ~bits:cfg.counter_bits c ~taken:r.r_taken)
+          Slab.set state (index ev.ctx ~slot)
+            (Counter.update ~bits:cfg.counter_bits c ~taken:r.r_taken))
       (Bitpack.unpack ev.meta (meta_layout cfg))
   in
   Component.make ~name:cfg.name ~family:Component.Counter_table ~latency:cfg.latency
     ~meta_bits
     ~storage:(Storage.make ~sram_bits:(entries * cfg.counter_bits) ())
-    ~predict ~update ()
+    ~state ~predict ~update ()

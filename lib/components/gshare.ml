@@ -1,6 +1,7 @@
 module Bitpack = Cobra_util.Bitpack
 module Counter = Cobra_util.Counter
 module Hashing = Cobra_util.Hashing
+module Slab = Cobra_util.Slab
 open Cobra
 
 type config = {
@@ -19,7 +20,9 @@ let meta_layout cfg = List.init cfg.fetch_width (fun _ -> cfg.counter_bits)
 
 let make cfg =
   let entries = 1 lsl cfg.index_bits in
-  let table = Array.make entries (Counter.weakly_not_taken ~bits:cfg.counter_bits) in
+  (* slab layout: one counter per cell, entry i at cell i *)
+  let state = Slab.create entries in
+  Slab.fill state (Counter.weakly_not_taken ~bits:cfg.counter_bits);
   let index (ctx : Context.t) ~slot =
     Hashing.pc_index ~pc:(Context.slot_pc ctx slot) ~bits:cfg.index_bits
     lxor Context.folded_ghist ctx ~len:cfg.history_length ~bits:cfg.index_bits
@@ -33,7 +36,7 @@ let make cfg =
     let live = Context.live_bound ctx cfg.fetch_width in
     for slot = 0 to cfg.fetch_width - 1 do
       if slot < live then begin
-        let c = table.(index ctx ~slot) in
+        let c = Slab.unsafe_get state (index ctx ~slot) in
         Bitpack.Packer.add packer c ~bits:cfg.counter_bits;
         if not (Types.unconditional_in base slot) then
           pred.(slot) <- Types.direction_hint ~taken:(Counter.is_taken ~bits:cfg.counter_bits c)
@@ -50,10 +53,11 @@ let make cfg =
       let c = Bitpack.Cursor.take cursor ~bits:cfg.counter_bits in
       let (r : Types.resolved) = ev.slots.(slot) in
       if Types.cond_branch r then
-        table.(index ev.ctx ~slot) <- Counter.update ~bits:cfg.counter_bits c ~taken:r.r_taken
+        Slab.unsafe_set state (index ev.ctx ~slot)
+          (Counter.update ~bits:cfg.counter_bits c ~taken:r.r_taken)
     done
   in
   Component.make ~name:cfg.name ~family:Component.Counter_table ~latency:cfg.latency
     ~meta_bits
     ~storage:(Storage.make ~sram_bits:(entries * cfg.counter_bits) ())
-    ~predict ~update ()
+    ~state ~predict ~update ()

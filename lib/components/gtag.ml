@@ -2,6 +2,7 @@ module Bitpack = Cobra_util.Bitpack
 module Bitops = Cobra_util.Bitops
 module Counter = Cobra_util.Counter
 module Hashing = Cobra_util.Hashing
+module Slab = Cobra_util.Slab
 open Cobra
 
 type config = {
@@ -25,8 +26,6 @@ let default ~name =
     fetch_width = 4;
   }
 
-type entry = { mutable valid : bool; mutable tag : int; mutable ctr : int }
-
 (* Metadata: per slot, hit flag + the counter read at predict time. *)
 let meta_layout cfg =
   List.concat_map (fun _ -> [ 1; cfg.counter_bits ]) (List.init cfg.fetch_width Fun.id)
@@ -35,7 +34,11 @@ let make cfg =
   if not (Bitops.is_power_of_two cfg.entries) then
     invalid_arg (cfg.name ^ ": entries must be a power of two");
   let index_bits = Bitops.log2_exact cfg.entries in
-  let table = Array.init cfg.entries (fun _ -> { valid = false; tag = 0; ctr = 0 }) in
+  (* slab layout: entry i at stride 3 — [3i]=valid, [3i+1]=tag, [3i+2]=ctr *)
+  let state = Slab.create (cfg.entries * 3) in
+  let e_valid i = Slab.unsafe_get state (3 * i) = 1 in
+  let e_tag i = Slab.unsafe_get state ((3 * i) + 1) in
+  let e_ctr i = Slab.unsafe_get state ((3 * i) + 2) in
   let index (ctx : Context.t) ~slot =
     let pc = Context.slot_pc ctx slot in
     Hashing.combine ~bits:index_bits
@@ -64,12 +67,12 @@ let make cfg =
             Types.empty_opinion
           end
           else begin
-            let e = table.(index ctx ~slot) in
-            if (not (Types.unconditional_in base slot)) && e.valid && e.tag = tag ctx ~slot
+            let i = index ctx ~slot in
+            if (not (Types.unconditional_in base slot)) && e_valid i && e_tag i = tag ctx ~slot
             then begin
-              fields := (e.ctr, cfg.counter_bits) :: (1, 1) :: !fields;
+              fields := (e_ctr i, cfg.counter_bits) :: (1, 1) :: !fields;
               { Types.empty_opinion with
-                o_taken = Some (Counter.is_taken ~bits:cfg.counter_bits e.ctr) }
+                o_taken = Some (Counter.is_taken ~bits:cfg.counter_bits (e_ctr i)) }
             end
             else begin
               fields := (0, cfg.counter_bits) :: (0, 1) :: !fields;
@@ -85,15 +88,16 @@ let make cfg =
       | hit :: ctr :: rest ->
         let (r : Types.resolved) = ev.slots.(slot) in
         if Types.cond_branch r then begin
-          let e = table.(index ev.ctx ~slot) in
+          let i = index ev.ctx ~slot in
           if hit = 1 then
-            e.ctr <- Counter.update ~bits:cfg.counter_bits ctr ~taken:r.r_taken
+            Slab.unsafe_set state ((3 * i) + 2)
+              (Counter.update ~bits:cfg.counter_bits ctr ~taken:r.r_taken)
           else begin
             (* Allocate on miss, seeding the counter weakly in the observed
                direction. *)
-            e.valid <- true;
-            e.tag <- tag ev.ctx ~slot;
-            e.ctr <-
+            Slab.unsafe_set state (3 * i) 1;
+            Slab.unsafe_set state ((3 * i) + 1) (tag ev.ctx ~slot);
+            Slab.unsafe_set state ((3 * i) + 2)
               (if r.r_taken then Counter.weakly_taken ~bits:cfg.counter_bits
                else Counter.weakly_not_taken ~bits:cfg.counter_bits)
           end
@@ -109,4 +113,4 @@ let make cfg =
     Storage.make ~sram_bits:(cfg.entries * entry_bits) ~logic_gates:(cfg.fetch_width * 80) ()
   in
   Component.make ~name:cfg.name ~family:Component.Tagged_table ~latency:cfg.latency ~meta_bits
-    ~storage ~predict ~update ()
+    ~storage ~state ~predict ~update ()

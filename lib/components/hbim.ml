@@ -1,6 +1,7 @@
 module Counter = Cobra_util.Counter
 module Bitpack = Cobra_util.Bitpack
 module Bitops = Cobra_util.Bitops
+module Slab = Cobra_util.Slab
 open Cobra
 
 type config = {
@@ -22,7 +23,9 @@ let make_inspectable cfg =
   if not (Bitops.is_power_of_two cfg.entries) then
     invalid_arg (cfg.name ^ ": entries must be a power of two");
   let index_bits = Bitops.log2_exact cfg.entries in
-  let table = Array.make cfg.entries (Counter.weakly_not_taken ~bits:cfg.counter_bits) in
+  (* slab layout: one counter per cell, entry i at cell i *)
+  let state = Slab.create cfg.entries in
+  Slab.fill state (Counter.weakly_not_taken ~bits:cfg.counter_bits);
   let slot_index ctx ~slot = Indexing.index cfg.indexing ctx ~slot ~bits:index_bits in
   let meta_bits = Bitpack.width_of (meta_layout cfg) in
   let packer = Bitpack.Packer.create ~width:meta_bits in
@@ -33,7 +36,7 @@ let make_inspectable cfg =
     let live = Context.live_bound ctx cfg.fetch_width in
     for slot = 0 to cfg.fetch_width - 1 do
       if slot < live then begin
-        let c = table.(slot_index ctx ~slot) in
+        let c = Slab.unsafe_get state (slot_index ctx ~slot) in
         Bitpack.Packer.add packer c ~bits:cfg.counter_bits;
         (* never override a known always-taken direction (jump/call/ret) *)
         if not (Types.unconditional_in base slot) then
@@ -53,8 +56,8 @@ let make_inspectable cfg =
       let (r : Types.resolved) = ev.slots.(slot) in
       if Types.cond_branch r then
         (* Write back the updated predict-time counter: no second read. *)
-        table.(slot_index ev.ctx ~slot) <-
-          Counter.update ~bits:cfg.counter_bits c ~taken:r.r_taken
+        Slab.unsafe_set state (slot_index ev.ctx ~slot)
+          (Counter.update ~bits:cfg.counter_bits c ~taken:r.r_taken)
     done
   in
   let storage =
@@ -63,8 +66,8 @@ let make_inspectable cfg =
   in
   let component =
     Component.make ~name:cfg.name ~family:Component.Counter_table ~latency:cfg.latency
-      ~meta_bits ~storage ~predict ~update ()
+      ~meta_bits ~storage ~state ~predict ~update ()
   in
-  (component, fun ctx ~slot -> table.(slot_index ctx ~slot))
+  (component, fun ctx ~slot -> Slab.get state (slot_index ctx ~slot))
 
 let make cfg = fst (make_inspectable cfg)

@@ -1,6 +1,7 @@
 module Bitpack = Cobra_util.Bitpack
 module Counter = Cobra_util.Counter
 module Hashing = Cobra_util.Hashing
+module Slab = Cobra_util.Slab
 open Cobra
 
 type table_spec = { history_length : int; index_bits : int; tag_bits : int }
@@ -25,13 +26,6 @@ let default ~name =
     fetch_width = 4;
   }
 
-type entry = {
-  mutable valid : bool;
-  mutable tag : int;
-  mutable target : int;
-  mutable conf : int;
-}
-
 (* Metadata per slot: hit(1) + provider table(3). *)
 let slot_layout = [ 1; 3 ]
 let meta_layout cfg = List.concat_map (fun _ -> slot_layout) (List.init cfg.fetch_width Fun.id)
@@ -42,13 +36,25 @@ let make cfg =
   let ntables = List.length cfg.tables in
   if ntables < 1 || ntables > 8 then invalid_arg (cfg.name ^ ": 1..8 tables supported");
   let specs = Array.of_list cfg.tables in
-  let banks =
-    Array.map
-      (fun s ->
-        Array.init (1 lsl s.index_bits) (fun _ ->
-            { valid = false; tag = 0; target = 0; conf = 0 }))
-      specs
+  (* slab layout: per-table banks at formula base offsets, entry i of
+     table t at stride 4 from its base: [+0]=valid, [+1]=tag, [+2]=target,
+     [+3]=conf *)
+  let tbase = Array.make ntables 0 in
+  let total =
+    let off = ref 0 in
+    Array.iteri
+      (fun t s ->
+        tbase.(t) <- !off;
+        off := !off + ((1 lsl s.index_bits) * 4))
+      specs;
+    !off
   in
+  let state = Slab.create total in
+  let entry_off ~table i = tbase.(table) + (4 * i) in
+  let e_valid off = Slab.unsafe_get state off = 1 in
+  let e_tag off = Slab.unsafe_get state (off + 1) in
+  let e_target off = Slab.unsafe_get state (off + 2) in
+  let e_conf off = Slab.unsafe_get state (off + 3) in
   let history (ctx : Context.t) = if cfg.use_path_history then ctx.phist else ctx.ghist in
   let index (ctx : Context.t) ~slot ~table =
     let s = specs.(table) in
@@ -66,13 +72,13 @@ let make cfg =
       ~width:62 ~bits:s.tag_bits
   in
   let lookup ctx ~slot ~table =
-    let e = banks.(table).(index ctx ~slot ~table) in
-    if e.valid && e.tag = tag_hash ctx ~slot ~table then Some e else None
+    let off = entry_off ~table (index ctx ~slot ~table) in
+    if e_valid off && e_tag off = tag_hash ctx ~slot ~table then Some off else None
   in
   let find_provider ctx ~slot =
     let rec scan t =
       if t < 0 then None
-      else match lookup ctx ~slot ~table:t with Some e -> Some (t, e) | None -> scan (t - 1)
+      else match lookup ctx ~slot ~table:t with Some off -> Some (t, off) | None -> scan (t - 1)
     in
     scan (ntables - 1)
   in
@@ -82,13 +88,13 @@ let make cfg =
     let pred =
       Array.init cfg.fetch_width (fun slot ->
           match find_provider ctx ~slot with
-          | Some (t, e) ->
+          | Some (t, off) ->
             fields := (t, 3) :: (1, 1) :: !fields;
             {
               Types.o_branch = Some true;
               o_kind = Some Types.Ind;
               o_taken = Some true;
-              o_target = Some e.target;
+              o_target = Some (e_target off);
             }
           | None ->
             fields := (0, 3) :: (0, 1) :: !fields;
@@ -105,13 +111,14 @@ let make cfg =
           let correct = ref false in
           if hit = 1 then begin
             match lookup ev.ctx ~slot ~table:provider with
-            | Some e ->
-              if e.target = r.r_target then begin
-                e.conf <- Counter.increment ~bits:cfg.confidence_bits e.conf;
+            | Some off ->
+              if e_target off = r.r_target then begin
+                Slab.unsafe_set state (off + 3)
+                  (Counter.increment ~bits:cfg.confidence_bits (e_conf off));
                 correct := true
               end
-              else if e.conf > 0 then e.conf <- e.conf - 1
-              else e.target <- r.r_target
+              else if e_conf off > 0 then Slab.unsafe_set state (off + 3) (e_conf off - 1)
+              else Slab.unsafe_set state (off + 2) r.r_target
             | None -> ()
           end;
           (* allocate in a longer-history table when wrong or missing *)
@@ -119,15 +126,15 @@ let make cfg =
             let above = if hit = 1 then provider + 1 else 0 in
             let rec alloc t =
               if t < ntables then begin
-                let e = banks.(t).(index ev.ctx ~slot ~table:t) in
-                if (not e.valid) || e.conf = 0 then begin
-                  e.valid <- true;
-                  e.tag <- tag_hash ev.ctx ~slot ~table:t;
-                  e.target <- r.r_target;
-                  e.conf <- 0
+                let off = entry_off ~table:t (index ev.ctx ~slot ~table:t) in
+                if (not (e_valid off)) || e_conf off = 0 then begin
+                  Slab.unsafe_set state off 1;
+                  Slab.unsafe_set state (off + 1) (tag_hash ev.ctx ~slot ~table:t);
+                  Slab.unsafe_set state (off + 2) r.r_target;
+                  Slab.unsafe_set state (off + 3) 0
                 end
                 else begin
-                  e.conf <- e.conf - 1;
+                  Slab.unsafe_set state (off + 3) (e_conf off - 1);
                   alloc (t + 1)
                 end
               end
@@ -149,4 +156,4 @@ let make cfg =
   in
   Component.make ~name:cfg.name ~family:Component.Tagged_table ~latency:cfg.latency ~meta_bits
     ~storage:(Storage.make ~sram_bits:storage_bits ~logic_gates:(cfg.fetch_width * ntables * 100) ())
-    ~predict ~update ()
+    ~state ~predict ~update ()

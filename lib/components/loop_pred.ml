@@ -1,6 +1,7 @@
 module Bitpack = Cobra_util.Bitpack
 module Bitops = Cobra_util.Bitops
 module Hashing = Cobra_util.Hashing
+module Slab = Cobra_util.Slab
 open Cobra
 
 type config = {
@@ -26,15 +27,6 @@ let default ~name =
     fetch_width = 4;
   }
 
-type entry = {
-  mutable valid : bool;
-  mutable tag : int;
-  mutable p_count : int;  (* learned trip count; 0 = unknown *)
-  mutable c_count : int;  (* speculative iterations since last exit *)
-  mutable conf : int;
-  mutable dir : bool;  (* the repeated (body) direction *)
-}
-
 (* Metadata layout, per slot: hit(1), predict-time c_count, offered a
    prediction(1), predicted direction(1). *)
 let slot_layout cfg = [ 1; cfg.count_bits; 1; 1 ]
@@ -44,15 +36,26 @@ let make cfg =
   if not (Bitops.is_power_of_two cfg.entries) then
     invalid_arg (cfg.name ^ ": entries must be a power of two");
   let index_bits = Bitops.log2_exact cfg.entries in
-  let table =
-    Array.init cfg.entries (fun _ ->
-        { valid = false; tag = 0; p_count = 0; c_count = 0; conf = 0; dir = true })
-  in
+  (* slab layout: entry i at stride 6 — [6i]=valid, [+1]=tag,
+     [+2]=p_count (learned trip count; 0 = unknown), [+3]=c_count
+     (speculative iterations since last exit), [+4]=conf, [+5]=dir (the
+     repeated body direction, 1 = taken) *)
+  let state = Slab.create (cfg.entries * 6) in
   let index pc = Hashing.pc_index ~pc ~bits:index_bits in
   let tag_of pc = Hashing.fold_int (Hashing.mix2 (Hashing.pc_bits pc) 3) ~width:62 ~bits:cfg.tag_bits in
+  let e_valid off = Slab.unsafe_get state off = 1 in
+  let e_tag off = Slab.unsafe_get state (off + 1) in
+  let e_p_count off = Slab.unsafe_get state (off + 2) in
+  let e_c_count off = Slab.unsafe_get state (off + 3) in
+  let e_conf off = Slab.unsafe_get state (off + 4) in
+  let e_dir off = Slab.unsafe_get state (off + 5) = 1 in
+  let set_p_count off v = Slab.unsafe_set state (off + 2) v in
+  let set_c_count off v = Slab.unsafe_set state (off + 3) v in
+  let set_conf off v = Slab.unsafe_set state (off + 4) v in
+  let set_dir off b = Slab.unsafe_set state (off + 5) (if b then 1 else 0) in
   let lookup pc =
-    let e = table.(index pc) in
-    if e.valid && e.tag = tag_of pc then Some e else None
+    let off = 6 * index pc in
+    if e_valid off && e_tag off = tag_of pc then Some off else None
   in
   let count_max = (1 lsl cfg.count_bits) - 1 in
   let conf_max = (1 lsl cfg.conf_bits) - 1 in
@@ -65,13 +68,15 @@ let make cfg =
     for slot = 0 to cfg.fetch_width - 1 do
       let hit, c, pv, pd =
         match (if slot < live then lookup (Context.slot_pc ctx slot) else None) with
-        | Some e ->
-          if e.conf >= cfg.conf_threshold && e.p_count > 0 then begin
-            let taken = if e.c_count >= e.p_count then not e.dir else e.dir in
+        | Some off ->
+          if e_conf off >= cfg.conf_threshold && e_p_count off > 0 then begin
+            let taken =
+              if e_c_count off >= e_p_count off then not (e_dir off) else e_dir off
+            in
             pred.(slot) <- Types.direction_hint ~taken;
-            (1, e.c_count, 1, if taken then 1 else 0)
+            (1, e_c_count off, 1, if taken then 1 else 0)
           end
-          else (1, e.c_count, 0, 0)
+          else (1, e_c_count off, 0, 0)
         | None -> (0, 0, 0, 0)
       in
       Bitpack.Packer.add packer hit ~bits:1;
@@ -101,17 +106,17 @@ let make cfg =
     for slot = 0 to cfg.fetch_width - 1 do
       if m_hit.(slot) then
         match entry_for ev slot with
-        | Some e ->
+        | Some off ->
           let (r : Types.resolved) = ev.slots.(slot) in
           if Types.cond_branch r then
-            if r.r_taken = e.dir then e.c_count <- min count_max (e.c_count + 1)
-            else e.c_count <- 0
+            if r.r_taken = e_dir off then set_c_count off (min count_max (e_c_count off + 1))
+            else set_c_count off 0
         | None -> ()
     done
   in
   let restore_slot ev slot =
     if m_hit.(slot) then
-      match entry_for ev slot with Some e -> e.c_count <- m_count.(slot) | None -> ()
+      match entry_for ev slot with Some off -> set_c_count off m_count.(slot) | None -> ()
   in
   let repair (ev : Component.event) =
     decode_meta ev;
@@ -132,20 +137,20 @@ let make cfg =
       let (r : Types.resolved) = ev.slots.(culprit) in
       if Types.cond_branch r then begin
         match (m_hit.(culprit), entry_for ev culprit) with
-        | true, Some e ->
-          if r.r_taken = e.dir then e.c_count <- min count_max (m_count.(culprit) + 1)
-          else e.c_count <- 0
+        | true, Some off ->
+          if r.r_taken = e_dir off then set_c_count off (min count_max (m_count.(culprit) + 1))
+          else set_c_count off 0
         | _ ->
           (* An untracked mispredicting conditional branch: start tracking,
              assuming the misprediction was a loop exit. *)
           let pc = Context.slot_pc ev.ctx culprit in
-          let e = table.(index pc) in
-          e.valid <- true;
-          e.tag <- tag_of pc;
-          e.p_count <- 0;
-          e.c_count <- 0;
-          e.conf <- 0;
-          e.dir <- not r.r_taken
+          let off = 6 * index pc in
+          Slab.unsafe_set state off 1;
+          Slab.unsafe_set state (off + 1) (tag_of pc);
+          set_p_count off 0;
+          set_c_count off 0;
+          set_conf off 0;
+          set_dir off (not r.r_taken)
       end
   in
   let update (ev : Component.event) =
@@ -153,30 +158,30 @@ let make cfg =
     for slot = 0 to cfg.fetch_width - 1 do
       if m_hit.(slot) then
         match entry_for ev slot with
-        | Some e ->
+        | Some off ->
           let (r : Types.resolved) = ev.slots.(slot) in
           let c = m_count.(slot) in
           if Types.cond_branch r then
-            if r.r_taken <> e.dir then begin
+            if r.r_taken <> e_dir off then begin
               (* Committed loop exit after [c] body iterations. *)
               if c = 0 then begin
                 (* Two consecutive exits: the learned body direction is
                    the branch's minority direction — flip it. *)
-                e.dir <- not e.dir;
-                e.p_count <- 0;
-                e.conf <- 0
+                set_dir off (not (e_dir off));
+                set_p_count off 0;
+                set_conf off 0
               end
               else if c < count_max then begin
-                if e.p_count = c then e.conf <- min conf_max (e.conf + 1)
+                if e_p_count off = c then set_conf off (min conf_max (e_conf off + 1))
                 else begin
-                  e.p_count <- c;
-                  e.conf <- (if e.conf >= cfg.conf_threshold then 0 else 1)
+                  set_p_count off c;
+                  set_conf off (if e_conf off >= cfg.conf_threshold then 0 else 1)
                 end
               end
             end
-            else if e.p_count > 0 && c >= e.p_count then
+            else if e_p_count off > 0 && c >= e_p_count off then
               (* Ran past the learned trip count without exiting. *)
-              e.conf <- max 0 (e.conf - 1)
+              set_conf off (max 0 (e_conf off - 1))
         | None -> ()
     done
   in
@@ -185,4 +190,4 @@ let make cfg =
     Storage.make ~sram_bits:(cfg.entries * entry_bits) ~logic_gates:(cfg.fetch_width * 70) ()
   in
   Component.make ~name:cfg.name ~family:Component.Loop ~latency:cfg.latency ~meta_bits ~storage
-    ~predict ~fire ~mispredict ~repair ~update ()
+    ~state ~predict ~fire ~mispredict ~repair ~update ()

@@ -2,6 +2,7 @@ module Bitpack = Cobra_util.Bitpack
 module Bits = Cobra_util.Bits
 module Counter = Cobra_util.Counter
 module Hashing = Cobra_util.Hashing
+module Slab = Cobra_util.Slab
 open Cobra
 
 type config = {
@@ -23,15 +24,19 @@ let meta_layout cfg = List.concat_map (fun _ -> slot_layout) (List.init cfg.fetc
 
 let make cfg =
   let n_weights = cfg.history_length + 1 (* bias *) in
-  let table = Array.init (1 lsl cfg.table_bits) (fun _ -> Array.make n_weights 0) in
+  (* slab layout: row r's weight w (signed) at cell r*n_weights + w;
+     weight 0 is the bias *)
+  let state = Slab.create ((1 lsl cfg.table_bits) * n_weights) in
   let index (ctx : Context.t) ~slot =
     Hashing.pc_index ~pc:(Context.slot_pc ctx slot) ~bits:cfg.table_bits
   in
-  let dot (ctx : Context.t) weights =
-    let sum = ref weights.(0) in
+  let dot (ctx : Context.t) row =
+    let base = row * n_weights in
+    let sum = ref (Slab.unsafe_get state base) in
     for i = 0 to cfg.history_length - 1 do
       let bit = Bits.get ctx.ghist i in
-      if bit then sum := !sum + weights.(i + 1) else sum := !sum - weights.(i + 1)
+      let w = Slab.unsafe_get state (base + i + 1) in
+      if bit then sum := !sum + w else sum := !sum - w
     done;
     !sum
   in
@@ -46,7 +51,7 @@ let make cfg =
     let fields = ref [] in
     Array.iteri
       (fun slot _ ->
-        let sum = dot ctx table.(index ctx ~slot) in
+        let sum = dot ctx (index ctx ~slot) in
         fields := ((if sum >= 0 then 1 else 0), 1) :: (clamp_sum sum, sum_bits) :: !fields;
         if not (Types.unconditional_in base slot) then
           pred.(slot) <- { Types.empty_opinion with o_taken = Some (sum >= 0) })
@@ -61,14 +66,16 @@ let make cfg =
         if Types.cond_branch r then begin
           let predicted = sign = 1 in
           if predicted <> r.r_taken || mag <= threshold then begin
-            let weights = table.(index ev.ctx ~slot) in
+            let base = index ev.ctx ~slot * n_weights in
             let dir = if r.r_taken then 1 else -1 in
-            weights.(0) <- Counter.update_signed ~bits:cfg.weight_bits weights.(0) ~dir;
+            Slab.unsafe_set state base
+              (Counter.update_signed ~bits:cfg.weight_bits (Slab.unsafe_get state base) ~dir);
             for i = 0 to cfg.history_length - 1 do
               let agree = Bits.get ev.ctx.ghist i = r.r_taken in
-              weights.(i + 1) <-
-                Counter.update_signed ~bits:cfg.weight_bits weights.(i + 1)
-                  ~dir:(if agree then 1 else -1)
+              Slab.unsafe_set state (base + i + 1)
+                (Counter.update_signed ~bits:cfg.weight_bits
+                   (Slab.unsafe_get state (base + i + 1))
+                   ~dir:(if agree then 1 else -1))
             done
           end
         end;
@@ -81,4 +88,4 @@ let make cfg =
   Component.make ~name:cfg.name ~family:Component.Perceptron ~latency:cfg.latency ~meta_bits
     ~storage:
       (Storage.make ~sram_bits:((1 lsl cfg.table_bits) * n_weights * cfg.weight_bits) ())
-    ~predict ~update ()
+    ~state ~predict ~update ()

@@ -1,6 +1,7 @@
 module Bitpack = Cobra_util.Bitpack
 module Counter = Cobra_util.Counter
 module Hashing = Cobra_util.Hashing
+module Slab = Cobra_util.Slab
 open Cobra
 
 type config = {
@@ -30,7 +31,9 @@ let slot_layout cfg = [ 1; 1; cfg.counter_bits + 1 ]
 let meta_layout cfg = List.concat_map (fun _ -> slot_layout cfg) (List.init cfg.fetch_width Fun.id)
 
 let make cfg =
-  let table = Array.make (1 lsl cfg.index_bits) 0 in
+  (* slab layout: one signed agreement counter per cell (cells carry the
+     signed value directly; the +bias encoding exists only in metadata) *)
+  let state = Slab.create (1 lsl cfg.index_bits) in
   let bias = 1 lsl cfg.counter_bits in
   let index (ctx : Context.t) ~slot ~incoming =
     Hashing.combine ~bits:cfg.index_bits
@@ -55,7 +58,7 @@ let make cfg =
             fields := (bias, cfg.counter_bits + 1) :: (0, 1) :: (0, 1) :: !fields;
             Types.empty_opinion
           | Some incoming ->
-            let c = table.(index ctx ~slot ~incoming) in
+            let c = Slab.get state (index ctx ~slot ~incoming) in
             fields :=
               (c + bias, cfg.counter_bits + 1) :: ((if incoming then 1 else 0), 1) :: (1, 1)
               :: !fields;
@@ -75,8 +78,8 @@ let make cfg =
           let incoming = inc = 1 in
           let c = biased - bias in
           let dir = if incoming = r.r_taken then 1 else -1 in
-          table.(index ev.ctx ~slot ~incoming) <-
-            Counter.update_signed ~bits:(cfg.counter_bits + 1) c ~dir
+          Slab.set state (index ev.ctx ~slot ~incoming)
+            (Counter.update_signed ~bits:(cfg.counter_bits + 1) c ~dir)
         end;
         per_slot (slot + 1) rest
       | [] -> ()
@@ -87,4 +90,4 @@ let make cfg =
   Component.make ~name:cfg.name ~family:Component.Corrector ~latency:cfg.latency ~meta_bits
     ~storage:
       (Storage.make ~sram_bits:((1 lsl cfg.index_bits) * (cfg.counter_bits + 1)) ())
-    ~predict ~update ()
+    ~state ~predict ~update ()

@@ -2,6 +2,7 @@ module Bitpack = Cobra_util.Bitpack
 module Counter = Cobra_util.Counter
 module Hashing = Cobra_util.Hashing
 module Rng = Cobra_util.Rng
+module Slab = Cobra_util.Slab
 open Cobra
 
 type table_spec = { history_length : int; index_bits : int; tag_bits : int }
@@ -30,8 +31,6 @@ let default ~name =
     fetch_width = 4;
   }
 
-type entry = { mutable tag : int; mutable ctr : int; mutable u : int; mutable valid : bool }
-
 let storage_bits cfg =
   List.fold_left
     (fun acc t -> acc + ((1 lsl t.index_bits) * (1 + t.tag_bits + cfg.counter_bits + cfg.u_bits)))
@@ -48,14 +47,40 @@ let make cfg =
   if ntables < 1 || ntables > 15 then invalid_arg (cfg.name ^ ": 1..15 tables supported");
   if cfg.counter_bits < 2 then invalid_arg (cfg.name ^ ": counter_bits < 2");
   let specs = Array.of_list cfg.tables in
-  let banks =
-    Array.map
-      (fun s ->
-        Array.init (1 lsl s.index_bits) (fun _ -> { tag = 0; ctr = 0; u = 0; valid = false }))
-      specs
+  (* slab layout: 3 header cells — [0]=update_count, [1]=rng state low 31
+     bits, [2]=rng state high 33 bits — then per-table banks at formula
+     base offsets, entry i of table t at stride 4 from its base:
+     [+0]=valid, [+1]=tag, [+2]=ctr, [+3]=u *)
+  let tbase = Array.make ntables 0 in
+  let total =
+    let off = ref 3 in
+    Array.iteri
+      (fun t s ->
+        tbase.(t) <- !off;
+        off := !off + ((1 lsl s.index_bits) * 4))
+      specs;
+    !off
   in
+  let state = Slab.create total in
+  let entry_off ~table i = tbase.(table) + (4 * i) in
+  (* The Rng.t is scratch: its authoritative state lives in the header
+     cells, loaded before and stored after every draw. *)
   let rng = Rng.create ~seed:cfg.seed in
-  let update_count = ref 0 in
+  let store_rng () =
+    let s = Rng.state rng in
+    Slab.set state 1 (Int64.to_int (Int64.logand s 0x7FFFFFFFL));
+    Slab.set state 2 (Int64.to_int (Int64.shift_right_logical s 31))
+  in
+  store_rng ();
+  let rng_chance p =
+    Rng.set_state rng
+      (Int64.logor
+         (Int64.of_int (Slab.get state 1))
+         (Int64.shift_left (Int64.of_int (Slab.get state 2)) 31));
+    let r = Rng.chance rng p in
+    store_rng ();
+    r
+  in
   (* Per-table bank-decorrelation constants and, per query, the folded
      global-history hashes — slot-independent, so computed once per event
      rather than per (slot, table). *)
@@ -144,9 +169,13 @@ let make cfg =
          (fold_tag.(table) + (table * 7919)))
       ~width:62 ~bits:s.tag_bits
   in
+  let e_valid off = Slab.unsafe_get state off = 1 in
+  let e_tag off = Slab.unsafe_get state (off + 1) in
+  let e_ctr off = Slab.unsafe_get state (off + 2) in
+  let e_u off = Slab.unsafe_get state (off + 3) in
   let lookup ctx ~slot ~pcv ~table =
-    let e = banks.(table).(index ctx ~slot ~pcv ~table) in
-    if e.valid && e.tag = tag_hash ctx ~slot ~table then Some e else None
+    let off = entry_off ~table (index ctx ~slot ~pcv ~table) in
+    if e_valid off && e_tag off = tag_hash ctx ~slot ~table then Some off else None
   in
   (* Longest-history hit and the next one below it. The scan threads all
      its state through arguments so no closure is allocated per slot. *)
@@ -154,10 +183,10 @@ let make cfg =
     if t < 0 then (provider, alt)
     else
       match lookup ctx ~slot ~pcv ~table:t with
-      | Some e -> (
+      | Some off -> (
         match provider with
-        | None -> provider_scan lookup pcv ctx slot (t - 1) (Some (t, e)) alt
-        | Some _ -> (provider, Some (t, e)))
+        | None -> provider_scan lookup pcv ctx slot (t - 1) (Some (t, off)) alt
+        | Some _ -> (provider, Some (t, off)))
       | None -> provider_scan lookup pcv ctx slot (t - 1) provider alt
   in
   let find_provider pcv ctx ~slot = provider_scan lookup pcv ctx slot (ntables - 1) None None in
@@ -193,18 +222,18 @@ let make cfg =
       let provider, alt = find_provider pcv ctx ~slot in
       let base_dir = base.(slot).Types.o_taken in
       match provider with
-      | Some (p, e) ->
-        let alt_dir = Option.map (fun (_, (a : entry)) -> taken_of_ctr a.ctr) alt in
+      | Some (p, off) ->
+        let alt_dir = Option.map (fun (_, a_off) -> taken_of_ctr (e_ctr a_off)) alt in
         Bitpack.Packer.add packer 1 ~bits:1;
         Bitpack.Packer.add packer p ~bits:4;
-        Bitpack.Packer.add packer e.ctr ~bits:cfg.counter_bits;
+        Bitpack.Packer.add packer (e_ctr off) ~bits:cfg.counter_bits;
         Bitpack.Packer.add packer (valid alt_dir) ~bits:1;
         Bitpack.Packer.add packer (bit alt_dir) ~bits:1;
-        Bitpack.Packer.add packer e.u ~bits:cfg.u_bits;
+        Bitpack.Packer.add packer (e_u off) ~bits:cfg.u_bits;
         Bitpack.Packer.add packer (valid base_dir) ~bits:1;
         Bitpack.Packer.add packer (bit base_dir) ~bits:1;
         if not (Types.unconditional_in base slot) then
-          pred.(slot) <- Types.direction_hint ~taken:(taken_of_ctr e.ctr)
+          pred.(slot) <- Types.direction_hint ~taken:(taken_of_ctr (e_ctr off))
       | None ->
         Bitpack.Packer.add packer 0 ~bits:1;
         Bitpack.Packer.add packer 0 ~bits:4;
@@ -219,7 +248,13 @@ let make cfg =
     (pred, Bitpack.Packer.finish packer)
   in
   let graceful_u_decay () =
-    Array.iter (fun bank -> Array.iter (fun e -> e.u <- e.u lsr 1) bank) banks
+    Array.iteri
+      (fun t s ->
+        for i = 0 to (1 lsl s.index_bits) - 1 do
+          let off = entry_off ~table:t i in
+          Slab.unsafe_set state (off + 3) (Slab.unsafe_get state (off + 3) lsr 1)
+        done)
+      specs
   in
   let allocate pcv ev ~slot ~above ~taken =
     (* Find a non-useful entry in a longer-history table; throttle with the
@@ -227,29 +262,29 @@ let make cfg =
        candidate is useful, age them all instead. *)
     let candidates = ref [] in
     for t = above to ntables - 1 do
-      let e = banks.(t).(index ev.Component.ctx ~slot ~pcv ~table:t) in
-      if (not e.valid) || e.u = 0 then candidates := t :: !candidates
+      let off = entry_off ~table:t (index ev.Component.ctx ~slot ~pcv ~table:t) in
+      if (not (e_valid off)) || e_u off = 0 then candidates := t :: !candidates
     done;
     match List.rev !candidates with
     | [] ->
       for t = above to ntables - 1 do
-        let e = banks.(t).(index ev.Component.ctx ~slot ~pcv ~table:t) in
-        e.u <- max 0 (e.u - 1)
+        let off = entry_off ~table:t (index ev.Component.ctx ~slot ~pcv ~table:t) in
+        Slab.unsafe_set state (off + 3) (max 0 (e_u off - 1))
       done
     | first :: rest ->
       let chosen =
         (* Prefer the shortest candidate but sometimes skip ahead. *)
         match rest with
-        | next :: _ when Rng.chance rng 0.33 -> next
+        | next :: _ when rng_chance 0.33 -> next
         | _ -> first
       in
-      let e = banks.(chosen).(index ev.Component.ctx ~slot ~pcv ~table:chosen) in
-      e.valid <- true;
-      e.tag <- tag_hash ev.Component.ctx ~slot ~table:chosen;
-      e.ctr <-
+      let off = entry_off ~table:chosen (index ev.Component.ctx ~slot ~pcv ~table:chosen) in
+      Slab.unsafe_set state off 1;
+      Slab.unsafe_set state (off + 1) (tag_hash ev.Component.ctx ~slot ~table:chosen);
+      Slab.unsafe_set state (off + 2)
         (if taken then Counter.weakly_taken ~bits:cfg.counter_bits
          else Counter.weakly_not_taken ~bits:cfg.counter_bits);
-      e.u <- 0
+      Slab.unsafe_set state (off + 3) 0
   in
   let update (ev : Component.event) =
     Bitpack.Cursor.reset cursor ev.meta;
@@ -268,8 +303,8 @@ let make cfg =
       let base_dir = Bitpack.Cursor.take cursor ~bits:1 in
       let (r : Types.resolved) = ev.slots.(slot) in
       if Types.cond_branch r then begin
-        incr update_count;
-        if !update_count mod cfg.u_reset_period = 0 then graceful_u_decay ();
+        Slab.set state 0 (Slab.get state 0 + 1);
+        if Slab.get state 0 mod cfg.u_reset_period = 0 then graceful_u_decay ();
         if not !folds_filled then begin
           fill_folds ev.ctx;
           folds_filled := true
@@ -284,9 +319,9 @@ let make cfg =
         let pcv = pc_fold ev.ctx ~slot in
         (match provider_pred with
         | Some pdir ->
-          let e = banks.(provider).(index ev.ctx ~slot ~pcv ~table:provider) in
-          if e.valid && e.tag = tag_hash ev.ctx ~slot ~table:provider then begin
-            e.ctr <- Counter.update ~bits:cfg.counter_bits pctr ~taken;
+          let off = entry_off ~table:provider (index ev.ctx ~slot ~pcv ~table:provider) in
+          if e_valid off && e_tag off = tag_hash ev.ctx ~slot ~table:provider then begin
+            Slab.unsafe_set state (off + 2) (Counter.update ~bits:cfg.counter_bits pctr ~taken);
             (* Usefulness trains when provider and altpred disagreed. *)
             let altpred =
               if alt_valid = 1 then Some (alt_dir = 1)
@@ -295,7 +330,7 @@ let make cfg =
             in
             match altpred with
             | Some a when a <> pdir ->
-              e.u <-
+              Slab.unsafe_set state (off + 3)
                 (if pdir = taken then min (Counter.max_value ~bits:cfg.u_bits) (pu + 1)
                  else max 0 (pu - 1))
             | _ -> ()
@@ -316,4 +351,4 @@ let make cfg =
       ()
   in
   Component.make ~name:cfg.name ~family:Component.Tage ~latency:cfg.latency ~meta_bits ~storage
-    ~predict ~update ()
+    ~state ~predict ~update ()

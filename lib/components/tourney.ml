@@ -2,6 +2,7 @@ module Bitpack = Cobra_util.Bitpack
 module Bitops = Cobra_util.Bitops
 module Counter = Cobra_util.Counter
 module Hashing = Cobra_util.Hashing
+module Slab = Cobra_util.Slab
 open Cobra
 
 type config = {
@@ -29,7 +30,9 @@ let make cfg =
   if not (Bitops.is_power_of_two cfg.entries) then
     invalid_arg (cfg.name ^ ": entries must be a power of two");
   let index_bits = Bitops.log2_exact cfg.entries in
-  let table = Array.make cfg.entries (Counter.weakly_not_taken ~bits:cfg.counter_bits) in
+  (* slab layout: one chooser counter per cell, entry i at cell i *)
+  let state = Slab.create cfg.entries in
+  Slab.fill state (Counter.weakly_not_taken ~bits:cfg.counter_bits);
   let index (ctx : Context.t) ~slot =
     (* both operands are already masked to [index_bits], so a plain xor
        matches [Hashing.combine] without building its argument list *)
@@ -61,7 +64,7 @@ let make cfg =
       end
       else begin
         let d0 = dir_of p0.(slot) and d1 = dir_of p1.(slot) in
-        let ctr = table.(index ctx ~slot) in
+        let ctr = Slab.unsafe_get state (index ctx ~slot) in
         let bit = function Some true -> 1 | _ -> 0 in
         let valid = function Some _ -> 1 | None -> 0 in
         Bitpack.Packer.add packer (valid d0) ~bits:1;
@@ -99,8 +102,8 @@ let make cfg =
       then begin
         let actual = if r.r_taken then 1 else 0 in
         let toward_p1 = b1 = actual in
-        table.(index ev.ctx ~slot) <-
-          Counter.update ~bits:cfg.counter_bits ctr ~taken:toward_p1
+        Slab.unsafe_set state (index ev.ctx ~slot)
+          (Counter.update ~bits:cfg.counter_bits ctr ~taken:toward_p1)
       end
     done
   in
@@ -109,4 +112,4 @@ let make cfg =
       ~logic_gates:(cfg.fetch_width * 50) ()
   in
   Component.make ~name:cfg.name ~family:Component.Selector ~latency:cfg.latency ~meta_bits
-    ~storage ~predict ~update ()
+    ~storage ~state ~predict ~update ()

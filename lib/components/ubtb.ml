@@ -2,19 +2,12 @@ module Bitpack = Cobra_util.Bitpack
 module Bitops = Cobra_util.Bitops
 module Counter = Cobra_util.Counter
 module Hashing = Cobra_util.Hashing
+module Slab = Cobra_util.Slab
 open Cobra
 
 type config = { name : string; entries : int; counter_bits : int; fetch_width : int }
 
 let default ~name = { name; entries = 32; counter_bits = 2; fetch_width = 4 }
-
-type entry = {
-  mutable valid : bool;
-  mutable pc_tag : int;
-  mutable target : int;
-  mutable kind : Types.branch_kind;
-  mutable ctr : int;
-}
 
 let tag_bits = 30
 let target_bits = 48
@@ -25,24 +18,80 @@ let meta_layout cfg =
 
 let make cfg =
   if cfg.entries < 1 then invalid_arg (cfg.name ^ ": entries < 1");
-  let table =
-    Array.init cfg.entries (fun _ ->
-        { valid = false; pc_tag = 0; target = 0; kind = Types.Cond;
-          ctr = Counter.weakly_taken ~bits:cfg.counter_bits })
-  in
-  let replace = ref 0 in
+  (* slab layout: entry i at stride 5 — [5i]=valid, [+1]=pc_tag,
+     [+2]=target, [+3]=kind (branch_kind_to_int), [+4]=ctr — then the
+     round-robin replacement pointer, then the CAM tag index as
+     [count; (tag, idx) x entries].  The CAM keeps at most one pair per
+     tag (exactly a Hashtbl with replace-only inserts); pairs are
+     injective into entry indexes — every pair's tag equals its entry's
+     live pc_tag — so [entries] pairs always suffice. *)
+  let replace_cell = 5 * cfg.entries in
+  let cam_count_cell = replace_cell + 1 in
+  let cam_base = replace_cell + 2 in
+  let state = Slab.create (cam_base + (2 * cfg.entries)) in
+  for i = 0 to cfg.entries - 1 do
+    Slab.set state ((5 * i) + 4) (Counter.weakly_taken ~bits:cfg.counter_bits)
+  done;
+  let e_valid i = Slab.unsafe_get state (5 * i) = 1 in
+  let e_pc_tag i = Slab.unsafe_get state ((5 * i) + 1) in
+  let e_target i = Slab.unsafe_get state ((5 * i) + 2) in
+  let e_kind i = Types.branch_kind_of_int (Slab.unsafe_get state ((5 * i) + 3)) in
+  let e_ctr i = Slab.unsafe_get state ((5 * i) + 4) in
   let tag_of pc = Hashing.fold_int (Hashing.pc_bits pc) ~width:62 ~bits:tag_bits in
   (* The CAM match is modelled with a tag index kept in sync with the
-     entry array — same observable behaviour, constant-time lookup. *)
-  let cam = Hashtbl.create (2 * cfg.entries) in
+     entry array — same observable behaviour as hardware. *)
+  let cam_find tag =
+    let n = Slab.get state cam_count_cell in
+    let found = ref (-1) in
+    let k = ref 0 in
+    while !found < 0 && !k < n do
+      if Slab.unsafe_get state (cam_base + (2 * !k)) = tag then found := !k;
+      incr k
+    done;
+    if !found < 0 then None else Some (Slab.unsafe_get state (cam_base + (2 * !found) + 1))
+  in
+  let cam_remove tag =
+    let n = Slab.get state cam_count_cell in
+    let found = ref (-1) in
+    let k = ref 0 in
+    while !found < 0 && !k < n do
+      if Slab.unsafe_get state (cam_base + (2 * !k)) = tag then found := !k;
+      incr k
+    done;
+    if !found >= 0 then begin
+      (* swap the last pair into the hole *)
+      let last = n - 1 in
+      Slab.unsafe_set state (cam_base + (2 * !found))
+        (Slab.unsafe_get state (cam_base + (2 * last)));
+      Slab.unsafe_set state
+        (cam_base + (2 * !found) + 1)
+        (Slab.unsafe_get state (cam_base + (2 * last) + 1));
+      Slab.set state cam_count_cell last
+    end
+  in
+  let cam_replace tag i =
+    let n = Slab.get state cam_count_cell in
+    let found = ref (-1) in
+    let k = ref 0 in
+    while !found < 0 && !k < n do
+      if Slab.unsafe_get state (cam_base + (2 * !k)) = tag then found := !k;
+      incr k
+    done;
+    if !found >= 0 then Slab.unsafe_set state (cam_base + (2 * !found) + 1) i
+    else begin
+      Slab.unsafe_set state (cam_base + (2 * n)) tag;
+      Slab.unsafe_set state (cam_base + (2 * n) + 1) i;
+      Slab.set state cam_count_cell (n + 1)
+    end
+  in
   let lookup pc =
-    match Hashtbl.find_opt cam (tag_of pc) with
-    | Some i when table.(i).valid && table.(i).pc_tag = tag_of pc -> Some i
+    match cam_find (tag_of pc) with
+    | Some i when e_valid i && e_pc_tag i = tag_of pc -> Some i
     | Some _ | None -> None
   in
   let install i tag =
-    (if table.(i).valid then Hashtbl.remove cam table.(i).pc_tag);
-    Hashtbl.replace cam tag i
+    (if e_valid i then cam_remove (e_pc_tag i));
+    cam_replace tag i
   in
   let meta_bits = Bitpack.width_of (meta_layout cfg) in
   let packer = Bitpack.Packer.create ~width:meta_bits in
@@ -54,20 +103,20 @@ let make cfg =
       let pc = Context.slot_pc ctx slot in
       match (if slot < live then lookup pc else None) with
       | Some i ->
-        let e = table.(i) in
         Bitpack.Packer.add packer 1 ~bits:1;
         Bitpack.Packer.add packer i ~bits:(way_bits cfg);
-        Bitpack.Packer.add packer e.ctr ~bits:cfg.counter_bits;
+        Bitpack.Packer.add packer (e_ctr i) ~bits:cfg.counter_bits;
+        let kind = e_kind i in
         let taken =
-          if Types.is_unconditional e.kind then true
-          else Counter.is_taken ~bits:cfg.counter_bits e.ctr
+          if Types.is_unconditional kind then true
+          else Counter.is_taken ~bits:cfg.counter_bits (e_ctr i)
         in
         pred.(slot) <-
           {
             Types.o_branch = Some true;
-            o_kind = Some e.kind;
+            o_kind = Some kind;
             o_taken = Some taken;
-            o_target = Some e.target;
+            o_target = Some (e_target i);
           }
       | None ->
         Bitpack.Packer.add packer 0 ~bits:1;
@@ -85,25 +134,24 @@ let make cfg =
       let (r : Types.resolved) = ev.slots.(slot) in
       if r.r_is_branch then begin
         if hit = 1 then begin
-          let e = table.(way) in
           (* The entry may have been replaced since predict; only train a
              still-matching entry, as the hardware tag check would. *)
           let pc = Context.slot_pc ev.ctx slot in
-          if e.valid && e.pc_tag = tag_of pc then begin
-            e.ctr <- Counter.update ~bits:cfg.counter_bits ctr ~taken:r.r_taken;
-            if r.r_taken then e.target <- r.r_target
+          if e_valid way && e_pc_tag way = tag_of pc then begin
+            Slab.unsafe_set state ((5 * way) + 4)
+              (Counter.update ~bits:cfg.counter_bits ctr ~taken:r.r_taken);
+            if r.r_taken then Slab.unsafe_set state ((5 * way) + 2) r.r_target
           end
         end
         else if r.r_taken then begin
-          let i = !replace in
-          replace := (i + 1) mod cfg.entries;
-          let e = table.(i) in
+          let i = Slab.get state replace_cell in
+          Slab.set state replace_cell ((i + 1) mod cfg.entries);
           install i (tag_of (Context.slot_pc ev.ctx slot));
-          e.valid <- true;
-          e.pc_tag <- tag_of (Context.slot_pc ev.ctx slot);
-          e.target <- r.r_target;
-          e.kind <- r.r_kind;
-          e.ctr <- Counter.weakly_taken ~bits:cfg.counter_bits
+          Slab.unsafe_set state (5 * i) 1;
+          Slab.unsafe_set state ((5 * i) + 1) (tag_of (Context.slot_pc ev.ctx slot));
+          Slab.unsafe_set state ((5 * i) + 2) r.r_target;
+          Slab.unsafe_set state ((5 * i) + 3) (Types.branch_kind_to_int r.r_kind);
+          Slab.unsafe_set state ((5 * i) + 4) (Counter.weakly_taken ~bits:cfg.counter_bits)
         end
       end
     done
@@ -116,4 +164,4 @@ let make cfg =
       ()
   in
   Component.make ~name:cfg.name ~family:Component.Micro_btb ~latency:1 ~meta_bits ~storage
-    ~predict ~update ()
+    ~state ~predict ~update ()

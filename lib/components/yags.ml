@@ -1,6 +1,7 @@
 module Bitpack = Cobra_util.Bitpack
 module Counter = Cobra_util.Counter
 module Hashing = Cobra_util.Hashing
+module Slab = Cobra_util.Slab
 open Cobra
 
 type config = {
@@ -26,18 +27,25 @@ let default ~name =
     fetch_width = 4;
   }
 
-type cache_entry = { mutable valid : bool; mutable tag : int; mutable ctr : int }
-
 (* Metadata per slot: choice ctr, cache hit flag, cached ctr. *)
 let slot_layout cfg = [ cfg.counter_bits; 1; cfg.counter_bits ]
 let meta_layout cfg = List.concat_map (fun _ -> slot_layout cfg) (List.init cfg.fetch_width Fun.id)
 
 let make cfg =
-  let choice = Array.make (1 lsl cfg.choice_bits) (Counter.weakly_not_taken ~bits:cfg.counter_bits) in
-  let fresh_cache () =
-    Array.init (1 lsl cfg.cache_bits) (fun _ -> { valid = false; tag = 0; ctr = 0 })
-  in
-  let t_cache = fresh_cache () and nt_cache = fresh_cache () in
+  (* slab layout: choice counters (one per cell), then the taken-exception
+     cache, then the not-taken-exception cache; cache entry i at stride 3
+     from its base — [+0]=valid, [+1]=tag, [+2]=ctr *)
+  let n_choice = 1 lsl cfg.choice_bits in
+  let n_cache = 1 lsl cfg.cache_bits in
+  let t_base = n_choice in
+  let nt_base = n_choice + (3 * n_cache) in
+  let state = Slab.create (n_choice + (6 * n_cache)) in
+  for i = 0 to n_choice - 1 do
+    Slab.set state i (Counter.weakly_not_taken ~bits:cfg.counter_bits)
+  done;
+  let ce_valid off = Slab.unsafe_get state off = 1 in
+  let ce_tag off = Slab.unsafe_get state (off + 1) in
+  let ce_ctr off = Slab.unsafe_get state (off + 2) in
   let choice_index (ctx : Context.t) ~slot =
     Hashing.pc_index ~pc:(Context.slot_pc ctx slot) ~bits:cfg.choice_bits
   in
@@ -56,17 +64,17 @@ let make cfg =
     let fields = ref [] in
     let pred =
       Array.init cfg.fetch_width (fun slot ->
-          let ch = choice.(choice_index ctx ~slot) in
+          let ch = Slab.unsafe_get state (choice_index ctx ~slot) in
           let bias_taken = Counter.is_taken ~bits:cfg.counter_bits ch in
           (* consult the cache holding exceptions to the bias *)
-          let cache = if bias_taken then nt_cache else t_cache in
-          let e = cache.(cache_index ctx ~slot) in
-          let hit = e.valid && e.tag = cache_tag ctx ~slot in
+          let base_off = if bias_taken then nt_base else t_base in
+          let off = base_off + (3 * cache_index ctx ~slot) in
+          let hit = ce_valid off && ce_tag off = cache_tag ctx ~slot in
           let taken =
-            if hit then Counter.is_taken ~bits:cfg.counter_bits e.ctr else bias_taken
+            if hit then Counter.is_taken ~bits:cfg.counter_bits (ce_ctr off) else bias_taken
           in
           fields :=
-            ((if hit then e.ctr else 0), cfg.counter_bits) :: ((if hit then 1 else 0), 1)
+            ((if hit then ce_ctr off else 0), cfg.counter_bits) :: ((if hit then 1 else 0), 1)
             :: (ch, cfg.counter_bits) :: !fields;
           if Types.unconditional_in base slot then Types.empty_opinion
           else { Types.empty_opinion with o_taken = Some taken })
@@ -80,15 +88,16 @@ let make cfg =
         let (r : Types.resolved) = ev.slots.(slot) in
         if Types.cond_branch r then begin
           let bias_taken = Counter.is_taken ~bits:cfg.counter_bits ch in
-          let cache = if bias_taken then nt_cache else t_cache in
-          let e = cache.(cache_index ev.ctx ~slot) in
+          let base_off = if bias_taken then nt_base else t_base in
+          let off = base_off + (3 * cache_index ev.ctx ~slot) in
           if hit = 1 then
-            e.ctr <- Counter.update ~bits:cfg.counter_bits cached ~taken:r.r_taken
+            Slab.unsafe_set state (off + 2)
+              (Counter.update ~bits:cfg.counter_bits cached ~taken:r.r_taken)
           else if r.r_taken <> bias_taken then begin
             (* an exception to the bias: allocate in the exception cache *)
-            e.valid <- true;
-            e.tag <- cache_tag ev.ctx ~slot;
-            e.ctr <-
+            Slab.unsafe_set state off 1;
+            Slab.unsafe_set state (off + 1) (cache_tag ev.ctx ~slot);
+            Slab.unsafe_set state (off + 2)
               (if r.r_taken then Counter.weakly_taken ~bits:cfg.counter_bits
                else Counter.weakly_not_taken ~bits:cfg.counter_bits)
           end;
@@ -97,8 +106,8 @@ let make cfg =
             hit = 1 && Counter.is_taken ~bits:cfg.counter_bits cached = r.r_taken
           in
           if not (cache_was_right && r.r_taken <> bias_taken) then
-            choice.(choice_index ev.ctx ~slot) <-
-              Counter.update ~bits:cfg.counter_bits ch ~taken:r.r_taken
+            Slab.unsafe_set state (choice_index ev.ctx ~slot)
+              (Counter.update ~bits:cfg.counter_bits ch ~taken:r.r_taken)
         end;
         per_slot (slot + 1) rest
       | [] -> ()
@@ -115,4 +124,4 @@ let make cfg =
       (Storage.make
          ~sram_bits:(((1 lsl cfg.choice_bits) * cfg.counter_bits) + cache_bits_total)
          ())
-    ~predict ~update ()
+    ~state ~predict ~update ()

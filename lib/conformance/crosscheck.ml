@@ -243,20 +243,33 @@ let replay_twin ?(length = 400) ~seed (design : Designs.t) =
         ~observe:(fun _ ~taken_pred ~wrong -> observed := (taken_pred, wrong) :: !observed)
         ~design:subject ~trace:"fuzz" (Designs.pipeline design) source
     in
-    let replay_obs = List.rev !observed in
+    let replay_obs = Array.of_list (List.rev !observed) in
     (* the conformance step driver over a fresh real pipeline and the golden twin *)
     let p_ref = Designs.pipeline design in
     let p_gold = Designs.pipeline golden in
     let width = design.Designs.pipeline_config.Pipeline.fetch_width in
-    let ref_obs = List.map (drive p_ref ~width) bs in
-    let gold_obs = List.map (drive p_gold ~width) bs in
+    (* arrays, not lists: per-branch List.nth here made the comparison loop
+       quadratic in the stream length *)
+    let ref_obs = Array.of_list (List.map (drive p_ref ~width) bs) in
+    let gold_obs = Array.of_list (List.map (drive p_gold ~width) bs) in
+    let n_replay = Array.length replay_obs in
+    if n_replay <> length
+       || Array.length ref_obs <> length
+       || Array.length gold_obs <> length
+    then
+      fail ~check ~subject
+        (Printf.sprintf
+           "observation streams disagree on length: %d fuzzed branches, replay engine \
+            observed %d, step driver %d, golden twin %d"
+           length n_replay (Array.length ref_obs) (Array.length gold_obs))
+    else begin
     let bad = ref None in
     List.iteri
       (fun i (b : Fuzz.branch) ->
         if !bad = None then begin
-          let tp_y, w_y = List.nth replay_obs i in
-          let tp_r, w_r = List.nth ref_obs i in
-          let tp_g, w_g = List.nth gold_obs i in
+          let tp_y, w_y = replay_obs.(i) in
+          let tp_r, w_r = ref_obs.(i) in
+          let tp_g, w_g = gold_obs.(i) in
           if tp_y <> tp_r || w_y <> w_r then
             bad :=
               Some
@@ -275,8 +288,10 @@ let replay_twin ?(length = 400) ~seed (design : Designs.t) =
                    w_y tp_g w_g)
         end)
       bs;
-    let total_wrong = List.length (List.filter snd replay_obs) in
-    (match !bad with
+    let total_wrong =
+      Array.fold_left (fun acc (_, w) -> if w then acc + 1 else acc) 0 replay_obs
+    in
+    match !bad with
     | None ->
       if res.Cobra_trace_replay.Replay.mispredicts <> total_wrong then
         fail ~check ~subject
@@ -289,7 +304,8 @@ let replay_twin ?(length = 400) ~seed (design : Designs.t) =
       else
         pass ~check ~subject
           (Printf.sprintf "ok (%d branches, replay = step driver = golden twin)" length)
-    | Some m -> fail ~check ~subject m)
+    | Some m -> fail ~check ~subject m
+    end
 
 (* --- metamorphic: repair restores pre-speculation state ------------------------- *)
 
@@ -387,6 +403,54 @@ let repair_restore ?(length = 400) ~seed (design : Designs.t) =
          length !excursions !repaired)
   | Some m -> fail ~check ~subject m
 
+(* --- snapshot/restore round-trip ------------------------------------------------ *)
+
+let snapshot_roundtrip ?(length = 400) ~seed (design : Designs.t) =
+  let check = "snapshot" in
+  let subject = design.Designs.name in
+  let width = design.Designs.pipeline_config.Pipeline.fetch_width in
+  let bs = Array.of_list (Fuzz.branches { Fuzz.seed; shape = Fuzz.Mixed; length }) in
+  let half = length / 2 in
+  let p = Designs.pipeline design in
+  for i = 0 to half - 1 do
+    ignore (drive p ~width bs.(i))
+  done;
+  let slab = Pipeline.snapshot p in
+  (* a fresh pipeline restored from the slab must shadow the original
+     bit-for-bit over the rest of the stream *)
+  let p2 = Designs.pipeline design in
+  Pipeline.restore p2 slab;
+  let bad = ref None in
+  for i = half to length - 1 do
+    if !bad = None then begin
+      let b = bs.(i) in
+      let tp_a, w_a = drive p ~width b in
+      let tp_b, w_b = drive p2 ~width b in
+      if tp_a <> tp_b || w_a <> w_b then
+        bad :=
+          Some
+            (Printf.sprintf
+               "branch %d/%d (pc=0x%x %s taken=%b) seed=%d: original taken_pred=%b wrong=%b, \
+                restored twin taken_pred=%b wrong=%b"
+               i length b.Fuzz.br_pc (kind_name b.Fuzz.br_kind) b.Fuzz.br_taken seed tp_a
+               w_a tp_b w_b)
+    end
+  done;
+  if !bad = None && not (Cobra_util.Slab.equal (Pipeline.snapshot p) (Pipeline.snapshot p2))
+  then
+    bad :=
+      Some
+        (Printf.sprintf
+           "seed=%d: final snapshots differ — the restored pipeline's state diverged from \
+            the original despite identical predictions"
+           seed);
+  match !bad with
+  | None ->
+    pass ~check ~subject
+      (Printf.sprintf "ok (%d cells, restored twin tracks original over %d branches)"
+         (Cobra_util.Slab.length slab) (length - half))
+  | Some m -> fail ~check ~subject m
+
 (* --- Table-I storage pins ------------------------------------------------------- *)
 
 let table1_pins () =
@@ -429,7 +493,10 @@ let run_all ?(length = 300) ?(shapes = Fuzz.all_shapes) ~seed () =
   let replays =
     List.map (replay_twin ~length ~seed) (Designs.all @ [ Designs.gshare_only ])
   in
-  per_component @ twins @ replays @ repairs @ table1_pins ()
+  let snapshots =
+    List.map (snapshot_roundtrip ~length ~seed) (Designs.all @ [ Designs.gshare_only ])
+  in
+  per_component @ twins @ replays @ repairs @ snapshots @ table1_pins ()
 
 let render vs =
   let rows =

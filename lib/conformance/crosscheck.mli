@@ -45,6 +45,12 @@ val repair_restore : ?length:int -> seed:int -> Cobra_eval.Designs.t -> verdict
     unwound by the mispredict repair walk) must predict identically to an
     undisturbed pipeline fed the same committed branch stream. *)
 
+val snapshot_roundtrip : ?length:int -> seed:int -> Cobra_eval.Designs.t -> verdict
+(** Flat-state certification: the design replays half a fuzz stream, its
+    whole-pipeline snapshot is restored into a fresh pipeline, and both
+    must make bit-identical predictions over the rest of the stream — and
+    end with bit-identical snapshots. *)
+
 val table1_pins : unit -> verdict list
 (** Regression pins of the paper's Table-I storage accounting for the three
     reference designs: exact [Storage.total_bits] and the rounded
@@ -53,8 +59,8 @@ val table1_pins : unit -> verdict list
 val run_all : ?length:int -> ?shapes:Fuzz.shape list -> seed:int -> unit -> verdict list
 (** Everything above: per-component lockstep + storage over {!Golden.zoo},
     twin and replay-engine differentials over the reference designs (plus
-    gshare-only), repair-restores-state over [Designs.all], and the
-    Table-I pins. [shapes] restricts the lockstep fuzz shapes (default:
+    gshare-only), repair-restores-state over [Designs.all], snapshot
+    round-trips, and the Table-I pins. [shapes] restricts the lockstep fuzz shapes (default:
     all, including the probe-derived ladder / alias-stress / loop-scan). *)
 
 val all_pass : verdict list -> bool

@@ -57,6 +57,7 @@ type t = {
   latency : int;
   meta_bits : int;
   storage : Storage.t;
+  state : Cobra_util.Slab.t;
   predict :
     Context.t -> pred_in:Types.prediction list -> Types.prediction * Cobra_util.Bits.t;
   fire : event -> unit;
@@ -67,13 +68,17 @@ type t = {
 
 let no_op (_ : event) = ()
 
-let make ~name ~family ~latency ~meta_bits ~storage ~predict ?(fire = no_op)
-    ?(mispredict = no_op) ?(repair = no_op) ?(update = no_op) () =
+let make ~name ~family ~latency ~meta_bits ~storage ?(state = Cobra_util.Slab.empty)
+    ~predict ?(fire = no_op) ?(mispredict = no_op) ?(repair = no_op) ?(update = no_op) () =
   if latency < 1 then
     invalid_arg
       (Printf.sprintf "Component.make %s: latency %d < 1 (histories arrive at Fetch-1)" name
          latency);
   if meta_bits < 0 then invalid_arg (Printf.sprintf "Component.make %s: negative meta_bits" name);
-  { name; family; latency; meta_bits; storage; predict; fire; mispredict; repair; update }
+  { name; family; latency; meta_bits; storage; state; predict; fire; mispredict; repair; update }
 
 let label t = Printf.sprintf "%s_%d" t.name t.latency
+
+let state_cells t = Cobra_util.Slab.length t.state
+let snapshot t = Cobra_util.Slab.copy t.state
+let restore t s = Cobra_util.Slab.blit ~src:s ~dst:t.state

@@ -61,6 +61,9 @@ type t = private {
   latency : int;
   meta_bits : int;
   storage : Storage.t;
+  state : Cobra_util.Slab.t;
+      (** the component's complete mutable state, as one flat slab (empty
+          for stateless components); see {!snapshot}/{!restore} *)
   predict :
     Context.t -> pred_in:Types.prediction list -> Types.prediction * Cobra_util.Bits.t;
   fire : event -> unit;
@@ -75,6 +78,7 @@ val make :
   latency:int ->
   meta_bits:int ->
   storage:Storage.t ->
+  ?state:Cobra_util.Slab.t ->
   predict:
     (Context.t -> pred_in:Types.prediction list -> Types.prediction * Cobra_util.Bits.t) ->
   ?fire:(event -> unit) ->
@@ -85,8 +89,27 @@ val make :
   t
 (** Build a component. Unused events default to no-ops — implementations
     "may choose to use and ignore arbitrary subsets of these five signals".
-    Raises [Invalid_argument] when [latency < 1] (predictions cannot be made
-    before Fetch-1) or [meta_bits < 0]. *)
+    [state] is the component's flat state slab; handlers must close over it
+    (and nothing else mutable) so that {!snapshot}/{!restore} capture the
+    component completely. Defaults to {!Cobra_util.Slab.empty} for
+    stateless components. Raises [Invalid_argument] when [latency < 1]
+    (predictions cannot be made before Fetch-1) or [meta_bits < 0]. *)
 
 val label : t -> string
 (** ["NAME_n"], the paper's notation for a component of latency [n]. *)
+
+(** {1 Flat-state snapshots}
+
+    Because all mutable state lives in [state], checkpointing a component
+    is a single memcpy — O(storage), independent of simulation length. *)
+
+val state_cells : t -> int
+(** Slab length in cells. *)
+
+val snapshot : t -> Cobra_util.Slab.t
+(** A fresh copy of the component's entire mutable state. *)
+
+val restore : t -> Cobra_util.Slab.t -> unit
+(** Overwrite the component's state with a snapshot taken earlier from
+    the same component (or an identically-configured twin). Raises
+    [Invalid_argument] on a slab-size mismatch. *)

@@ -22,6 +22,13 @@ let index t ~pc = Hashing.pc_index ~pc ~bits:t.index_bits
 let read t ~pc = t.table.(index t ~pc)
 let push t ~pc b = t.table.(index t ~pc) <- Bits.shift_in_lsb t.table.(index t ~pc) b
 
+let nth t i = t.table.(i)
+
+let set_nth t i v =
+  if Bits.width v <> t.hist_bits then
+    invalid_arg "Lhist_provider.set_nth: width mismatch";
+  t.table.(i) <- v
+
 let restore t ~pc snapshot =
   if Bits.width snapshot <> t.hist_bits then
     invalid_arg "Lhist_provider.restore: snapshot width mismatch";

@@ -24,4 +24,11 @@ val push : t -> pc:int -> bool -> unit
 val restore : t -> pc:int -> Cobra_util.Bits.t -> unit
 (** Write back a snapshot (repair). *)
 
+val nth : t -> int -> Cobra_util.Bits.t
+(** Raw table entry by index (whole-pipeline snapshots). *)
+
+val set_nth : t -> int -> Cobra_util.Bits.t -> unit
+(** Overwrite a raw table entry; raises [Invalid_argument] on a width
+    mismatch. *)
+
 val storage : t -> Storage.t

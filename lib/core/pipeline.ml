@@ -585,3 +585,102 @@ let ghist_value t = Ghist_provider.value t.ghist
 let phist_value t = Ghist_provider.value t.path
 let lhist_value t ~pc = Lhist_provider.read t.lhist ~pc
 let entry t seq = History_file.get t.hf seq
+
+(* ------------------------------------------------------------------ *)
+(* Whole-design snapshot: one flat slab covering the management state
+   plus every component's state slab.
+
+   Layout (cells):
+     [0]                          next_token
+     [1 .. ]                      ghist base limbs   (Bits.limbs_for ghist_bits)
+     then                         path  base limbs   (Bits.limbs_for path width)
+     then, per lhist entry        its history limbs  (Bits.limbs_for lhist_bits)
+     then, per component in order its state slab     (Component.state_cells)
+
+   Snapshots are only taken of a quiesced pipeline (no pending packets,
+   empty history file): that is the natural state between replay windows,
+   and it means the speculative value of each history provider equals its
+   base, so the base limbs capture everything. *)
+
+module Slab = Cobra_util.Slab
+
+let quiesced t = t.pending = [] && History_file.length t.hf = 0
+
+let mgmt_cells t =
+  let ghist_limbs = Bits.limbs_for (Ghist_provider.width t.ghist) in
+  let path_limbs = Bits.limbs_for (Ghist_provider.width t.path) in
+  let lhist_limbs = Bits.limbs_for (Lhist_provider.bits t.lhist) in
+  1 + ghist_limbs + path_limbs + (Lhist_provider.entries t.lhist * lhist_limbs)
+
+let snapshot_cells t =
+  Array.fold_left
+    (fun acc (c : Component.t) -> acc + Component.state_cells c)
+    (mgmt_cells t) t.comps
+
+let write_bits slab ~pos v =
+  let n = Bits.limb_count v in
+  for i = 0 to n - 1 do
+    Slab.set slab (pos + i) (Bits.get_limb v i)
+  done;
+  pos + n
+
+let read_bits slab ~pos ~width =
+  let n = Bits.limbs_for width in
+  let limbs = Array.init n (fun i -> Slab.get slab (pos + i)) in
+  (Bits.of_limbs ~width limbs, pos + n)
+
+let snapshot t =
+  if not (quiesced t) then
+    invalid_arg
+      (Printf.sprintf
+         "Pipeline.snapshot: pipeline not quiesced (%d pending packets, %d in-flight entries)"
+         (List.length t.pending) (History_file.length t.hf));
+  let slab = Slab.create (snapshot_cells t) in
+  Slab.set slab 0 t.next_token;
+  let pos = ref 1 in
+  pos := write_bits slab ~pos:!pos (Ghist_provider.base t.ghist);
+  pos := write_bits slab ~pos:!pos (Ghist_provider.base t.path);
+  for i = 0 to Lhist_provider.entries t.lhist - 1 do
+    pos := write_bits slab ~pos:!pos (Lhist_provider.nth t.lhist i)
+  done;
+  Array.iter
+    (fun (c : Component.t) ->
+      let n = Component.state_cells c in
+      if n > 0 then begin
+        Slab.blit ~src:c.Component.state ~dst:(Slab.sub slab !pos n);
+        pos := !pos + n
+      end)
+    t.comps;
+  slab
+
+let restore t slab =
+  if History_file.length t.hf <> 0 then
+    invalid_arg "Pipeline.restore: history file not empty";
+  let expect = snapshot_cells t in
+  if Slab.length slab <> expect then
+    invalid_arg
+      (Printf.sprintf "Pipeline.restore: snapshot has %d cells, pipeline needs %d"
+         (Slab.length slab) expect);
+  t.pending <- [];
+  t.next_token <- Slab.get slab 0;
+  let pos = ref 1 in
+  let gh, p = read_bits slab ~pos:!pos ~width:(Ghist_provider.width t.ghist) in
+  pos := p;
+  Ghist_provider.restore t.ghist gh;
+  let ph, p = read_bits slab ~pos:!pos ~width:(Ghist_provider.width t.path) in
+  pos := p;
+  Ghist_provider.restore t.path ph;
+  let lw = Lhist_provider.bits t.lhist in
+  for i = 0 to Lhist_provider.entries t.lhist - 1 do
+    let v, p = read_bits slab ~pos:!pos ~width:lw in
+    pos := p;
+    Lhist_provider.set_nth t.lhist i v
+  done;
+  Array.iter
+    (fun (c : Component.t) ->
+      let n = Component.state_cells c in
+      if n > 0 then begin
+        Component.restore c (Slab.sub slab !pos n);
+        pos := !pos + n
+      end)
+    t.comps

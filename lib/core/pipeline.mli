@@ -172,6 +172,30 @@ val set_observer : t -> (observation -> unit) option -> unit
 val observed : t -> bool
 (** True when an observer is attached. *)
 
+(** {1 Whole-design snapshot}
+
+    A quiesced pipeline (no pending packets, empty history file — the
+    natural state between replay windows) checkpoints into one flat
+    {!Cobra_util.Slab.t}: next token, history-provider base values, the
+    local-history table, then every component's state slab back to back.
+    [snapshot]/[restore] cost one memcpy per region — O(state size),
+    independent of how long the simulation ran. *)
+
+val quiesced : t -> bool
+(** No pending packets and an empty history file. *)
+
+val snapshot_cells : t -> int
+(** Slab size (cells) of this design's snapshot — fixed at elaboration. *)
+
+val snapshot : t -> Cobra_util.Slab.t
+(** Raises [Invalid_argument] when the pipeline is not {!quiesced}. *)
+
+val restore : t -> Cobra_util.Slab.t -> unit
+(** Overwrite all mutable state from a snapshot taken on an identically
+    configured pipeline. Clears pending packets itself; raises
+    [Invalid_argument] when the history file is non-empty or the slab size
+    does not match {!snapshot_cells}. *)
+
 (** {1 Introspection (tests, debugging)} *)
 
 val ghist_value : t -> Cobra_util.Bits.t

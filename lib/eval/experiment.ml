@@ -4,10 +4,7 @@ type result = {
   perf : Cobra_uarch.Perf.t;
 }
 
-let default_insns =
-  match Sys.getenv_opt "COBRA_INSNS" with
-  | Some s -> (try int_of_string s with Failure _ -> 100_000)
-  | None -> 100_000
+let default_insns () = Cobra_util.Env.int_var ~min:1 "COBRA_INSNS" ~default:100_000
 
 let elaborate ?(config = Cobra_uarch.Config.default) ?pipeline_config ?(transform = Fun.id)
     (design : Designs.t) (workload : Cobra_workloads.Suite.entry) =
@@ -19,8 +16,9 @@ let elaborate ?(config = Cobra_uarch.Config.default) ?pipeline_config ?(transfor
   in
   (pl, core)
 
-let run_with_stats ?(insns = default_insns) ?config ?pipeline_config ?transform
+let run_with_stats ?insns ?config ?pipeline_config ?transform
     (design : Designs.t) (workload : Cobra_workloads.Suite.entry) =
+  let insns = match insns with Some n -> n | None -> default_insns () in
   let pl, core = elaborate ?config ?pipeline_config ?transform design workload in
   let coll =
     Cobra_stats.Collector.create ~interval_width:(Cobra_stats.Env.interval ()) pl
@@ -44,8 +42,9 @@ let run_with_stats ?(insns = default_insns) ?config ?pipeline_config ?transform
   ( { design = design.Designs.name; workload = workload.Cobra_workloads.Suite.name; perf },
     report )
 
-let run ?(insns = default_insns) ?config ?pipeline_config ?transform (design : Designs.t)
+let run ?insns ?config ?pipeline_config ?transform (design : Designs.t)
     (workload : Cobra_workloads.Suite.entry) =
+  let insns = match insns with Some n -> n | None -> default_insns () in
   if Cobra_stats.Env.enabled () then begin
     let result, report =
       run_with_stats ~insns ?config ?pipeline_config ?transform design workload
@@ -73,8 +72,9 @@ type job = {
   job_transform : (string * (Cobra_isa.Trace.stream -> Cobra_isa.Trace.stream)) option;
 }
 
-let job ?(insns = default_insns) ?(config = Cobra_uarch.Config.default) ?pipeline_config
+let job ?insns ?(config = Cobra_uarch.Config.default) ?pipeline_config
     ?transform design workload =
+  let insns = match insns with Some n -> n | None -> default_insns () in
   {
     job_design = design;
     job_workload = workload;

@@ -13,9 +13,12 @@ type result = {
   perf : Cobra_uarch.Perf.t;
 }
 
-val default_insns : int
+val default_insns : unit -> int
 (** Instructions per run; override with the [COBRA_INSNS] environment
-    variable (the bench harness honours it). *)
+    variable (the bench harness honours it). Read per call, so tests can
+    set and unset the variable; a set-but-malformed or non-positive value
+    raises [Failure] naming the variable — it never silently falls back to
+    the default. *)
 
 val run :
   ?insns:int ->

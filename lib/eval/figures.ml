@@ -66,19 +66,40 @@ let with_reference rows ref_metric =
       (bench, values @ [ sky; grav ]))
     rows
 
-let harmonic_row rows =
-  let n = List.length (snd (List.hd rows)) in
+(* [series] names the columns so a ragged row (a design missing one
+   workload's result) is reported as the exact absent cell instead of an
+   unlocated [List.nth] exception mid-mean. *)
+let harmonic_row ~series rows =
+  let n = List.length series in
+  List.iter
+    (fun (bench, vs) ->
+      if List.length vs <> n then
+        failwith
+          (Printf.sprintf
+             "Figures.harmonic_row: workload %S has %d values for %d series (%s)" bench
+             (List.length vs) n (String.concat ", " series)))
+    rows;
   ( "HARMEAN",
-    List.init n (fun i -> Stats.harmonic_mean (List.map (fun (_, vs) -> List.nth vs i) rows))
-  )
+    List.init n (fun i ->
+        Stats.harmonic_mean
+          (List.map
+             (fun (bench, vs) ->
+               match List.nth_opt vs i with
+               | Some v -> v
+               | None ->
+                 failwith
+                   (Printf.sprintf
+                      "Figures.harmonic_row: missing cell for design %S on workload %S"
+                      (List.nth series i) bench))
+             rows)) )
 
 let figure_10 results =
   let design_names = List.map (fun (d : Designs.t) -> d.Designs.name) Designs.all in
   let series = design_names @ [ "Skylake*"; "Graviton*" ] in
   let mpki_rows = with_reference (series_of results Perf.mpki) (fun r -> r.Reference.mpki) in
   let ipc_rows = with_reference (series_of results Perf.ipc) (fun r -> r.Reference.ipc) in
-  let mpki_rows = mpki_rows @ [ harmonic_row mpki_rows ] in
-  let ipc_rows = ipc_rows @ [ harmonic_row ipc_rows ] in
+  let mpki_rows = mpki_rows @ [ harmonic_row ~series mpki_rows ] in
+  let ipc_rows = ipc_rows @ [ harmonic_row ~series ipc_rows ] in
   let buf = Buffer.create 2048 in
   Buffer.add_string buf
     "Fig 10: SPECint17 comparison (*Skylake/Graviton are paper Fig 10 read-offs, not \

@@ -9,6 +9,13 @@ val figure_8 : unit -> string
 val figure_9 : unit -> string
 (** Fig 9: whole-core area with each predictor attached. *)
 
+val harmonic_row :
+  series:string list -> (string * float list) list -> string * float list
+(** The HARMEAN row appended to a per-workload table: one harmonic mean per
+    series column. Raises [Failure] naming the exact design/workload cell
+    when a row is ragged (a missing result), instead of an unlocated
+    [List.nth] failure. *)
+
 val figure_10 : Experiment.result list -> string
 (** Fig 10: branch MPKI and IPC per SPEC-like benchmark for the three
     designs (measured) and the paper's Skylake/Graviton read-offs, with

@@ -18,7 +18,7 @@ let mpki_proxy r ~instructions = Cobra_util.Stats.mpki ~misses:r.mispredicts ~in
 (* One branch per packet, in retired order, final-stage prediction, update
    immediately at commit of the very next event: the trace-based idiom. *)
 let run ?insns ?observe (design : Designs.t) (workload : Cobra_workloads.Suite.entry) =
-  let insns = Option.value insns ~default:Experiment.default_insns in
+  let insns = Option.value insns ~default:(Experiment.default_insns ()) in
   let pl = Pipeline.create design.Designs.pipeline_config (design.Designs.make ()) in
   let width = design.Designs.pipeline_config.Pipeline.fetch_width in
   let stream = workload.Cobra_workloads.Suite.make () in

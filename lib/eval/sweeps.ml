@@ -4,7 +4,7 @@ module Text = Cobra_util.Text_render
 module Perf = Cobra_uarch.Perf
 module Config = Cobra_uarch.Config
 
-let default_insns () = Experiment.default_insns
+let default_insns () = Experiment.default_insns ()
 
 (* --- runner plumbing --------------------------------------------------------- *)
 

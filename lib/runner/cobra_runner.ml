@@ -19,13 +19,7 @@ type job = {
   run : unit -> Cobra_uarch.Perf.t;
 }
 
-let default_attempts () =
-  let retries =
-    match Sys.getenv_opt "COBRA_RETRIES" with
-    | Some s -> ( try max 0 (int_of_string (String.trim s)) with Failure _ -> 1)
-    | None -> 1
-  in
-  1 + retries
+let default_attempts () = 1 + Cobra_util.Env.int_var ~min:0 "COBRA_RETRIES" ~default:1
 
 let run_perfs ?(label = "runner") ?jobs ?attempts ?progress specs =
   let n = List.length specs in

@@ -6,9 +6,8 @@ type error = {
 }
 
 let default_jobs () =
-  match Sys.getenv_opt "COBRA_JOBS" with
-  | Some s -> ( try max 1 (int_of_string (String.trim s)) with Failure _ -> 1)
-  | None -> Domain.recommended_domain_count ()
+  Cobra_util.Env.int_var ~min:1 "COBRA_JOBS"
+    ~default:(Domain.recommended_domain_count ())
 
 let shielded f = try f () with _ -> ()
 

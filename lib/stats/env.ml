@@ -11,13 +11,5 @@ let dir () =
   | Some d when String.trim d <> "" -> d
   | Some _ | None -> "_cobra_stats"
 
-let int_env name ~default =
-  match Sys.getenv_opt name with
-  | Some v -> (
-    match int_of_string_opt (String.trim v) with
-    | Some n when n > 0 -> n
-    | Some _ | None -> default)
-  | None -> default
-
-let top () = int_env "COBRA_STATS_TOP" ~default:20
-let interval () = int_env "COBRA_STATS_INTERVAL" ~default:1000
+let top () = Cobra_util.Env.int_var ~min:1 "COBRA_STATS_TOP" ~default:20
+let interval () = Cobra_util.Env.int_var ~min:1 "COBRA_STATS_INTERVAL" ~default:1000

@@ -79,6 +79,15 @@ let close t =
     close_in_noerr t.ic
   end
 
+let seek t off =
+  if t.closed then invalid_arg "Reader.seek: reader is closed";
+  if off < 0 then invalid_arg "Reader.seek: negative offset";
+  seek_in t.ic off;
+  t.base <- off;
+  t.pos <- 0;
+  t.len <- 0;
+  t.eof <- false
+
 let rec next_binary t =
   match
     Btrace.decode_record t.buf ~pos:t.pos ~limit:t.len ~abs_offset:(t.base + t.pos)

@@ -28,6 +28,13 @@ val next : t -> Btrace.record option
 val offset : t -> int
 (** Byte offset of the next unconsumed input byte. *)
 
+val seek : t -> int -> unit
+(** Reposition the stream to an absolute byte offset previously obtained
+    from {!offset} (record boundaries are the caller's responsibility —
+    used with pipeline snapshots to resume a replay mid-trace). Discards
+    the buffered window; [line] and [records_read] keep counting from
+    their current values. *)
+
 val line : t -> int
 (** Lines consumed so far (text format; 0 for binary). *)
 

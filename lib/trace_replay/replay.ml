@@ -134,6 +134,153 @@ let run ?(max_branches = max_int) ?(max_insns = max_int) ?deadline ?observe ?pro
     elapsed_s = Unix.gettimeofday () -. t0;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Warmup checkpoints and time-sliced parallel replay, built on the flat
+   whole-design snapshots: a quiesced pipeline (which a replay loop is
+   between any two records — every branch commits immediately) checkpoints
+   into one slab, and the reader's byte offset pins the stream position. *)
+
+type checkpoint = {
+  ck_slab : Cobra_util.Slab.t;
+  ck_offset : int;
+  ck_branches : int;
+  ck_insns : int;
+}
+
+(* A source that consumes {e exactly} [branches] records from the reader.
+   [run ~max_branches] is not suitable for checkpointing: it reads one
+   record past the cap and drops it, so the reader would no longer sit on
+   the boundary. *)
+let capped_source rd ~branches =
+  let taken = ref 0 in
+  fun () ->
+    if !taken >= branches then None
+    else
+      match Reader.next rd with
+      | None -> None
+      | Some r ->
+        incr taken;
+        Some r
+
+let checkpoint pl rd ~branches ~insns =
+  {
+    ck_slab = Pipeline.snapshot pl;
+    ck_offset = Reader.offset rd;
+    ck_branches = branches;
+    ck_insns = insns;
+  }
+
+let warmup ?deadline ~branches ~design ~trace pl rd =
+  let res = run ?deadline ~design ~trace pl (capped_source rd ~branches) in
+  (checkpoint pl rd ~branches:res.branches ~insns:res.instructions, res)
+
+let restore pl rd ck =
+  Pipeline.restore pl ck.ck_slab;
+  Reader.seek rd ck.ck_offset
+
+let counters_equal a b =
+  a.instructions = b.instructions
+  && a.branches = b.branches
+  && a.cond_branches = b.cond_branches
+  && a.mispredicts = b.mispredicts
+  && a.cond_mispredicts = b.cond_mispredicts
+
+let sum_counters ~design ~trace ~elapsed_s rs =
+  List.fold_left
+    (fun acc r ->
+      {
+        acc with
+        instructions = acc.instructions + r.instructions;
+        branches = acc.branches + r.branches;
+        cond_branches = acc.cond_branches + r.cond_branches;
+        mispredicts = acc.mispredicts + r.mispredicts;
+        cond_mispredicts = acc.cond_mispredicts + r.cond_mispredicts;
+      })
+    {
+      design;
+      trace;
+      instructions = 0;
+      branches = 0;
+      cond_branches = 0;
+      mispredicts = 0;
+      cond_mispredicts = 0;
+      elapsed_s;
+    }
+    rs
+
+type sliced = {
+  sl_total : result;
+  sl_slices : result list;
+  sl_serial : result list;
+  sl_boundary_s : float;
+  sl_parallel_s : float;
+}
+
+let run_sliced ?buffer_size ?jobs ?(slice_branches = 262_144) (d : Cobra_eval.Designs.t)
+    ~path =
+  if slice_branches < 1 then invalid_arg "Replay.run_sliced: slice_branches < 1";
+  let name = d.Cobra_eval.Designs.name in
+  (* Pass 1 (serial): replay slice by slice, snapshotting each boundary as
+     it is crossed. *)
+  let t0 = Unix.gettimeofday () in
+  let boundaries = ref [] and serial = ref [] in
+  let pl = Cobra_eval.Designs.pipeline d in
+  Reader.with_file ?buffer_size path (fun rd ->
+      let cum_branches = ref 0 and cum_insns = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let ck = checkpoint pl rd ~branches:!cum_branches ~insns:!cum_insns in
+        let r = run ~design:name ~trace:path pl (capped_source rd ~branches:slice_branches) in
+        if r.branches = 0 then continue_ := false
+        else begin
+          boundaries := ck :: !boundaries;
+          serial := r :: !serial;
+          cum_branches := !cum_branches + r.branches;
+          cum_insns := !cum_insns + r.instructions;
+          if r.branches < slice_branches then continue_ := false
+        end
+      done);
+  let boundaries = List.rev !boundaries and serial = List.rev !serial in
+  let boundary_s = Unix.gettimeofday () -. t0 in
+  (* Pass 2 (parallel): each slice in its own domain with a fresh pipeline
+     and reader; predictor state is handed off via the boundary snapshot. *)
+  let t1 = Unix.gettimeofday () in
+  let outcomes =
+    Cobra_runner.Pool.map ?jobs
+      (List.map
+         (fun ck () ->
+           let pl = Cobra_eval.Designs.pipeline d in
+           Reader.with_file ?buffer_size path (fun rd ->
+               restore pl rd ck;
+               run ~design:name ~trace:path pl (capped_source rd ~branches:slice_branches)))
+         boundaries)
+  in
+  let slices =
+    List.mapi
+      (fun i -> function
+        | Ok r -> r
+        | Error (e : Cobra_runner.Pool.error) ->
+          failwith (Printf.sprintf "Replay.run_sliced: slice %d failed: %s" i e.message))
+      outcomes
+  in
+  let parallel_s = Unix.gettimeofday () -. t1 in
+  List.iteri
+    (fun i (par, ser) ->
+      if not (counters_equal par ser) then
+        failwith
+          (Printf.sprintf
+             "Replay.run_sliced: slice %d diverged from the serial pass (parallel %d/%d \
+              mispredicts/branches vs serial %d/%d)"
+             i par.mispredicts par.branches ser.mispredicts ser.branches))
+    (List.combine slices serial);
+  {
+    sl_total = sum_counters ~design:name ~trace:path ~elapsed_s:parallel_s slices;
+    sl_slices = slices;
+    sl_serial = serial;
+    sl_boundary_s = boundary_s;
+    sl_parallel_s = parallel_s;
+  }
+
 let run_design ?max_branches ?max_insns ?deadline ?buffer_size (d : Cobra_eval.Designs.t)
     ~path =
   let pl = Cobra_eval.Designs.pipeline d in

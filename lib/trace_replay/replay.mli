@@ -67,6 +67,74 @@ val run :
     [progress_every] branches (default 262144). [design]/[trace] are labels
     carried into the result. *)
 
+(** {1 Checkpoints}
+
+    A replay loop is quiesced between any two records (every branch fires,
+    resolves and commits immediately), so the whole design checkpoints into
+    one flat slab at any record boundary; together with the reader's byte
+    offset that is enough to resume the replay mid-trace on any identically
+    configured pipeline — the warm-state reuse behind [cobra serve] sweeps
+    and {!run_sliced}. *)
+
+type checkpoint = {
+  ck_slab : Cobra_util.Slab.t;  (** {!Cobra.Pipeline.snapshot} of the design *)
+  ck_offset : int;  (** {!Reader.offset} at the boundary *)
+  ck_branches : int;  (** branches replayed up to the boundary *)
+  ck_insns : int;  (** instructions represented up to the boundary *)
+}
+
+val checkpoint :
+  Cobra.Pipeline.t -> Reader.t -> branches:int -> insns:int -> checkpoint
+(** Capture the current pipeline state and stream position.
+    [branches]/[insns] are carried as labels. Raises [Invalid_argument]
+    when the pipeline is not quiesced. *)
+
+val warmup :
+  ?deadline:float ->
+  branches:int ->
+  design:string ->
+  trace:string ->
+  Cobra.Pipeline.t ->
+  Reader.t ->
+  checkpoint * result
+(** Replay exactly [branches] records (fewer at end of trace) and
+    checkpoint the boundary. Unlike [run ~max_branches], no record past
+    the cap is consumed, so the checkpoint resumes exactly where the
+    warmup stopped. *)
+
+val restore : Cobra.Pipeline.t -> Reader.t -> checkpoint -> unit
+(** Overwrite the pipeline state from the checkpoint's slab (one memcpy
+    per region) and seek the reader back to the boundary. *)
+
+val counters_equal : result -> result -> bool
+(** All five counters equal (wall-clock ignored) — the bit-identity
+    predicate used by the snapshot verification paths. *)
+
+(** {1 Time-sliced parallel replay} *)
+
+type sliced = {
+  sl_total : result;  (** summed counters; [elapsed_s] = parallel wall-clock *)
+  sl_slices : result list;  (** per-slice results from the parallel pass *)
+  sl_serial : result list;  (** per-slice results from the boundary pass *)
+  sl_boundary_s : float;  (** wall-clock of the serial boundary pass *)
+  sl_parallel_s : float;  (** wall-clock of the parallel pass *)
+}
+
+val run_sliced :
+  ?buffer_size:int ->
+  ?jobs:int ->
+  ?slice_branches:int ->
+  Cobra_eval.Designs.t ->
+  path:string ->
+  sliced
+(** Split one long trace into [slice_branches]-sized slices (default
+    262144): a serial boundary pass replays the trace once, snapshotting
+    the design at every slice boundary, then the parallel pass re-replays
+    every slice concurrently across {!Cobra_runner.Pool} domains, each
+    from its boundary snapshot on a fresh pipeline and reader. Raises
+    [Failure] if any parallel slice's counters diverge from the serial
+    pass — the handoff is certified bit-identical on every run. *)
+
 val run_design :
   ?max_branches:int ->
   ?max_insns:int ->

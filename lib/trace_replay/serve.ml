@@ -150,6 +150,147 @@ let cached_replay cfg ?(use_cache = true) (d : Cobra_eval.Designs.t) ~trace opts
     | None -> ());
     (r, false)
 
+(* ---- warmup-snapshot reuse -------------------------------------------- *)
+
+(* Warm pipeline state is kept per (design, trace digest, warmup length),
+   keyed by the same content-addressing recipe as the on-disk result cache:
+   the first windowed sweep over a trace pays the warmup replay once, every
+   later sweep point restores the checkpoint with one memcpy per region.
+   The table is process-local (slabs are cheap RAM, and a serve daemon is
+   long-lived); the per-window counters additionally flow through the
+   on-disk Perf cache so repeated sweeps skip the replay entirely. *)
+let warm_cache : (string, Replay.checkpoint) Hashtbl.t = Hashtbl.create 16
+let warm_mutex = Mutex.create ()
+
+let warm_key (d : Cobra_eval.Designs.t) ~trace_digest ~warmup_branches =
+  Cobra_runner.Cache.hex
+    (Cobra_runner.Cache.key
+       [
+         "btrace-warm";
+         "v1";
+         "design:" ^ d.Cobra_eval.Designs.name;
+         "topology:" ^ Cobra.Topology.spec (d.Cobra_eval.Designs.make ());
+         "pipeline:" ^ Cobra.Pipeline.config_spec d.Cobra_eval.Designs.pipeline_config;
+         "trace:" ^ trace_digest;
+         "warmup:" ^ string_of_int warmup_branches;
+       ])
+
+let warm_find k =
+  Mutex.lock warm_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock warm_mutex)
+    (fun () -> Hashtbl.find_opt warm_cache k)
+
+let warm_store k ck =
+  Mutex.lock warm_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock warm_mutex)
+    (fun () -> Hashtbl.replace warm_cache k ck)
+
+type windowed_opts = {
+  warmup_branches : int;
+  window_branches : int;
+  windows : int;
+  verify : bool;
+}
+
+let window_cache_key (d : Cobra_eval.Designs.t) ~trace_digest wopts ~window =
+  Cobra_runner.Cache.key
+    [
+      "btrace-replay-window";
+      "v1";
+      "design:" ^ d.Cobra_eval.Designs.name;
+      "topology:" ^ Cobra.Topology.spec (d.Cobra_eval.Designs.make ());
+      "pipeline:" ^ Cobra.Pipeline.config_spec d.Cobra_eval.Designs.pipeline_config;
+      "trace:" ^ trace_digest;
+      "warmup:" ^ string_of_int wopts.warmup_branches;
+      "window_branches:" ^ string_of_int wopts.window_branches;
+      "window:" ^ string_of_int window;
+    ]
+
+(* Replay [windows] consecutive measurement windows of a trace behind a
+   shared warmup, reusing the warm snapshot when one is cached. With
+   [verify] the whole region is recomputed on a fresh pipeline without any
+   snapshot involved and every window's counters are required to match
+   bit-for-bit. Returns (per-window results, warm checkpoint came from the
+   cache, windows answered from the on-disk cache). *)
+let windowed_replay cfg ?(use_cache = true) (d : Cobra_eval.Designs.t) ~trace wopts =
+  if not (Sys.file_exists trace) then failwith ("no such trace file: " ^ trace);
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) cfg.timeout_s in
+  let name = d.Cobra_eval.Designs.name in
+  let trace_digest = Digest.to_hex (Digest.file trace) in
+  let use_cache = use_cache && Cobra_runner.Cache.enabled () in
+  let wkeys =
+    List.init wopts.windows (fun w -> window_cache_key d ~trace_digest wopts ~window:w)
+  in
+  let cached_windows =
+    if use_cache && not wopts.verify then
+      let hits = List.map Cobra_runner.Cache.load wkeys in
+      if List.for_all Option.is_some hits then
+        Some (List.map (fun p -> result_of_perf ~design:name ~trace (Option.get p)) hits)
+      else None
+    else None
+  in
+  match cached_windows with
+  | Some rs -> (rs, false, true)
+  | None ->
+    let wk = warm_key d ~trace_digest ~warmup_branches:wopts.warmup_branches in
+    Reader.with_file trace (fun rd ->
+        let pl = Cobra_eval.Designs.pipeline d in
+        let warm_cached =
+          match warm_find wk with
+          | Some ck ->
+            Replay.restore pl rd ck;
+            true
+          | None ->
+            let ck, _warm_res =
+              Replay.warmup ?deadline ~branches:wopts.warmup_branches ~design:name
+                ~trace pl rd
+            in
+            warm_store wk ck;
+            false
+        in
+        let results = ref [] in
+        for _w = 1 to wopts.windows do
+          let _next_ck, r =
+            Replay.warmup ?deadline ~branches:wopts.window_branches ~design:name ~trace
+              pl rd
+          in
+          results := r :: !results
+        done;
+        let results = List.rev !results in
+        if wopts.verify then begin
+          (* the non-snapshot oracle: a fresh pipeline replays warmup plus
+             every window from the top of the trace *)
+          Reader.with_file trace (fun rd2 ->
+              let pl2 = Cobra_eval.Designs.pipeline d in
+              let _ck, _warm =
+                Replay.warmup ?deadline ~branches:wopts.warmup_branches ~design:name
+                  ~trace pl2 rd2
+              in
+              List.iteri
+                (fun w (snap : Replay.result) ->
+                  let _ck, fresh =
+                    Replay.warmup ?deadline ~branches:wopts.window_branches
+                      ~design:name ~trace pl2 rd2
+                  in
+                  if not (Replay.counters_equal snap fresh) then
+                    failwith
+                      (Printf.sprintf
+                         "window %d of %s on %s: snapshot path diverged from the \
+                          non-snapshot path (%d/%d mispredicts/branches vs %d/%d)"
+                         w name trace snap.Replay.mispredicts snap.Replay.branches
+                         fresh.Replay.mispredicts fresh.Replay.branches))
+                results)
+        end;
+        if use_cache then
+          List.iter2
+            (fun k (r : Replay.result) ->
+              match Cobra_runner.Cache.store k (Replay.to_perf r) with
+              | Ok () | Error _ -> ())
+            wkeys results;
+        (results, warm_cached, false))
+
 (* ---- request handlers ------------------------------------------------- *)
 
 let handle_replay cfg send ?id req =
@@ -197,30 +338,79 @@ let handle_sweep cfg send ?id req =
   in
   let use_cache = not (bool_member "no_cache" req) in
   let opts = { max_branches = opt_int "max_branches" req; max_insns = opt_int "max_insns" req } in
+  let windowed =
+    match opt_int "warmup_branches" req with
+    | None -> None
+    | Some warmup_branches ->
+      let window_branches =
+        match opt_int "window_branches" req with
+        | Some n -> n
+        | None -> failwith "windowed sweep needs \"window_branches\""
+      in
+      Some
+        {
+          warmup_branches;
+          window_branches;
+          windows = Option.value (opt_int "windows" req) ~default:1;
+          verify = bool_member "verify" req;
+        }
+  in
   let points =
     List.concat_map (fun trace -> List.map (fun d -> (d, trace)) designs) traces
   in
   emit cfg send ?id ~event:"accepted" [ ("points", Json.Int (List.length points)) ];
-  let outcomes =
-    Cobra_runner.Pool.map ~jobs:cfg.jobs ~attempts:1
-      (List.map
-         (fun (d, trace) () -> cached_replay cfg ~use_cache d ~trace opts)
-         points)
-  in
   let failures = ref 0 in
-  List.iter2
-    (fun (d, trace) outcome ->
-      match outcome with
-      | Ok (r, cached) -> emit cfg send ?id ~event:"result" (result_fields ~cached r)
-      | Error (e : Cobra_runner.Pool.error) ->
-        incr failures;
-        emit cfg send ?id ~event:"error"
-          [
-            ("design", Json.String d.Cobra_eval.Designs.name);
-            ("trace", Json.String trace);
-            ("error", Json.String e.Cobra_runner.Pool.message);
-          ])
-    points outcomes;
+  (match windowed with
+  | None ->
+    let outcomes =
+      Cobra_runner.Pool.map ~jobs:cfg.jobs ~attempts:1
+        (List.map
+           (fun (d, trace) () -> cached_replay cfg ~use_cache d ~trace opts)
+           points)
+    in
+    List.iter2
+      (fun (d, trace) outcome ->
+        match outcome with
+        | Ok (r, cached) -> emit cfg send ?id ~event:"result" (result_fields ~cached r)
+        | Error (e : Cobra_runner.Pool.error) ->
+          incr failures;
+          emit cfg send ?id ~event:"error"
+            [
+              ("design", Json.String d.Cobra_eval.Designs.name);
+              ("trace", Json.String trace);
+              ("error", Json.String e.Cobra_runner.Pool.message);
+            ])
+      points outcomes
+  | Some wopts ->
+    let outcomes =
+      Cobra_runner.Pool.map ~jobs:cfg.jobs ~attempts:1
+        (List.map
+           (fun (d, trace) () -> windowed_replay cfg ~use_cache d ~trace wopts)
+           points)
+    in
+    List.iter2
+      (fun (d, trace) outcome ->
+        match outcome with
+        | Ok (rs, warm_cached, cached) ->
+          List.iteri
+            (fun w r ->
+              emit cfg send ?id ~event:"result"
+                (result_fields ~cached r
+                @ [
+                    ("window", Json.Int w);
+                    ("warm_cached", Json.Bool warm_cached);
+                    ("verified", Json.Bool wopts.verify);
+                  ]))
+            rs
+        | Error (e : Cobra_runner.Pool.error) ->
+          incr failures;
+          emit cfg send ?id ~event:"error"
+            [
+              ("design", Json.String d.Cobra_eval.Designs.name);
+              ("trace", Json.String trace);
+              ("error", Json.String e.Cobra_runner.Pool.message);
+            ])
+      points outcomes);
   emit cfg send ?id ~event:"sweep_summary"
     [
       ("points", Json.Int (List.length points));

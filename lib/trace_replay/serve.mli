@@ -16,6 +16,17 @@
       cross product, sharded over the domain pool; one ["result"] event per
       point as it completes (submission order), same optional caps.
       [designs] omitted or empty means the paper's Table I designs.
+      With [warmup_branches] and [window_branches] (plus optional
+      [windows], default 1, and [verify: true]) the sweep runs in windowed
+      mode: each point replays a shared warmup region once, checkpoints
+      the whole design into a flat snapshot (kept in a process-local warm
+      cache keyed like the result cache, so later sweeps restore it with
+      one memcpy per region instead of re-warming), then measures
+      [windows] consecutive windows of [window_branches] branches; one
+      ["result"] event per window carries ["window"], ["warm_cached"] and
+      ["verified"]. [verify: true] recomputes the whole region on a fresh
+      pipeline without snapshots and fails the request unless every
+      window's counters match bit-for-bit.
     - [{"op": "shutdown"}] — answered with ["bye"]; the daemon drains and
       exits.
 

@@ -11,6 +11,13 @@ let width t = t.w
 
 let limbs_for w = (w + limb_bits - 1) / limb_bits
 
+let limb_count t = limbs_for t.w
+
+let get_limb t i =
+  if i < 0 || i >= limbs_for t.w then
+    invalid_arg (Printf.sprintf "Bits.get_limb: limb %d out of [0,%d)" i (limbs_for t.w));
+  t.limbs.(i)
+
 let zero w =
   if w < 0 then invalid_arg "Bits.zero: negative width";
   { w; limbs = Array.make (limbs_for w) 0 }

@@ -13,6 +13,18 @@ val zero : int -> t
 (** [zero w] is the all-zeros vector of width [w]. Raises [Invalid_argument]
     if [w < 0]. *)
 
+val limbs_for : int -> int
+(** [limbs_for w] is the number of 62-bit limbs backing a [w]-wide
+    vector — the cell count a [w]-bit history occupies in a state slab. *)
+
+val limb_count : t -> int
+(** [limbs_for (width t)]. *)
+
+val get_limb : t -> int -> int
+(** [get_limb t i] is the [i]th little-endian 62-bit limb, for
+    serializing a vector into a state slab (rebuild with {!of_limbs}).
+    Raises [Invalid_argument] when out of range. *)
+
 val of_limbs : width:int -> int array -> t
 (** [of_limbs ~width limbs] adopts [limbs] (little-endian, 62 bits per limb)
     as the backing store — the caller must not mutate the array afterwards.

@@ -2,6 +2,8 @@ type t = { mutable state : int64 }
 
 let create ~seed = { state = Int64.of_int seed }
 let copy t = { state = t.state }
+let state t = t.state
+let set_state t s = t.state <- s
 
 let next t =
   let open Int64 in

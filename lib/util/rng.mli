@@ -9,6 +9,13 @@ type t
 val create : seed:int -> t
 val copy : t -> t
 
+val state : t -> int64
+(** The raw splitmix64 state, for serializing an [Rng.t] into a state
+    slab (split across two <=32-bit cells by the owner). *)
+
+val set_state : t -> int64 -> unit
+(** Inverse of {!state}: resume from a serialized state. *)
+
 val int : t -> int -> int
 (** [int t bound] is uniform in [0, bound); [bound >= 1]. *)
 

@@ -1,0 +1,48 @@
+(* A slab is the flat, contiguous state store behind every stateful
+   component: a pre-sized Bigarray of OCaml ints addressed by the same
+   storage formulas the conformance kit recomputes independently.  All
+   mutable simulator state lives in slabs so a whole design checkpoints
+   with one memcpy per component ([copy]/[blit] compile to memcpy).
+
+   Cells are 63-bit OCaml ints.  Anything wider (e.g. an Rng's int64
+   state) is split across two cells by its owner. *)
+
+type t = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let create n =
+  if n < 0 then invalid_arg "Slab.create: negative length";
+  let s = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+  Bigarray.Array1.fill s 0;
+  s
+
+let length = Bigarray.Array1.dim
+
+let get (s : t) i = Bigarray.Array1.get s i
+let set (s : t) i v = Bigarray.Array1.set s i v
+let unsafe_get (s : t) i = Bigarray.Array1.unsafe_get s i
+let unsafe_set (s : t) i v = Bigarray.Array1.unsafe_set s i v
+
+let fill (s : t) v = Bigarray.Array1.fill s v
+
+let copy s =
+  let d = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (length s) in
+  Bigarray.Array1.blit s d;
+  d
+
+let blit ~src ~dst =
+  if length src <> length dst then
+    invalid_arg
+      (Printf.sprintf "Slab.blit: length mismatch (src %d cells, dst %d cells)"
+         (length src) (length dst));
+  Bigarray.Array1.blit src dst
+
+let sub (s : t) pos len = Bigarray.Array1.sub s pos len
+
+let empty = create 0
+
+let equal a b =
+  length a = length b
+  &&
+  let n = length a in
+  let rec go i = i >= n || (unsafe_get a i = unsafe_get b i && go (i + 1)) in
+  go 0

@@ -1,0 +1,43 @@
+(** Flat state slabs: contiguous pre-sized int buffers behind every
+    stateful component.
+
+    A slab is a Bigarray of OCaml ints.  Components lay their tables out
+    at formula-addressed offsets (documented per component, checked by the
+    conformance storage formulas) and never allocate per-entry heap
+    records; snapshotting a component is then a single [copy] and
+    restoring it a single [blit] — both memcpy, O(size), independent of
+    how long the simulation ran. *)
+
+type t = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val create : int -> t
+(** [create n] is a zero-filled slab of [n] cells.  Raises
+    [Invalid_argument] on a negative length. *)
+
+val length : t -> int
+
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val unsafe_get : t -> int -> int
+val unsafe_set : t -> int -> int -> unit
+
+val fill : t -> int -> unit
+
+val copy : t -> t
+(** Fresh slab with the same contents (one memcpy). *)
+
+val blit : src:t -> dst:t -> unit
+(** Overwrite [dst] with [src] (one memcpy).  Raises [Invalid_argument]
+    on a length mismatch — restoring a snapshot into the wrong component
+    is always a bug. *)
+
+val sub : t -> int -> int -> t
+(** [sub s pos len] is a zero-copy view of cells [pos .. pos+len-1];
+    writes through the view land in [s].  Used to pack many component
+    slabs into one whole-design snapshot with per-region memcpys. *)
+
+val empty : t
+(** The shared zero-length slab, the state of stateless components. *)
+
+val equal : t -> t -> bool
+(** Cell-wise equality (tests). *)

@@ -1,0 +1,279 @@
+(* Flat-state engine certification: [restore (snapshot t)] must be
+   undetectable. Per real component and per reference design, a twin
+   restored from a mid-stream snapshot must track the original
+   bit-for-bit over the rest of a fuzzed stream; the replay checkpoints
+   built on top (warmup reuse, time-sliced parallel replay) must
+   reproduce the single-pass counters exactly. Plus regression tests for
+   the PR's bugfix sites (raising env knobs, ragged figure rows). *)
+
+open Cobra
+module Bits = Cobra_util.Bits
+module Slab = Cobra_util.Slab
+module Env = Cobra_util.Env
+module Golden = Cobra_conformance.Golden
+module Fuzz = Cobra_conformance.Fuzz
+module Crosscheck = Cobra_conformance.Crosscheck
+module Designs = Cobra_eval.Designs
+module Replay = Cobra_trace_replay.Replay
+module Reader = Cobra_trace_replay.Reader
+module Writer = Cobra_trace_replay.Writer
+module Btrace = Cobra_trace_replay.Btrace
+
+let seed = 0x5eed9
+let width = 4
+
+let assert_verdict (v : Crosscheck.verdict) =
+  if not v.Crosscheck.v_pass then
+    Alcotest.failf "%s/%s: %s" v.Crosscheck.v_check v.Crosscheck.v_subject
+      v.Crosscheck.v_detail
+
+(* --- per-component: restore (snapshot t) mid-script -------------------------- *)
+
+let drive_packet (c : Component.t) (pk : Fuzz.packet) =
+  let p, meta = c.Component.predict pk.Fuzz.pk_ctx ~pred_in:pk.Fuzz.pk_pred_in in
+  let ev culprit =
+    { Component.ctx = pk.Fuzz.pk_ctx; meta; slots = pk.Fuzz.pk_slots; culprit }
+  in
+  (match pk.Fuzz.pk_path with
+  | Fuzz.Commit ->
+    c.Component.fire (ev None);
+    c.Component.update (ev None)
+  | Fuzz.Wrong_path ->
+    c.Component.fire (ev None);
+    c.Component.repair (ev None)
+  | Fuzz.Storm culprit ->
+    c.Component.fire (ev None);
+    c.Component.mispredict (ev (Some culprit));
+    c.Component.update (ev None));
+  (p, meta)
+
+let test_component_snapshot packed () =
+  let (Golden.P { make_real; _ }) = packed in
+  let inst = Golden.instantiate packed in
+  let packets =
+    Fuzz.packets
+      { Fuzz.seed; shape = Fuzz.Mixed; length = 240 }
+      ~arity:inst.Golden.i_arity ~fetch_width:width
+  in
+  let half = 120 in
+  let a = make_real () in
+  List.iteri (fun i pk -> if i < half then ignore (drive_packet a pk)) packets;
+  let b = make_real () in
+  Component.restore b (Component.snapshot a);
+  List.iteri
+    (fun i pk ->
+      if i >= half then begin
+        let pa, ma = drive_packet a pk in
+        let pb, mb = drive_packet b pk in
+        if not (Types.equal_prediction pa pb) then
+          Alcotest.failf "%s: packet %d: prediction diverged after restore"
+            a.Component.name i;
+        if not (Bits.equal ma mb) then
+          Alcotest.failf "%s: packet %d: metadata diverged after restore"
+            a.Component.name i
+      end)
+    packets;
+  Alcotest.(check bool)
+    "final state slabs identical" true
+    (Slab.equal (Component.snapshot a) (Component.snapshot b))
+
+(* --- per-design: whole-pipeline snapshot round-trip --------------------------- *)
+
+let test_design_snapshot design () =
+  assert_verdict (Crosscheck.snapshot_roundtrip ~length:250 ~seed design)
+
+let test_snapshot_guards () =
+  let d = Designs.gshare_only in
+  let p = Designs.pipeline d in
+  ignore (Pipeline.predict p ~pc:0x4000 ~max_len:1);
+  Alcotest.check_raises "snapshot of a non-quiesced pipeline"
+    (Invalid_argument
+       "Pipeline.snapshot: pipeline not quiesced (1 pending packets, 0 in-flight entries)")
+    (fun () -> ignore (Pipeline.snapshot p));
+  let p2 = Designs.pipeline d in
+  (match Pipeline.restore p2 (Slab.create 3) with
+  | () -> Alcotest.fail "restore accepted a wrong-size slab"
+  | exception Invalid_argument _ -> ());
+  (* a fresh snapshot restores into a fresh pipeline as a no-op *)
+  let p3 = Designs.pipeline d in
+  Pipeline.restore p3 (Pipeline.snapshot p2);
+  Alcotest.(check bool)
+    "fresh pipelines have identical snapshots" true
+    (Slab.equal (Pipeline.snapshot p2) (Pipeline.snapshot p3))
+
+(* --- replay checkpoints over a real trace file -------------------------------- *)
+
+let fuzz_records length =
+  List.map
+    (fun (b : Fuzz.branch) ->
+      {
+        Btrace.b_pc = b.Fuzz.br_pc;
+        b_taken = b.Fuzz.br_taken;
+        b_kind = b.Fuzz.br_kind;
+        b_target = b.Fuzz.br_target;
+        b_gap = 2;
+      })
+    (Fuzz.branches { Fuzz.seed; shape = Fuzz.Mixed; length })
+
+let with_trace length f =
+  let path = Filename.temp_file "cobra_snapshot_test" ".cobt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Writer.save ~format:Btrace.Binary path (fuzz_records length);
+      f path)
+
+let test_reader_seek () =
+  with_trace 50 (fun path ->
+      Reader.with_file path (fun rd ->
+          for _ = 1 to 10 do
+            ignore (Reader.next rd)
+          done;
+          let off = Reader.offset rd in
+          let r1 = Option.get (Reader.next rd) in
+          Reader.seek rd off;
+          let r2 = Option.get (Reader.next rd) in
+          Alcotest.(check int) "same pc after seek" r1.Btrace.b_pc r2.Btrace.b_pc;
+          Alcotest.(check bool) "same dir after seek" r1.Btrace.b_taken r2.Btrace.b_taken;
+          Alcotest.(check int) "offset restored" (Reader.offset rd) (Reader.offset rd)))
+
+let test_warmup_restore_window () =
+  let d = Designs.tourney in
+  let len = 400 and warm = 250 in
+  with_trace len (fun path ->
+      (* oracle: one continuous non-snapshot replay, split at the boundary *)
+      let oracle_window =
+        Reader.with_file path (fun rd ->
+            let pl = Designs.pipeline d in
+            let _ck, _w =
+              Replay.warmup ~branches:warm ~design:d.Designs.name ~trace:path pl rd
+            in
+            let _ck, r =
+              Replay.warmup ~branches:(len - warm) ~design:d.Designs.name ~trace:path pl
+                rd
+            in
+            r)
+      in
+      (* snapshot path: warm once, then restore per "sweep point" *)
+      Reader.with_file path (fun rd ->
+          let pl = Designs.pipeline d in
+          let ck, _w =
+            Replay.warmup ~branches:warm ~design:d.Designs.name ~trace:path pl rd
+          in
+          for _point = 1 to 3 do
+            Replay.restore pl rd ck;
+            let _ck, r =
+              Replay.warmup ~branches:(len - warm) ~design:d.Designs.name ~trace:path pl
+                rd
+            in
+            Alcotest.(check bool)
+              "restored window counters match the non-snapshot oracle" true
+              (Replay.counters_equal r oracle_window)
+          done))
+
+let test_run_sliced () =
+  let d = Designs.tourney in
+  with_trace 350 (fun path ->
+      let whole = Replay.run_design d ~path in
+      (* run_sliced itself raises on any slice divergence *)
+      let sliced = Replay.run_sliced ~jobs:2 ~slice_branches:100 d ~path in
+      Alcotest.(check int) "slice count" 4 (List.length sliced.Replay.sl_slices);
+      Alcotest.(check bool)
+        "sliced totals equal the single-pass replay" true
+        (Replay.counters_equal sliced.Replay.sl_total whole))
+
+(* --- bugfix regressions -------------------------------------------------------- *)
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  nn = 0
+  ||
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let expect_failure ~substring f =
+  match f () with
+  | _ -> Alcotest.failf "expected Failure mentioning %S" substring
+  | exception Failure m ->
+    if not (contains ~needle:substring m) then
+      Alcotest.failf "Failure %S does not mention %S" m substring
+
+let test_env_int_var () =
+  Unix.putenv "COBRA_TEST_KNOB" "banana";
+  expect_failure ~substring:"COBRA_TEST_KNOB" (fun () ->
+      Env.int_var "COBRA_TEST_KNOB" ~default:7);
+  expect_failure ~substring:"banana" (fun () ->
+      Env.int_var "COBRA_TEST_KNOB" ~default:7);
+  Unix.putenv "COBRA_TEST_KNOB" "0";
+  expect_failure ~substring:"below the minimum" (fun () ->
+      Env.int_var ~min:1 "COBRA_TEST_KNOB" ~default:7);
+  Unix.putenv "COBRA_TEST_KNOB" " 42 ";
+  Alcotest.(check int) "trimmed integer parses" 42
+    (Env.int_var "COBRA_TEST_KNOB" ~default:7);
+  Alcotest.(check int) "unset means default" 7
+    (Env.int_var "COBRA_TEST_KNOB_UNSET" ~default:7)
+
+let test_default_insns_raises () =
+  Unix.putenv "COBRA_INSNS" "1e6";
+  expect_failure ~substring:"COBRA_INSNS" (fun () ->
+      Cobra_eval.Experiment.default_insns ());
+  Unix.putenv "COBRA_INSNS" "12345";
+  Alcotest.(check int) "valid override" 12_345 (Cobra_eval.Experiment.default_insns ());
+  (* leave the variable at the stock default for any later test in this
+     binary (the environment cannot be unset portably) *)
+  Unix.putenv "COBRA_INSNS" "100000"
+
+let test_harmonic_row () =
+  let series = [ "A"; "B" ] in
+  let _, means =
+    Cobra_eval.Figures.harmonic_row ~series [ ("w1", [ 2.0; 4.0 ]); ("w2", [ 2.0; 4.0 ]) ]
+  in
+  Alcotest.(check int) "one mean per series" 2 (List.length means);
+  Alcotest.(check (float 1e-9)) "harmonic mean" 2.0 (List.nth means 0);
+  expect_failure ~substring:"w2" (fun () ->
+      Cobra_eval.Figures.harmonic_row ~series [ ("w1", [ 2.0; 4.0 ]); ("w2", [ 2.0 ]) ])
+
+let test_replay_twin_arrays () =
+  (* the replay/step-driver/golden comparison now walks arrays; the check
+     must still pass end to end on a reference design *)
+  assert_verdict (Crosscheck.replay_twin ~length:200 ~seed Designs.b2)
+
+(* --- registration --------------------------------------------------------------- *)
+
+let () =
+  let component_cases =
+    List.map
+      (fun packed ->
+        Alcotest.test_case
+          (Printf.sprintf "component %s" (Golden.packed_name packed))
+          `Quick (test_component_snapshot packed))
+      (Golden.zoo ())
+  in
+  let design_cases =
+    List.map
+      (fun (d : Designs.t) ->
+        Alcotest.test_case
+          (Printf.sprintf "design %s" d.Designs.name)
+          `Quick (test_design_snapshot d))
+      (Designs.all @ [ Designs.gshare_only ])
+  in
+  Alcotest.run "snapshot"
+    [
+      ("component_roundtrip", component_cases);
+      ("design_roundtrip", design_cases);
+      ( "pipeline_guards",
+        [ Alcotest.test_case "quiesce and size guards" `Quick test_snapshot_guards ] );
+      ( "replay_checkpoints",
+        [
+          Alcotest.test_case "reader seek" `Quick test_reader_seek;
+          Alcotest.test_case "warmup restore window" `Quick test_warmup_restore_window;
+          Alcotest.test_case "time-sliced parallel replay" `Quick test_run_sliced;
+        ] );
+      ( "bugfix_regressions",
+        [
+          Alcotest.test_case "env int knobs raise" `Quick test_env_int_var;
+          Alcotest.test_case "default_insns raises" `Quick test_default_insns_raises;
+          Alcotest.test_case "harmonic row ragged cell" `Quick test_harmonic_row;
+          Alcotest.test_case "replay twin over arrays" `Quick test_replay_twin_arrays;
+        ] );
+    ]
