@@ -651,6 +651,187 @@ let perf_snapshot () =
       Out_channel.with_open_text path9 (fun oc -> Out_channel.output_string oc json);
       Printf.printf "wrote %s\n" path9)
 
+(* --- compiled-engine perf bench -------------------------------------------------- *)
+
+(* Pins the payoff of the staged topology compiler: the pinned h2p-mix trace
+   replayed through the interpreted pipeline and the compiled engine for
+   each reference design, against the uarch core on the same workload.
+   Counters must be bit-identical between the engines (the conformance gate,
+   re-checked here over a multi-million-branch stream), and the compiled
+   engine must not fall below COBRA_BENCH_COMPILED_GATE_PCT percent
+   (default 80, i.e. "no regression below the interpreted baseline modulo
+   timer noise") of the interpreted throughput — in practice it is several
+   times faster. The PR10 targets are >=5x insns/sec over the BENCH_PR4
+   uarch numbers on the same designs and TAGE-L compiled replay >=10x the
+   uarch model. Emits BENCH_PR10.json (schema cobra-bench-compiled/1). *)
+
+let bench_json10_path () =
+  Option.value (Sys.getenv_opt "COBRA_BENCH_JSON10") ~default:"BENCH_PR10.json"
+
+let compiled_gate_pct =
+  Cobra_util.Env.int_var ~min:1 "COBRA_BENCH_COMPILED_GATE_PCT" ~default:80
+
+type engine_side = {
+  es_branches : int;
+  es_insns : int;
+  es_mispredicts : int;
+  es_mpki : float;
+  es_branches_per_sec : float;
+  es_insns_per_sec : float;
+  es_alloc_per_branch : float;
+}
+
+type compiled_sample = {
+  cs_design : string;
+  cs_uarch_insns_per_sec : float;
+  cs_interpreted : engine_side;
+  cs_compiled : engine_side;
+  cs_speedup_vs_interpreted : float;
+  cs_speedup_vs_uarch : float;
+}
+
+let json_of_engine_side buf indent s =
+  Buffer.add_string buf "{\n";
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string buf (indent ^ "  " ^ l)) fmt in
+  line "\"branches\": %d,\n" s.es_branches;
+  line "\"insns\": %d,\n" s.es_insns;
+  line "\"mispredicts\": %d,\n" s.es_mispredicts;
+  line "\"mpki\": %.4f,\n" s.es_mpki;
+  line "\"branches_per_sec\": %.1f,\n" s.es_branches_per_sec;
+  line "\"insns_per_sec\": %.1f,\n" s.es_insns_per_sec;
+  line "\"alloc_bytes_per_branch\": %.1f\n" s.es_alloc_per_branch;
+  Buffer.add_string buf (indent ^ "}")
+
+let json_of_compiled ~trace_branches ~trace_insns samples =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"cobra-bench-compiled/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"workload\": %S,\n" replay_workload_name);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"trace\": {\"branches\": %d, \"insns\": %d},\n" trace_branches
+       trace_insns);
+  Buffer.add_string buf (Printf.sprintf "  \"gate_pct\": %d,\n" compiled_gate_pct);
+  Buffer.add_string buf "  \"designs\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf "    {\n";
+      Buffer.add_string buf (Printf.sprintf "      \"design\": %S,\n" s.cs_design);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"uarch_insns_per_sec\": %.1f,\n" s.cs_uarch_insns_per_sec);
+      Buffer.add_string buf "      \"interpreted\": ";
+      json_of_engine_side buf "      " s.cs_interpreted;
+      Buffer.add_string buf ",\n";
+      Buffer.add_string buf "      \"compiled\": ";
+      json_of_engine_side buf "      " s.cs_compiled;
+      Buffer.add_string buf ",\n";
+      Buffer.add_string buf "      \"counters_identical\": true,\n";
+      Buffer.add_string buf
+        (Printf.sprintf "      \"speedup_compiled_vs_interpreted\": %.2f,\n"
+           s.cs_speedup_vs_interpreted);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"speedup_compiled_vs_uarch\": %.2f\n" s.cs_speedup_vs_uarch);
+      Buffer.add_string buf
+        (if i = List.length samples - 1 then "    }\n" else "    },\n"))
+    samples;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let perf_compiled () =
+  let w = Cobra_workloads.Suite.find replay_workload_name in
+  let path = Filename.temp_file "cobra_bench" ".btrace" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let trace_branches, trace_insns =
+        timed "export" (fun () ->
+            Cobra_trace_replay.Writer.export_workload ~max_branches:replay_branches ~path
+              w)
+      in
+      Printf.printf "exported %d branches (%d insns) to %s\n%!" trace_branches
+        trace_insns path;
+      let module Replay = Cobra_trace_replay.Replay in
+      let measure_engine engine (d : Designs.t) =
+        (* warm replay (tables + code paths), then the measured run with an
+           allocation probe around it *)
+        ignore
+          (Replay.run_design ~engine ~max_branches:(max 1 (trace_branches / 10)) d ~path);
+        Gc.compact ();
+        let a0 = Gc.allocated_bytes () in
+        let res =
+          timed
+            (Printf.sprintf "%s/%s" (Replay.engine_name engine) d.Designs.name)
+            (fun () -> Replay.run_design ~engine d ~path)
+        in
+        let da = Gc.allocated_bytes () -. a0 in
+        ( res,
+          {
+            es_branches = res.Replay.branches;
+            es_insns = res.Replay.instructions;
+            es_mispredicts = res.Replay.mispredicts;
+            es_mpki = Replay.mpki res;
+            es_branches_per_sec = Replay.branches_per_sec res;
+            es_insns_per_sec = Replay.insns_per_sec res;
+            es_alloc_per_branch = da /. float_of_int (max 1 res.Replay.branches);
+          } )
+      in
+      let samples =
+        List.map
+          (fun (d : Designs.t) ->
+            let name = d.Designs.name in
+            let uarch =
+              timed ("uarch/" ^ name) (fun () ->
+                  measure_design ~workload:replay_workload_name d ~insns:bench_insns)
+            in
+            let res_i, side_i = measure_engine `Interpreted d in
+            let res_c, side_c = measure_engine `Compiled d in
+            if not (Replay.counters_equal res_i res_c) then
+              failwith
+                (Printf.sprintf
+                   "perf_compiled: %s: compiled counters diverged from interpreted \
+                    (%d/%d mispredicts/branches vs %d/%d)"
+                   name res_c.Replay.mispredicts res_c.Replay.branches
+                   res_i.Replay.mispredicts res_i.Replay.branches);
+            if
+              side_c.es_insns_per_sec
+              < float_of_int compiled_gate_pct /. 100.0 *. side_i.es_insns_per_sec
+            then
+              failwith
+                (Printf.sprintf
+                   "perf_compiled: %s: compiled engine at %.0f insns/s is below %d%% of \
+                    the interpreted baseline (%.0f insns/s)"
+                   name side_c.es_insns_per_sec compiled_gate_pct side_i.es_insns_per_sec);
+            {
+              cs_design = name;
+              cs_uarch_insns_per_sec = uarch.ps_insns_per_sec;
+              cs_interpreted = side_i;
+              cs_compiled = side_c;
+              cs_speedup_vs_interpreted =
+                side_c.es_insns_per_sec
+                /. (if side_i.es_insns_per_sec > 0.0 then side_i.es_insns_per_sec
+                    else epsilon_float);
+              cs_speedup_vs_uarch =
+                side_c.es_insns_per_sec
+                /. (if uarch.ps_insns_per_sec > 0.0 then uarch.ps_insns_per_sec
+                    else epsilon_float);
+            })
+          (perf_designs ())
+      in
+      List.iter
+        (fun s ->
+          Printf.printf
+            "%-8s compiled %10.0f insns/s (%10.0f branches/s), %.1fx vs interpreted, \
+             %.1fx vs uarch%s\n"
+            s.cs_design s.cs_compiled.es_insns_per_sec s.cs_compiled.es_branches_per_sec
+            s.cs_speedup_vs_interpreted s.cs_speedup_vs_uarch
+            (if s.cs_speedup_vs_uarch >= 10.0 then ""
+             else if s.cs_speedup_vs_uarch >= 5.0 then "  [5x met, below 10x]"
+             else "  [below 5x target]"))
+        samples;
+      let json = json_of_compiled ~trace_branches ~trace_insns samples in
+      let path10 = bench_json10_path () in
+      Out_channel.with_open_text path10 (fun oc -> Out_channel.output_string oc json);
+      Printf.printf "wrote %s\n" path10)
+
 (* --- bechamel microbenchmarks ------------------------------------------------ *)
 
 let bechamel () =
@@ -726,6 +907,7 @@ let sections =
     ("perf", perf);
     ("perf_replay", perf_replay);
     ("perf_snapshot", perf_snapshot);
+    ("perf_compiled", perf_compiled);
     ("bechamel", bechamel);
   ]
 

@@ -437,7 +437,18 @@ let conform_cmd =
                    Valid: %s."
                   (String.concat ", " Cobra_conformance.Fuzz.shape_names)))
   in
-  let run seed length artifact shapes =
+  let engine_arg =
+    Arg.(value
+         & opt (enum [ ("both", `Both); ("compiled", `Compiled); ("interpreted", `Interpreted) ])
+             `Both
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:
+               "Which simulator engines to certify: $(b,interpreted) (golden-model lockstep, \
+                twin, replay, repair, snapshot), $(b,compiled) (staged-compiler vs \
+                interpreter differentials over every component and reference design), or \
+                $(b,both) (default).")
+  in
+  let run seed length artifact shapes engine =
     let seed =
       match seed with
       | Some s -> s
@@ -453,7 +464,7 @@ let conform_cmd =
         try Ok (List.map Cobra_conformance.Fuzz.shape_of_name_exn names)
         with Failure m -> Error (`Msg m))
     in
-    let verdicts = Cobra_conformance.Crosscheck.run_all ~length ~shapes ~seed () in
+    let verdicts = Cobra_conformance.Crosscheck.run_all ~length ~shapes ~engine ~seed () in
     print_string (Cobra_conformance.Crosscheck.render verdicts);
     match Cobra_conformance.Crosscheck.counterexample verdicts with
     | None -> Ok ()
@@ -472,8 +483,9 @@ let conform_cmd =
        ~doc:
          "Cross-check every component against its pure-functional golden model (lockstep \
           fuzzing, storage accounting, twin-design differentials, repair-restores-state \
-          metamorphic checks, Table-I storage pins)")
-    Term.(term_result (const run $ seed_arg $ length_arg $ artifact_arg $ shapes_arg))
+          metamorphic checks, compiled-engine differentials, Table-I storage pins)")
+    Term.(
+      term_result (const run $ seed_arg $ length_arg $ artifact_arg $ shapes_arg $ engine_arg))
 
 (* --- serve ------------------------------------------------------------------- *)
 

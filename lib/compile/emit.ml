@@ -1,0 +1,103 @@
+open Cobra
+module Bits = Cobra_util.Bits
+module Slab = Cobra_util.Slab
+
+type t = {
+  eval : Context.t -> Bits.t array -> Types.prediction array;
+  snapshot_state : Slab.t -> unit;
+  restore_state : Slab.t -> unit;
+}
+
+(* Same diagnostic as Pipeline.check_meta: a component lying about its
+   metadata width corrupts the history file, so both engines refuse it with
+   the same message. *)
+let check_meta (c : Component.t) ~declared meta =
+  if Bits.width meta <> declared then
+    invalid_arg
+      (Printf.sprintf "component %s returned %d metadata bits, declared %d"
+         c.Component.name (Bits.width meta) declared)
+
+let stage (plan : Plan.t) =
+  let width = plan.Plan.cfg.Pipeline.fetch_width in
+  let depth = plan.Plan.depth in
+  let bottom = Array.make depth (Types.no_prediction ~width) in
+  (* Register bank: per register, the per-stage composite rows. Rows are
+     either shared with the source register (pass-through stages and silent
+     components — the interpreter's pointer-sharing [overlay]) or one of
+     this register's preallocated merge buffers. *)
+  let regs =
+    Array.init plan.Plan.n_regs (fun i ->
+        if i = 0 then bottom else Array.make depth bottom.(0))
+  in
+  let bufs =
+    Array.init plan.Plan.n_regs (fun i ->
+        if i = 0 then [||]
+        else Array.init depth (fun _ -> Array.make width Types.empty_opinion))
+  in
+  let overlay_into ~dst ~latency src (pred : Types.prediction) =
+    if Array.length pred <> width then
+      invalid_arg "Types.merge: prediction width mismatch";
+    let dreg = regs.(dst) in
+    if Array.for_all (fun o -> o == Types.empty_opinion) pred then
+      (* silent: the composite below shows through unchanged *)
+      Array.blit src 0 dreg 0 depth
+    else begin
+      let dbufs = bufs.(dst) in
+      for s = 0 to depth - 1 do
+        if s + 1 < latency then dreg.(s) <- src.(s)
+        else begin
+          let out = dbufs.(s) in
+          let below = src.(s) in
+          for i = 0 to width - 1 do
+            let st = pred.(i) and w = below.(i) in
+            out.(i) <-
+              (if st == Types.empty_opinion then w
+               else if w == Types.empty_opinion then st
+               else Types.merge_opinion ~strong:st ~weak:w)
+          done;
+          dreg.(s) <- out
+        end
+      done
+    end
+  in
+  let steps = plan.Plan.steps in
+  let meta_widths = plan.Plan.meta_widths in
+  let eval ctx (metas : Bits.t array) =
+    for i = 0 to Array.length steps - 1 do
+      match steps.(i) with
+      | Plan.Predict { comp; id; stage; latency; src; dst } ->
+        let pred, meta =
+          comp.Component.predict ctx ~pred_in:[ regs.(src).(stage) ]
+        in
+        check_meta comp ~declared:meta_widths.(id) meta;
+        metas.(id) <- meta;
+        overlay_into ~dst ~latency regs.(src) pred
+      | Plan.Select { comp; id; stage; latency; srcs; dst } ->
+        let n = Array.length srcs in
+        let rec gather k = if k >= n then [] else regs.(srcs.(k)).(stage) :: gather (k + 1) in
+        let pred, meta = comp.Component.predict ctx ~pred_in:(gather 0) in
+        check_meta comp ~declared:meta_widths.(id) meta;
+        metas.(id) <- meta;
+        (* the selector overrides the default (first) sub-path's composite *)
+        overlay_into ~dst ~latency regs.(srcs.(0)) pred
+    done;
+    regs.(plan.Plan.root)
+  in
+  let comps = plan.Plan.comps in
+  let offsets = plan.Plan.comp_offsets in
+  let snapshot_state slab =
+    Array.iteri
+      (fun i (c : Component.t) ->
+        let n = Component.state_cells c in
+        if n > 0 then
+          Slab.blit ~src:c.Component.state ~dst:(Slab.sub slab offsets.(i) n))
+      comps
+  in
+  let restore_state slab =
+    Array.iteri
+      (fun i (c : Component.t) ->
+        let n = Component.state_cells c in
+        if n > 0 then Component.restore c (Slab.sub slab offsets.(i) n))
+      comps
+  in
+  { eval; snapshot_state; restore_state }

@@ -1,0 +1,61 @@
+(** The compiled simulator: a fused predict/fire/resolve/commit kernel for
+    the trace-replay protocol.
+
+    An engine is the staged-compilation product of a topology and a
+    pipeline configuration: {!Plan} resolves the schedule and slab geometry,
+    {!Emit} closes the evaluation and state-blit kernels over them, and the
+    engine adds the per-branch driver. It implements exactly the replay
+    protocol ([Pipeline.predict ~max_len:1], [fire ~packet_len:1], then
+    [mispredict] or [resolve], then [commit] — one branch per packet, fully
+    committed before the next), which lets the whole sequence collapse into
+    closed-form history updates:
+
+    - the pipeline is quiesced between branches, so the speculative global
+      and path histories always equal their bases — plain bit vectors
+      replace the pending-packet providers;
+    - the speculative local-history push and its predecode unwind cancel,
+      leaving one net push per conditional branch;
+    - the history file holds at most one entry, so the ring buffer reduces
+      to a sequence counter and the per-branch metadata array.
+
+    Predictions, metadata, counters and snapshot slabs are bit-identical to
+    the interpreted [Pipeline] run under the same protocol; the
+    [compiled_twin] conformance checks and [test/test_compile.ml] certify
+    this for every component, reference design and random topology. *)
+
+type t
+
+val create : Cobra.Pipeline.config -> Cobra.Topology.t -> t
+(** Compile a specialized engine. Validates like [Pipeline.create] and
+    raises [Invalid_argument] on the same inputs. *)
+
+val config : t -> Cobra.Pipeline.config
+val plan : t -> Plan.t
+val describe : t -> string
+
+val step : t -> pc:int -> kind:Cobra.Types.branch_kind -> taken:bool -> target:int -> bool
+(** Predict one branch, resolve it against the actual outcome, train, and
+    return whether the prediction was wrong — the replay protocol's
+    per-record transaction. [target < 0] means the trace does not know the
+    target ([Btrace.no_target]). *)
+
+val last_taken_pred : t -> bool
+(** Predicted direction of the most recent {!step}. *)
+
+val metas : t -> Cobra_util.Bits.t array
+(** Metadata words of the most recent {!step}, indexed by component id.
+    The array is reused: read it before the next {!step}. *)
+
+val next_token : t -> int
+(** Packets predicted so far (continues across {!restore}), mirroring the
+    interpreted pipeline's token counter — snapshot cell 0. *)
+
+val snapshot_cells : t -> int
+
+val snapshot : t -> Cobra_util.Slab.t
+(** Whole-design snapshot in the exact [Pipeline.snapshot] layout: slabs
+    interchange freely between compiled and interpreted engines of the
+    same design. *)
+
+val restore : t -> Cobra_util.Slab.t -> unit
+(** Raises [Invalid_argument] on a cell-count mismatch. *)

@@ -1,0 +1,164 @@
+open Cobra
+module Bits = Cobra_util.Bits
+
+type step =
+  | Predict of {
+      comp : Component.t;
+      id : int;
+      stage : int;
+      latency : int;
+      src : int;
+      dst : int;
+    }
+  | Select of {
+      comp : Component.t;
+      id : int;
+      stage : int;
+      latency : int;
+      srcs : int array;
+      dst : int;
+    }
+
+type t = {
+  cfg : Pipeline.config;
+  topo : Topology.t;
+  comps : Component.t array;
+  depth : int;
+  steps : step array;
+  root : int;
+  n_regs : int;
+  meta_widths : int array;
+  ghist_limbs : int;
+  path_width : int;
+  path_limbs : int;
+  lhist_limbs : int;
+  mgmt_cells : int;
+  comp_offsets : int array;
+  snapshot_cells : int;
+}
+
+let build (cfg : Pipeline.config) topo =
+  if cfg.Pipeline.fetch_width < 1 then invalid_arg "Plan.build: fetch_width < 1";
+  if cfg.Pipeline.ghist_bits < 1 then invalid_arg "Plan.build: ghist_bits < 1";
+  (match Topology.validate topo with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Plan.build: invalid topology: " ^ msg));
+  let comps = Array.of_list (Topology.components topo) in
+  let component_id (c : Component.t) =
+    let rec find i = if comps.(i) == c then i else find (i + 1) in
+    find 0
+  in
+  let depth = Topology.max_latency topo in
+  let clamp latency = min latency depth - 1 in
+  let n_regs = ref 1 (* register 0 is the shared all-silent bottom *) in
+  let fresh () =
+    let r = !n_regs in
+    n_regs := r + 1;
+    r
+  in
+  (* The schedule must run components in the same order the interpreter
+     does: [Override (hi, lo)] evaluates [lo] first (OCaml argument order
+     in [eval hi (eval lo below)]), and arbitration sub-topologies are
+     mapped head-first before the selector fires. *)
+  let rec walk topo src acc =
+    match topo with
+    | Topology.Node c ->
+      let dst = fresh () in
+      ( dst,
+        Predict
+          {
+            comp = c;
+            id = component_id c;
+            stage = clamp c.Component.latency;
+            latency = c.Component.latency;
+            src;
+            dst;
+          }
+        :: acc )
+    | Topology.Override (hi, lo) ->
+      let mid, acc = walk lo src acc in
+      walk hi mid acc
+    | Topology.Arbitrate (sel, subs) ->
+      let srcs_rev, acc =
+        List.fold_left
+          (fun (srcs, acc) sub ->
+            let dst, acc = walk sub src acc in
+            (dst :: srcs, acc))
+          ([], acc) subs
+      in
+      let srcs = Array.of_list (List.rev srcs_rev) in
+      let dst = fresh () in
+      ( dst,
+        Select
+          {
+            comp = sel;
+            id = component_id sel;
+            stage = clamp sel.Component.latency;
+            latency = sel.Component.latency;
+            srcs;
+            dst;
+          }
+        :: acc )
+  in
+  let root, steps_rev = walk topo 0 [] in
+  let steps = Array.of_list (List.rev steps_rev) in
+  let meta_widths = Array.map (fun (c : Component.t) -> c.Component.meta_bits) comps in
+  let ghist_limbs = Bits.limbs_for cfg.Pipeline.ghist_bits in
+  let path_width = max 1 cfg.Pipeline.path_bits in
+  let path_limbs = Bits.limbs_for path_width in
+  let lhist_limbs = Bits.limbs_for cfg.Pipeline.lhist_bits in
+  let mgmt_cells =
+    1 + ghist_limbs + path_limbs + (cfg.Pipeline.lhist_entries * lhist_limbs)
+  in
+  let comp_offsets = Array.make (Array.length comps) 0 in
+  let pos = ref mgmt_cells in
+  Array.iteri
+    (fun i c ->
+      comp_offsets.(i) <- !pos;
+      pos := !pos + Component.state_cells c)
+    comps;
+  {
+    cfg;
+    topo;
+    comps;
+    depth;
+    steps;
+    root;
+    n_regs = !n_regs;
+    meta_widths;
+    ghist_limbs;
+    path_width;
+    path_limbs;
+    lhist_limbs;
+    mgmt_cells;
+    comp_offsets;
+    snapshot_cells = !pos;
+  }
+
+let describe t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "compiled plan: %s\n" (Topology.to_expression t.topo));
+  Buffer.add_string b
+    (Printf.sprintf "  %d components, %d stages, %d registers, %d steps\n"
+       (Array.length t.comps) t.depth t.n_regs (Array.length t.steps));
+  Array.iteri
+    (fun i step ->
+      match step with
+      | Predict { comp; stage; src; dst; _ } ->
+        Buffer.add_string b
+          (Printf.sprintf "  step %d: predict %-12s r%d -> r%d (reads stage %d)\n" i
+             (Component.label comp) src dst (stage + 1))
+      | Select { comp; stage; srcs; dst; _ } ->
+        Buffer.add_string b
+          (Printf.sprintf "  step %d: select  %-12s [%s] -> r%d (reads stage %d)\n" i
+             (Component.label comp)
+             (String.concat "; "
+                (Array.to_list (Array.map (Printf.sprintf "r%d") srcs)))
+             dst (stage + 1)))
+    t.steps;
+  Buffer.add_string b
+    (Printf.sprintf "  root r%d; slab %d cells (%d management + %d component)\n" t.root
+       t.snapshot_cells t.mgmt_cells
+       (t.snapshot_cells - t.mgmt_cells));
+  Buffer.contents b

@@ -1,0 +1,62 @@
+(** Static half of the staged topology compiler.
+
+    [build] resolves everything about a [Topology.t] + [Pipeline.config]
+    pair that does not depend on runtime state: the flattened component
+    schedule in topological evaluation order (replacing the interpreter's
+    per-packet recursive walk), the clamped predict-in stage of every
+    component, each component's metadata width, and the whole-design
+    snapshot-slab geometry (limb counts and per-component cell offsets) in
+    the exact layout of [Pipeline.snapshot]. {!Emit} then closes simulator
+    kernels over these integer constants.
+
+    The schedule preserves the interpreter's evaluation order exactly
+    ([Override (hi, lo)] evaluates [lo] first; arbitration sub-topologies
+    evaluate head-first, then the selector), so a component whose [predict]
+    has side effects behaves identically under both engines. *)
+
+(** One component evaluation. Registers are dense indices into the emitted
+    engine's bank of per-stage composite arrays; register [0] is the
+    all-silent bottom. *)
+type step =
+  | Predict of {
+      comp : Cobra.Component.t;
+      id : int;  (** index in [Topology.components] order *)
+      stage : int;  (** clamped predict-in stage, [min latency depth - 1] *)
+      latency : int;
+      src : int;  (** register carrying the composite below this node *)
+      dst : int;  (** register receiving the overlaid composite *)
+    }
+  | Select of {
+      comp : Cobra.Component.t;  (** the arbitration selector *)
+      id : int;
+      stage : int;
+      latency : int;
+      srcs : int array;  (** sub-topology result registers, first = default *)
+      dst : int;
+    }
+
+type t = {
+  cfg : Cobra.Pipeline.config;
+  topo : Cobra.Topology.t;
+  comps : Cobra.Component.t array;  (** [Topology.components] order *)
+  depth : int;  (** [Topology.max_latency] *)
+  steps : step array;  (** interpreter evaluation order *)
+  root : int;  (** register holding the final per-stage composite *)
+  n_regs : int;
+  meta_widths : int array;  (** declared metadata width per component id *)
+  ghist_limbs : int;
+  path_width : int;  (** [max 1 path_bits] — the provider width *)
+  path_limbs : int;
+  lhist_limbs : int;
+  mgmt_cells : int;  (** management prefix of the snapshot slab *)
+  comp_offsets : int array;  (** snapshot-slab cell offset per component *)
+  snapshot_cells : int;  (** total slab size, equals [Pipeline.snapshot_cells] *)
+}
+
+val build : Cobra.Pipeline.config -> Cobra.Topology.t -> t
+(** Validates like [Pipeline.create] (positive fetch width, well-formed
+    topology) and raises [Invalid_argument] on the same inputs. *)
+
+val describe : t -> string
+(** Human-readable compilation report: the step schedule with resolved
+    stages and registers, and the slab geometry. *)

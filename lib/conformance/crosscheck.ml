@@ -145,7 +145,11 @@ let storage_accounting (packed : Golden.packed) =
 
 (* --- software-model step driver ------------------------------------------------ *)
 
-let drive pl ~width (b : Fuzz.branch) =
+(* [drive] plus the per-component metadata words, read from the history-file
+   entry between fire and commit — the window where the interpreted pipeline
+   still holds them. The compiled engine exposes the same array through
+   [Engine.metas]. *)
+let drive_with_metas pl ~width (b : Fuzz.branch) =
   let tok = Pipeline.predict pl ~pc:b.Fuzz.br_pc ~max_len:1 in
   let stages = Pipeline.stages pl tok in
   let final = (stages.(Array.length stages - 1)).(0) in
@@ -167,12 +171,17 @@ let drive pl ~width (b : Fuzz.branch) =
     Types.resolved_branch ~kind:b.Fuzz.br_kind ~taken:taken_pred
       ~target:(if taken_pred then b.Fuzz.br_target else 0);
   let seq = Pipeline.fire pl tok ~slots ~packet_len:1 in
+  let metas = Array.copy (Pipeline.entry pl seq).History_file.e_metas in
   let actual =
     Types.resolved_branch ~kind:b.Fuzz.br_kind ~taken:b.Fuzz.br_taken ~target:b.Fuzz.br_target
   in
   if wrong then Pipeline.mispredict pl ~seq ~slot:0 actual
   else Pipeline.resolve pl ~seq ~slot:0 actual;
   Pipeline.commit pl;
+  (taken_pred, wrong, metas)
+
+let drive pl ~width (b : Fuzz.branch) =
+  let taken_pred, wrong, _metas = drive_with_metas pl ~width b in
   (taken_pred, wrong)
 
 (* --- twin-design differential --------------------------------------------------- *)
@@ -451,6 +460,99 @@ let snapshot_roundtrip ?(length = 400) ~seed (design : Designs.t) =
          (Cobra_util.Slab.length slab) (length - half))
   | Some m -> fail ~check ~subject m
 
+(* --- compiled twin: the staged compiler vs the interpreted pipeline -------------- *)
+
+module Engine = Cobra_compile.Engine
+
+(* Per-branch lockstep of one interpreted pipeline against one compiled
+   engine of the same (cfg, topology), fresh per shape: taken_pred, wrong,
+   every component's metadata word, and the final snapshot slab must all be
+   bit-identical. This is the merge gate of the compiler. *)
+let compiled_lockstep ~check ~subject ~shapes ~length ~seed ~cfg make_topo =
+  let events = ref 0 in
+  let run_shape shape =
+    let pl = Pipeline.create cfg (make_topo ()) in
+    let eng = Engine.create cfg (make_topo ()) in
+    let width = cfg.Pipeline.fetch_width in
+    let bs = Fuzz.branches { Fuzz.seed; shape; length } in
+    let where i what =
+      Printf.sprintf
+        "shape=%s branch=%d/%d seed=%d: %s (replay: cobra conform --seed %d --engine compiled)"
+        (Fuzz.shape_name shape) i length seed what seed
+    in
+    List.iteri
+      (fun i (b : Fuzz.branch) ->
+        incr events;
+        let tp_i, w_i, metas_i = drive_with_metas pl ~width b in
+        let w_c =
+          Engine.step eng ~pc:b.Fuzz.br_pc ~kind:b.Fuzz.br_kind ~taken:b.Fuzz.br_taken
+            ~target:b.Fuzz.br_target
+        in
+        let tp_c = Engine.last_taken_pred eng in
+        if tp_i <> tp_c || w_i <> w_c then
+          raise
+            (Mismatch
+               (where i
+                  (Printf.sprintf
+                     "interpreted taken_pred=%b wrong=%b, compiled taken_pred=%b wrong=%b"
+                     tp_i w_i tp_c w_c)));
+        let metas_c = Engine.metas eng in
+        if Array.length metas_i <> Array.length metas_c then
+          raise
+            (Mismatch
+               (where i
+                  (Printf.sprintf "metadata arity: interpreted %d words, compiled %d"
+                     (Array.length metas_i) (Array.length metas_c))));
+        Array.iteri
+          (fun id m ->
+            if not (Bits.equal m metas_c.(id)) then
+              raise
+                (Mismatch
+                   (where i
+                      (Printf.sprintf
+                         "metadata mismatch at component %d: interpreted %s, compiled %s"
+                         id (Bits.to_string m) (Bits.to_string metas_c.(id))))))
+          metas_i)
+      bs;
+    if not (Cobra_util.Slab.equal (Pipeline.snapshot pl) (Engine.snapshot eng)) then
+      raise
+        (Mismatch
+           (Printf.sprintf
+              "shape=%s seed=%d: final snapshot slabs differ between interpreted and \
+               compiled engines (replay: cobra conform --seed %d --engine compiled)"
+              (Fuzz.shape_name shape) seed seed))
+  in
+  match List.iter run_shape shapes with
+  | () ->
+    pass ~check ~subject
+      (Printf.sprintf "ok (%d branches across %d shapes, compiled = interpreted)" !events
+         (List.length shapes))
+  | exception Mismatch m -> fail ~check ~subject m
+
+let compiled_twin ?(length = 300) ?(shapes = Fuzz.all_shapes) ~seed (design : Designs.t) =
+  compiled_lockstep ~check:"compiled_twin" ~subject:design.Designs.name ~shapes ~length
+    ~seed ~cfg:design.Designs.pipeline_config (fun () -> design.Designs.make ())
+
+(* Single-component topologies over the whole zoo: each component compiles
+   alone (selectors get static leaves to arbitrate, so they still see real
+   incoming predictions). *)
+let compiled_zoo ?(length = 300) ?(shapes = Fuzz.all_shapes) ~seed (packed : Golden.packed) =
+  let subject = Golden.packed_name packed in
+  let (Golden.P { model; make_real; _ }) = packed in
+  let static_sub taken =
+    Cobra_components.Static_pred.always
+      ~name:(if taken then "conform-static-t" else "conform-static-nt")
+      ~taken ~fetch_width:zoo_fetch_width ()
+  in
+  let make_topo () =
+    if model.Golden.arity <= 1 then Topology.node (make_real ())
+    else
+      Topology.arbitrate (make_real ())
+        (List.init model.Golden.arity (fun i -> Topology.node (static_sub (i land 1 = 1))))
+  in
+  let cfg = { Pipeline.default_config with Pipeline.fetch_width = zoo_fetch_width } in
+  compiled_lockstep ~check:"compiled_zoo" ~subject ~shapes ~length ~seed ~cfg make_topo
+
 (* --- Table-I storage pins ------------------------------------------------------- *)
 
 let table1_pins () =
@@ -481,22 +583,40 @@ let table1_pins () =
 
 (* --- top level ------------------------------------------------------------------ *)
 
-let run_all ?(length = 300) ?(shapes = Fuzz.all_shapes) ~seed () =
+type engine = [ `Interpreted | `Compiled | `Both ]
+
+let run_all ?(length = 300) ?(shapes = Fuzz.all_shapes) ?(engine = `Both) ~seed () =
   let zoo = Golden.zoo () in
+  let interpreted = engine <> `Compiled and compiled = engine <> `Interpreted in
   let per_component =
-    List.concat_map (fun p -> [ lockstep ~length ~shapes ~seed p; storage_accounting p ]) zoo
+    if not interpreted then []
+    else
+      List.concat_map (fun p -> [ lockstep ~length ~shapes ~seed p; storage_accounting p ]) zoo
   in
   let twins =
-    List.map (twin ~length ~seed) (Designs.all @ [ Designs.gshare_only ])
+    if not interpreted then []
+    else List.map (twin ~length ~seed) (Designs.all @ [ Designs.gshare_only ])
   in
-  let repairs = List.map (repair_restore ~length ~seed) Designs.all in
+  let repairs =
+    if not interpreted then [] else List.map (repair_restore ~length ~seed) Designs.all
+  in
   let replays =
-    List.map (replay_twin ~length ~seed) (Designs.all @ [ Designs.gshare_only ])
+    if not interpreted then []
+    else List.map (replay_twin ~length ~seed) (Designs.all @ [ Designs.gshare_only ])
   in
   let snapshots =
-    List.map (snapshot_roundtrip ~length ~seed) (Designs.all @ [ Designs.gshare_only ])
+    if not interpreted then []
+    else List.map (snapshot_roundtrip ~length ~seed) (Designs.all @ [ Designs.gshare_only ])
   in
-  per_component @ twins @ replays @ repairs @ snapshots @ table1_pins ()
+  let compiled_zoos =
+    if not compiled then [] else List.map (compiled_zoo ~length ~shapes ~seed) zoo
+  in
+  let compiled_twins =
+    if not compiled then []
+    else List.map (compiled_twin ~length ~shapes ~seed) (Designs.all @ [ Designs.gshare_only ])
+  in
+  per_component @ twins @ replays @ repairs @ snapshots @ compiled_zoos @ compiled_twins
+  @ table1_pins ()
 
 let render vs =
   let rows =

@@ -51,17 +51,47 @@ val snapshot_roundtrip : ?length:int -> seed:int -> Cobra_eval.Designs.t -> verd
     must make bit-identical predictions over the rest of the stream — and
     end with bit-identical snapshots. *)
 
+val compiled_twin :
+  ?length:int -> ?shapes:Fuzz.shape list -> seed:int -> Cobra_eval.Designs.t -> verdict
+(** The staged topology compiler's merge gate: a compiled engine
+    ([Cobra_compile.Engine]) and an interpreted pipeline of the same design
+    replay identical fuzz streams across every shape, fresh state per
+    shape, and must agree bit-for-bit on every per-branch [(taken_pred,
+    wrong)] decision, every component's metadata word, and the final
+    snapshot slab. *)
+
+val compiled_zoo :
+  ?length:int -> ?shapes:Fuzz.shape list -> seed:int -> Golden.packed -> verdict
+(** {!compiled_twin} over a single-component topology built from one zoo
+    entry, so every component certifies its compiled kernel in isolation
+    (selectors arbitrate two static leaves, keeping their incoming
+    predictions real). *)
+
 val table1_pins : unit -> verdict list
 (** Regression pins of the paper's Table-I storage accounting for the three
     reference designs: exact [Storage.total_bits] and the rounded
     direction-state KB figures. *)
 
-val run_all : ?length:int -> ?shapes:Fuzz.shape list -> seed:int -> unit -> verdict list
+type engine = [ `Interpreted | `Compiled | `Both ]
+(** Which simulator engines {!run_all} certifies: the interpreted suite,
+    the compiled differentials, or (default) both. *)
+
+val run_all :
+  ?length:int ->
+  ?shapes:Fuzz.shape list ->
+  ?engine:engine ->
+  seed:int ->
+  unit ->
+  verdict list
 (** Everything above: per-component lockstep + storage over {!Golden.zoo},
     twin and replay-engine differentials over the reference designs (plus
     gshare-only), repair-restores-state over [Designs.all], snapshot
-    round-trips, and the Table-I pins. [shapes] restricts the lockstep fuzz shapes (default:
-    all, including the probe-derived ladder / alias-stress / loop-scan). *)
+    round-trips, the compiled-engine differentials ({!compiled_zoo} over
+    the whole zoo and {!compiled_twin} over the reference designs plus
+    gshare-only), and the Table-I pins. [shapes] restricts the fuzz shapes (default:
+    all, including the probe-derived ladder / alias-stress / loop-scan);
+    [engine] (default [`Both]) restricts which simulator engines are
+    certified — the Table-I pins always run. *)
 
 val all_pass : verdict list -> bool
 val failures : verdict list -> verdict list

@@ -67,6 +67,40 @@ val run :
     [progress_every] branches (default 262144). [design]/[trace] are labels
     carried into the result. *)
 
+(** {1 Compiled engine}
+
+    The staged topology compiler ([Cobra_compile]) specializes a design
+    into a fused per-branch kernel; [run_compiled] is {!run} over that
+    engine. Counters, per-branch decisions and snapshot slabs are
+    bit-identical to the interpreted loop — certified by the
+    [compiled_twin] conformance checks — so every caller may pick the
+    engine freely per [engine_kind]. *)
+
+type engine_kind = [ `Interpreted | `Compiled ]
+
+val engine_name : engine_kind -> string
+val engine_of_string : string -> engine_kind
+(** Raises [Invalid_argument] on anything but ["interpreted"]/["compiled"]. *)
+
+val compiled : Cobra_eval.Designs.t -> Cobra_compile.Engine.t
+(** Compile a fresh engine for the design (topology elaborated anew, like
+    {!run_design} elaborates a fresh pipeline). *)
+
+val run_compiled :
+  ?max_branches:int ->
+  ?max_insns:int ->
+  ?deadline:float ->
+  ?observe:(Btrace.record -> taken_pred:bool -> wrong:bool -> unit) ->
+  ?progress:(branches:int -> insns:int -> unit) ->
+  ?progress_every:int ->
+  design:string ->
+  trace:string ->
+  Cobra_compile.Engine.t ->
+  source ->
+  result
+(** {!run} over a compiled engine — same caps, deadline, observer and
+    progress contract. *)
+
 (** {1 Checkpoints}
 
     A replay loop is quiesced between any two records (every branch fires,
@@ -106,6 +140,25 @@ val restore : Cobra.Pipeline.t -> Reader.t -> checkpoint -> unit
 (** Overwrite the pipeline state from the checkpoint's slab (one memcpy
     per region) and seek the reader back to the boundary. *)
 
+val checkpoint_compiled :
+  Cobra_compile.Engine.t -> Reader.t -> branches:int -> insns:int -> checkpoint
+(** {!checkpoint} for a compiled engine. The slab layout is identical to
+    the interpreted pipeline's, so checkpoints taken by either engine
+    restore into either engine of the same design. *)
+
+val warmup_compiled :
+  ?deadline:float ->
+  branches:int ->
+  design:string ->
+  trace:string ->
+  Cobra_compile.Engine.t ->
+  Reader.t ->
+  checkpoint * result
+(** {!warmup} for a compiled engine. *)
+
+val restore_compiled : Cobra_compile.Engine.t -> Reader.t -> checkpoint -> unit
+(** {!restore} for a compiled engine. *)
+
 val counters_equal : result -> result -> bool
 (** All five counters equal (wall-clock ignored) — the bit-identity
     predicate used by the snapshot verification paths. *)
@@ -124,6 +177,7 @@ val run_sliced :
   ?buffer_size:int ->
   ?jobs:int ->
   ?slice_branches:int ->
+  ?engine:engine_kind ->
   Cobra_eval.Designs.t ->
   path:string ->
   sliced
@@ -131,7 +185,8 @@ val run_sliced :
     262144): a serial boundary pass replays the trace once, snapshotting
     the design at every slice boundary, then the parallel pass re-replays
     every slice concurrently across {!Cobra_runner.Pool} domains, each
-    from its boundary snapshot on a fresh pipeline and reader. Raises
+    from its boundary snapshot on a fresh simulator and reader. [engine]
+    (default [`Interpreted]) selects the simulator for both passes. Raises
     [Failure] if any parallel slice's counters diverge from the serial
     pass — the handoff is certified bit-identical on every run. *)
 
@@ -140,11 +195,13 @@ val run_design :
   ?max_insns:int ->
   ?deadline:float ->
   ?buffer_size:int ->
+  ?engine:engine_kind ->
   Cobra_eval.Designs.t ->
   path:string ->
   result
-(** Elaborate a fresh pipeline for the design and stream the trace file at
-    [path] through it ({!Reader} errors propagate). *)
+(** Elaborate a fresh simulator for the design ([engine] defaults to
+    [`Interpreted]) and stream the trace file at [path] through it
+    ({!Reader} errors propagate). *)
 
 val run_design_with_stats :
   ?max_branches:int ->

@@ -77,6 +77,23 @@ let str_list name j =
   | Some Json.Null | None -> []
   | Some _ -> failwith (name ^ " must be a list of strings")
 
+(* Engine selection: serve defaults to the compiled engine — sweeps are the
+   throughput-critical path, and the compiled_twin conformance checks pin
+   its results bit-identical to the interpreter — while "engine":
+   "interpreted" forces the reference loop. Stats runs always interpret
+   (the collector attaches to a Pipeline). *)
+let engine_of_req req : Replay.engine_kind =
+  match Json.member "engine" req with
+  | None | Some Json.Null -> `Compiled
+  | Some (Json.String s) -> (
+    try Replay.engine_of_string s
+    with Invalid_argument _ ->
+      failwith (Printf.sprintf "unknown engine %S (know: interpreted, compiled)" s))
+  | Some _ -> failwith "engine must be a string"
+
+let engine_field (engine : Replay.engine_kind) =
+  ("engine", Json.String (Replay.engine_name engine))
+
 let find_design name =
   if String.equal name Cobra_eval.Designs.gshare_only.Cobra_eval.Designs.name then
     Cobra_eval.Designs.gshare_only
@@ -119,8 +136,11 @@ let result_of_perf ~design ~trace (p : Cobra_uarch.Perf.t) =
   }
 
 (* Replay one (design, trace) point, answering repeats from the
-   content-addressed cache. Returns the result and whether it was a hit. *)
-let cached_replay cfg ?(use_cache = true) (d : Cobra_eval.Designs.t) ~trace opts =
+   content-addressed cache. Returns the result and whether it was a hit.
+   The cache key is engine-independent: compiled and interpreted counters
+   are certified bit-identical, so either engine's result answers both. *)
+let cached_replay cfg ?(use_cache = true) ?(engine = `Compiled)
+    (d : Cobra_eval.Designs.t) ~trace opts =
   if not (Sys.file_exists trace) then failwith ("no such trace file: " ^ trace);
   let deadline =
     Option.map (fun s -> Unix.gettimeofday () +. s) cfg.timeout_s
@@ -136,7 +156,7 @@ let cached_replay cfg ?(use_cache = true) (d : Cobra_eval.Designs.t) ~trace opts
   | None ->
     let r =
       Replay.run_design ?max_branches:opts.max_branches ?max_insns:opts.max_insns
-        ?deadline d ~path:trace
+        ?deadline ~engine d ~path:trace
     in
     if r.Replay.branches = 0 then
       failwith
@@ -156,11 +176,29 @@ let cached_replay cfg ?(use_cache = true) (d : Cobra_eval.Designs.t) ~trace opts
    keyed by the same content-addressing recipe as the on-disk result cache:
    the first windowed sweep over a trace pays the warmup replay once, every
    later sweep point restores the checkpoint with one memcpy per region.
-   The table is process-local (slabs are cheap RAM, and a serve daemon is
-   long-lived); the per-window counters additionally flow through the
-   on-disk Perf cache so repeated sweeps skip the replay entirely. *)
-let warm_cache : (string, Replay.checkpoint) Hashtbl.t = Hashtbl.create 16
+   The table is process-local but a serve daemon is long-lived and a
+   checkpoint slab is the whole design's state (tens of KB per point), so
+   the table is a bounded LRU: COBRA_WARM_CACHE entries (default 64), the
+   least-recently-touched checkpoint evicted past the cap, evictions
+   counted into the sweep telemetry. The per-window counters additionally
+   flow through the on-disk Perf cache so repeated sweeps skip the replay
+   entirely. *)
+type warm_entry = { we_ck : Replay.checkpoint; mutable we_tick : int }
+
+let warm_cache : (string, warm_entry) Hashtbl.t = Hashtbl.create 16
 let warm_mutex = Mutex.create ()
+let warm_tick = ref 0
+let warm_evictions = ref 0
+
+(* Read per store, not once at startup, so a test (or an operator bouncing
+   a daemon's memory budget) can flip the knob at runtime. *)
+let warm_capacity () = Cobra_util.Env.int_var ~min:1 "COBRA_WARM_CACHE" ~default:64
+
+let warm_cache_stats () =
+  Mutex.lock warm_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock warm_mutex)
+    (fun () -> (Hashtbl.length warm_cache, !warm_evictions))
 
 let warm_key (d : Cobra_eval.Designs.t) ~trace_digest ~warmup_branches =
   Cobra_runner.Cache.hex
@@ -179,13 +217,39 @@ let warm_find k =
   Mutex.lock warm_mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock warm_mutex)
-    (fun () -> Hashtbl.find_opt warm_cache k)
+    (fun () ->
+      match Hashtbl.find_opt warm_cache k with
+      | None -> None
+      | Some e ->
+        incr warm_tick;
+        e.we_tick <- !warm_tick;
+        Some e.we_ck)
 
 let warm_store k ck =
   Mutex.lock warm_mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock warm_mutex)
-    (fun () -> Hashtbl.replace warm_cache k ck)
+    (fun () ->
+      incr warm_tick;
+      Hashtbl.replace warm_cache k { we_ck = ck; we_tick = !warm_tick };
+      let cap = warm_capacity () in
+      while Hashtbl.length warm_cache > cap do
+        (* the table is tiny (the cap bounds it); a linear scan per
+           eviction beats maintaining an ordered index under the mutex *)
+        let victim =
+          Hashtbl.fold
+            (fun k (e : warm_entry) acc ->
+              match acc with
+              | Some (_, t) when t <= e.we_tick -> acc
+              | _ -> Some (k, e.we_tick))
+            warm_cache None
+        in
+        match victim with
+        | Some (vk, _) ->
+          Hashtbl.remove warm_cache vk;
+          incr warm_evictions
+        | None -> assert false (* length > cap >= 1: the table is non-empty *)
+      done)
 
 type windowed_opts = {
   warmup_branches : int;
@@ -209,12 +273,17 @@ let window_cache_key (d : Cobra_eval.Designs.t) ~trace_digest wopts ~window =
     ]
 
 (* Replay [windows] consecutive measurement windows of a trace behind a
-   shared warmup, reusing the warm snapshot when one is cached. With
-   [verify] the whole region is recomputed on a fresh pipeline without any
-   snapshot involved and every window's counters are required to match
-   bit-for-bit. Returns (per-window results, warm checkpoint came from the
-   cache, windows answered from the on-disk cache). *)
-let windowed_replay cfg ?(use_cache = true) (d : Cobra_eval.Designs.t) ~trace wopts =
+   shared warmup, reusing the warm snapshot when one is cached. [engine]
+   picks the simulator (default compiled — one engine is compiled per
+   point and fed the cached warm checkpoint, whose slab layout both
+   engines share). With [verify] the whole region is recomputed on a
+   fresh {e interpreted} pipeline without any snapshot involved and every
+   window's counters are required to match bit-for-bit — under a compiled
+   engine that one flag certifies both the snapshot handoff and the
+   staged compilation. Returns (per-window results, warm checkpoint came
+   from the cache, windows answered from the on-disk cache). *)
+let windowed_replay cfg ?(use_cache = true) ?(engine = `Compiled)
+    (d : Cobra_eval.Designs.t) ~trace wopts =
   if not (Sys.file_exists trace) then failwith ("no such trace file: " ^ trace);
   let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) cfg.timeout_s in
   let name = d.Cobra_eval.Designs.name in
@@ -236,26 +305,32 @@ let windowed_replay cfg ?(use_cache = true) (d : Cobra_eval.Designs.t) ~trace wo
   | None ->
     let wk = warm_key d ~trace_digest ~warmup_branches:wopts.warmup_branches in
     Reader.with_file trace (fun rd ->
-        let pl = Cobra_eval.Designs.pipeline d in
+        let sim_warmup, sim_restore =
+          match (engine : Replay.engine_kind) with
+          | `Interpreted ->
+            let pl = Cobra_eval.Designs.pipeline d in
+            ( (fun ~branches rd ->
+                Replay.warmup ?deadline ~branches ~design:name ~trace pl rd),
+              fun rd ck -> Replay.restore pl rd ck )
+          | `Compiled ->
+            let eng = Replay.compiled d in
+            ( (fun ~branches rd ->
+                Replay.warmup_compiled ?deadline ~branches ~design:name ~trace eng rd),
+              fun rd ck -> Replay.restore_compiled eng rd ck )
+        in
         let warm_cached =
           match warm_find wk with
           | Some ck ->
-            Replay.restore pl rd ck;
+            sim_restore rd ck;
             true
           | None ->
-            let ck, _warm_res =
-              Replay.warmup ?deadline ~branches:wopts.warmup_branches ~design:name
-                ~trace pl rd
-            in
+            let ck, _warm_res = sim_warmup ~branches:wopts.warmup_branches rd in
             warm_store wk ck;
             false
         in
         let results = ref [] in
         for _w = 1 to wopts.windows do
-          let _next_ck, r =
-            Replay.warmup ?deadline ~branches:wopts.window_branches ~design:name ~trace
-              pl rd
-          in
+          let _next_ck, r = sim_warmup ~branches:wopts.window_branches rd in
           results := r :: !results
         done;
         let results = List.rev !results in
@@ -305,6 +380,7 @@ let handle_replay cfg send ?id req =
     | _ -> failwith "replay needs a \"trace\" path"
   in
   let opts = { max_branches = opt_int "max_branches" req; max_insns = opt_int "max_insns" req } in
+  let engine = engine_of_req req in
   let d = find_design design in
   emit cfg send ?id ~event:"accepted"
     [ ("design", Json.String d.Cobra_eval.Designs.name); ("trace", Json.String trace) ];
@@ -320,12 +396,13 @@ let handle_replay cfg send ?id req =
       report.Cobra_stats.Report.intervals;
     emit cfg send ?id ~event:"stats"
       [ ("summary", Json.String (Cobra_stats.Report.summary report)) ];
-    emit cfg send ?id ~event:"result" (result_fields ~cached:false res)
+    emit cfg send ?id ~event:"result"
+      (result_fields ~cached:false res @ [ engine_field `Interpreted ])
   end
   else begin
     let use_cache = not (bool_member "no_cache" req) in
-    let r, cached = cached_replay cfg ~use_cache d ~trace opts in
-    emit cfg send ?id ~event:"result" (result_fields ~cached r)
+    let r, cached = cached_replay cfg ~use_cache ~engine d ~trace opts in
+    emit cfg send ?id ~event:"result" (result_fields ~cached r @ [ engine_field engine ])
   end
 
 let handle_sweep cfg send ?id req =
@@ -337,6 +414,7 @@ let handle_sweep cfg send ?id req =
     | names -> List.map find_design names
   in
   let use_cache = not (bool_member "no_cache" req) in
+  let engine = engine_of_req req in
   let opts = { max_branches = opt_int "max_branches" req; max_insns = opt_int "max_insns" req } in
   let windowed =
     match opt_int "warmup_branches" req with
@@ -365,13 +443,15 @@ let handle_sweep cfg send ?id req =
     let outcomes =
       Cobra_runner.Pool.map ~jobs:cfg.jobs ~attempts:1
         (List.map
-           (fun (d, trace) () -> cached_replay cfg ~use_cache d ~trace opts)
+           (fun (d, trace) () -> cached_replay cfg ~use_cache ~engine d ~trace opts)
            points)
     in
     List.iter2
       (fun (d, trace) outcome ->
         match outcome with
-        | Ok (r, cached) -> emit cfg send ?id ~event:"result" (result_fields ~cached r)
+        | Ok (r, cached) ->
+          emit cfg send ?id ~event:"result"
+            (result_fields ~cached r @ [ engine_field engine ])
         | Error (e : Cobra_runner.Pool.error) ->
           incr failures;
           emit cfg send ?id ~event:"error"
@@ -385,7 +465,7 @@ let handle_sweep cfg send ?id req =
     let outcomes =
       Cobra_runner.Pool.map ~jobs:cfg.jobs ~attempts:1
         (List.map
-           (fun (d, trace) () -> windowed_replay cfg ~use_cache d ~trace wopts)
+           (fun (d, trace) () -> windowed_replay cfg ~use_cache ~engine d ~trace wopts)
            points)
     in
     List.iter2
@@ -400,6 +480,7 @@ let handle_sweep cfg send ?id req =
                     ("window", Json.Int w);
                     ("warm_cached", Json.Bool warm_cached);
                     ("verified", Json.Bool wopts.verify);
+                    engine_field engine;
                   ]))
             rs
         | Error (e : Cobra_runner.Pool.error) ->
@@ -411,10 +492,13 @@ let handle_sweep cfg send ?id req =
               ("error", Json.String e.Cobra_runner.Pool.message);
             ])
       points outcomes);
+  let warm_entries, warm_evicted = warm_cache_stats () in
   emit cfg send ?id ~event:"sweep_summary"
     [
       ("points", Json.Int (List.length points));
       ("failures", Json.Int !failures);
+      ("warm_entries", Json.Int warm_entries);
+      ("warm_evictions", Json.Int warm_evicted);
     ]
 
 let emit_event = emit

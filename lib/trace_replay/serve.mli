@@ -11,7 +11,10 @@
     - [{"op": "replay", "design": D, "trace", PATH, ...}] — one replay
       point. Optional fields: [max_branches], [max_insns] (caps),
       [stats: true] (attach the collector; streams ["interval"] points and
-      a ["stats"] summary, skips the result cache), [no_cache: true].
+      a ["stats"] summary, skips the result cache), [no_cache: true],
+      ["engine": "compiled"|"interpreted"] (default compiled — the staged
+      topology compiler's engine, bit-identical to the interpreter per the
+      compiled_twin conformance checks; stats runs always interpret).
     - [{"op": "sweep", "designs": [..], "traces": [..], ...}] — the full
       cross product, sharded over the domain pool; one ["result"] event per
       point as it completes (submission order), same optional caps.
@@ -23,10 +26,15 @@
       cache keyed like the result cache, so later sweeps restore it with
       one memcpy per region instead of re-warming), then measures
       [windows] consecutive windows of [window_branches] branches; one
-      ["result"] event per window carries ["window"], ["warm_cached"] and
-      ["verified"]. [verify: true] recomputes the whole region on a fresh
-      pipeline without snapshots and fails the request unless every
-      window's counters match bit-for-bit.
+      ["result"] event per window carries ["window"], ["warm_cached"],
+      ["verified"] and ["engine"]. [verify: true] recomputes the whole
+      region on a fresh {e interpreted} pipeline without snapshots and
+      fails the request unless every window's counters match bit-for-bit
+      — under the default compiled engine this certifies both the
+      snapshot handoff and the compilation in one pass. The warm cache is
+      a bounded LRU of [COBRA_WARM_CACHE] checkpoints (default 64,
+      minimum 1); ["sweep_summary"] events report ["warm_entries"] and
+      ["warm_evictions"].
     - [{"op": "shutdown"}] — answered with ["bye"]; the daemon drains and
       exits.
 
@@ -90,3 +98,9 @@ val handle_line : config -> (string -> unit) -> string -> [ `Continue | `Shutdow
 (** Process one request line, emitting response lines through the callback.
     Never raises: protocol and execution failures become ["error"]
     events. *)
+
+val warm_cache_stats : unit -> int * int
+(** [(entries, evictions)] of the process-local warm-checkpoint LRU —
+    entries currently cached and checkpoints evicted since process start
+    (the telemetry behind ["sweep_summary"], observable directly by the
+    regression tests). *)

@@ -1,0 +1,493 @@
+(* Staged-compilation certification beyond the fixed conformance suites:
+
+   - a seeded property over {e random} well-formed topology specs (random
+     component subsets and arbitration orders, random geometry knobs,
+     including path_bits = 0 and predecode correction off): the compiled
+     engine must agree with the interpreted pipeline branch-for-branch on
+     direction and mispredict decisions and end with a bit-identical
+     snapshot slab, with shrinking and COBRA_SEED replay hints via
+     {!Prop};
+   - checkpoint interchange: slabs taken by either engine restore into the
+     other and reproduce the non-snapshot oracle window bit-for-bit;
+   - [Replay.run_sliced ~engine:`Compiled]: slice boundaries handed off
+     through compiled warmup/restore, totals equal to a single interpreted
+     pass;
+   - windowed [cobra serve] sweeps on the compiled engine, including
+     [verify] (interpreted recomputation) and the warm-checkpoint reuse
+     path;
+   - the warm-cache LRU regression: with [COBRA_WARM_CACHE] at 2, three
+     distinct warm regions must evict down to the cap and bump the
+     eviction counter. *)
+
+open Cobra
+module Slab = Cobra_util.Slab
+module Designs = Cobra_eval.Designs
+module Fuzz = Cobra_conformance.Fuzz
+module Engine = Cobra_compile.Engine
+module Replay = Cobra_trace_replay.Replay
+module Reader = Cobra_trace_replay.Reader
+module Writer = Cobra_trace_replay.Writer
+module Btrace = Cobra_trace_replay.Btrace
+module Serve = Cobra_trace_replay.Serve
+module C = Cobra_components
+
+let check = Alcotest.check
+let width = 4
+let seed = 0xc0de5
+
+(* --- random topology specs ------------------------------------------------------ *)
+
+(* A generatable, shrinkable description of one component. Latencies stay in
+   1..3 so any sub-tree satisfies Topology.validate under a latency-3
+   selector; history lengths are clamped to the generated geometry. *)
+type idx = IPc | IGhist of int | ILhist of int | IPhist of int
+
+type comp =
+  | CGshare of { index_bits : int; hist : int; lat : int }
+  | CHbim of { entries_l2 : int; idx : idx; lat : int }
+  | CBtb of { sets_l2 : int; ways : int; lat : int }
+
+type node =
+  | Leaf of comp
+  | Over of comp * node
+  | Arb of int * node * node  (** tourney chooser (entries_log2) over two subs *)
+
+type tcase = {
+  t_ghist : int;
+  t_lhist_bits : int;
+  t_lhist_entries : int;
+  t_path : int;
+  t_predecode : bool;
+  t_topo : node;
+  t_shape : Fuzz.shape;
+  t_len : int;
+  t_sseed : int;  (** branch-stream seed, independent of the driver seed *)
+}
+
+let show_idx = function
+  | IPc -> "pc"
+  | IGhist n -> Printf.sprintf "ghist:%d" n
+  | ILhist n -> Printf.sprintf "lhist:%d" n
+  | IPhist n -> Printf.sprintf "phist:%d" n
+
+let show_comp = function
+  | CGshare { index_bits; hist; lat } ->
+    Printf.sprintf "gshare(ix=%d,h=%d,lat=%d)" index_bits hist lat
+  | CHbim { entries_l2; idx; lat } ->
+    Printf.sprintf "hbim(2^%d,%s,lat=%d)" entries_l2 (show_idx idx) lat
+  | CBtb { sets_l2; ways; lat } ->
+    Printf.sprintf "btb(2^%d x%d,lat=%d)" sets_l2 ways lat
+
+let rec show_node = function
+  | Leaf c -> show_comp c
+  | Over (c, sub) -> Printf.sprintf "(%s > %s)" (show_comp c) (show_node sub)
+  | Arb (e, a, b) ->
+    Printf.sprintf "tourney(2^%d) > [%s; %s]" e (show_node a) (show_node b)
+
+let show_tcase tc =
+  Printf.sprintf "ghist=%d lhist=%dx%d path=%d predecode=%b shape=%s len=%d sseed=%d %s"
+    tc.t_ghist tc.t_lhist_bits tc.t_lhist_entries tc.t_path tc.t_predecode
+    (Fuzz.shape_name tc.t_shape) tc.t_len tc.t_sseed (show_node tc.t_topo)
+
+let gen_comp st ~ghist ~lhist_bits ~path =
+  let ri n = Random.State.int st n in
+  match ri 3 with
+  | 0 ->
+    CGshare { index_bits = 4 + ri 6; hist = 1 + ri (min 16 ghist); lat = 1 + ri 2 }
+  | 1 ->
+    let idx =
+      match ri (if path > 0 then 4 else 3) with
+      | 0 -> IPc
+      | 1 -> IGhist (1 + ri (min 12 ghist))
+      | 2 -> ILhist (1 + ri (min 12 lhist_bits))
+      | _ -> IPhist (1 + ri (min 12 path))
+    in
+    CHbim { entries_l2 = 4 + ri 5; idx; lat = 1 + ri 2 }
+  | _ -> CBtb { sets_l2 = 3 + ri 4; ways = 1 + ri 3; lat = 1 + ri 2 }
+
+let rec gen_node st ~depth ~ghist ~lhist_bits ~path =
+  let leaf () = Leaf (gen_comp st ~ghist ~lhist_bits ~path) in
+  if depth = 0 then leaf ()
+  else
+    match Random.State.int st 4 with
+    | 0 | 1 -> leaf ()
+    | 2 ->
+      Over
+        ( gen_comp st ~ghist ~lhist_bits ~path,
+          gen_node st ~depth:(depth - 1) ~ghist ~lhist_bits ~path )
+    | _ ->
+      Arb
+        ( 4 + Random.State.int st 5,
+          gen_node st ~depth:(depth - 1) ~ghist ~lhist_bits ~path,
+          gen_node st ~depth:(depth - 1) ~ghist ~lhist_bits ~path )
+
+let gen_tcase st =
+  let ghist = 8 + Random.State.int st 41 in
+  let lhist_bits = 4 + Random.State.int st 21 in
+  let lhist_entries = if Random.State.bool st then 64 else 256 in
+  let path = [| 0; 8; 16 |].(Random.State.int st 3) in
+  {
+    t_ghist = ghist;
+    t_lhist_bits = lhist_bits;
+    t_lhist_entries = lhist_entries;
+    t_path = path;
+    t_predecode = Random.State.bool st;
+    t_topo = gen_node st ~depth:2 ~ghist ~lhist_bits ~path;
+    t_shape =
+      [| Fuzz.Loops; Fuzz.Correlated; Fuzz.Aliasing; Fuzz.Phases; Fuzz.Storms; Fuzz.Mixed |]
+        .(Random.State.int st 6);
+    t_len = 20 + Random.State.int st 141;
+    t_sseed = Random.State.int st 10_000;
+  }
+
+(* Shrink the topology structurally (replace a node by a sub-tree), then the
+   stream length toward a handful of branches. *)
+let rec shrink_node = function
+  | Leaf _ -> []
+  | Over (c, sub) -> sub :: List.map (fun s -> Over (c, s)) (shrink_node sub)
+  | Arb (e, a, b) ->
+    (a :: b :: List.map (fun a' -> Arb (e, a', b)) (shrink_node a))
+    @ List.map (fun b' -> Arb (e, a, b')) (shrink_node b)
+
+let shrink_tcase tc =
+  List.map (fun n -> { tc with t_topo = n }) (shrink_node tc.t_topo)
+  @ (if tc.t_len > 4 then [ { tc with t_len = tc.t_len / 2 }; { tc with t_len = 4 } ]
+     else [])
+  @ (if tc.t_predecode then [] else [ { tc with t_predecode = true } ])
+  @ if tc.t_path = 0 then [] else [ { tc with t_path = 0 } ]
+
+let tcase_arb = Prop.make ~shrink:shrink_tcase ~show:show_tcase gen_tcase
+
+(* --- building and driving the twins --------------------------------------------- *)
+
+let build_topo node =
+  let counter = ref 0 in
+  let name () =
+    incr counter;
+    Printf.sprintf "c%d" !counter
+  in
+  let build_comp = function
+    | CGshare { index_bits; hist; lat } ->
+      C.Gshare.make
+        {
+          C.Gshare.name = name ();
+          latency = lat;
+          index_bits;
+          counter_bits = 2;
+          history_length = hist;
+          fetch_width = width;
+        }
+    | CHbim { entries_l2; idx; lat } ->
+      let indexing =
+        match idx with
+        | IPc -> C.Indexing.Pc
+        | IGhist n -> C.Indexing.Ghist n
+        | ILhist n -> C.Indexing.Lhist n
+        | IPhist n -> C.Indexing.Phist n
+      in
+      C.Hbim.make
+        {
+          C.Hbim.name = name ();
+          latency = lat;
+          entries = 1 lsl entries_l2;
+          counter_bits = 2;
+          indexing;
+          fetch_width = width;
+        }
+    | CBtb { sets_l2; ways; lat } ->
+      C.Btb.make
+        {
+          C.Btb.name = name ();
+          latency = lat;
+          sets = 1 lsl sets_l2;
+          ways;
+          tag_bits = 10;
+          fetch_width = width;
+        }
+  in
+  let rec build = function
+    | Leaf c -> Topology.node (build_comp c)
+    | Over (c, sub) -> Topology.over (build_comp c) (build sub)
+    | Arb (e, a, b) ->
+      let sel =
+        C.Tourney.make
+          {
+            C.Tourney.name = name ();
+            latency = 3;
+            entries = 1 lsl e;
+            counter_bits = 2;
+            history_length = 10;
+            fetch_width = width;
+          }
+      in
+      Topology.arbitrate sel [ build a; build b ]
+  in
+  build node
+
+let config_of tc =
+  {
+    Pipeline.default_config with
+    Pipeline.fetch_width = width;
+    ghist_bits = tc.t_ghist;
+    lhist_bits = tc.t_lhist_bits;
+    lhist_entries = tc.t_lhist_entries;
+    path_bits = tc.t_path;
+    predecode_history_correction = tc.t_predecode;
+  }
+
+(* The conformance step driver (replay protocol, one branch per packet). *)
+let drive pl (b : Fuzz.branch) =
+  let tok = Pipeline.predict pl ~pc:b.Fuzz.br_pc ~max_len:1 in
+  let stages = Pipeline.stages pl tok in
+  let final = (stages.(Array.length stages - 1)).(0) in
+  let taken_pred =
+    match final.Types.o_taken with
+    | Some t -> t
+    | None -> Types.is_unconditional b.Fuzz.br_kind
+  in
+  let target_pred = Option.value final.Types.o_target ~default:(-1) in
+  let wrong =
+    taken_pred <> b.Fuzz.br_taken
+    || (b.Fuzz.br_taken
+       && Types.is_unconditional b.Fuzz.br_kind
+       && b.Fuzz.br_kind <> Types.Ret
+       && target_pred <> b.Fuzz.br_target)
+  in
+  let slots = Array.make width Types.no_branch in
+  slots.(0) <-
+    Types.resolved_branch ~kind:b.Fuzz.br_kind ~taken:taken_pred
+      ~target:(if taken_pred then b.Fuzz.br_target else 0);
+  let seq = Pipeline.fire pl tok ~slots ~packet_len:1 in
+  let actual =
+    Types.resolved_branch ~kind:b.Fuzz.br_kind ~taken:b.Fuzz.br_taken ~target:b.Fuzz.br_target
+  in
+  if wrong then Pipeline.mispredict pl ~seq ~slot:0 actual
+  else Pipeline.resolve pl ~seq ~slot:0 actual;
+  Pipeline.commit pl;
+  (taken_pred, wrong)
+
+let compile_equiv tc =
+  let cfg = config_of tc in
+  let pl = Pipeline.create cfg (build_topo tc.t_topo) in
+  let eng = Engine.create cfg (build_topo tc.t_topo) in
+  let bs = Fuzz.branches { Fuzz.seed = tc.t_sseed; shape = tc.t_shape; length = tc.t_len } in
+  List.iteri
+    (fun i (b : Fuzz.branch) ->
+      let tp_i, w_i = drive pl b in
+      let w_c =
+        Engine.step eng ~pc:b.Fuzz.br_pc ~kind:b.Fuzz.br_kind ~taken:b.Fuzz.br_taken
+          ~target:b.Fuzz.br_target
+      in
+      let tp_c = Engine.last_taken_pred eng in
+      if tp_i <> tp_c || w_i <> w_c then
+        Alcotest.failf
+          "branch %d/%d (pc=0x%x taken=%b): interpreted taken_pred=%b wrong=%b, compiled \
+           taken_pred=%b wrong=%b"
+          i tc.t_len b.Fuzz.br_pc b.Fuzz.br_taken tp_i w_i tp_c w_c)
+    bs;
+  if not (Slab.equal (Pipeline.snapshot pl) (Engine.snapshot eng)) then
+    Alcotest.fail "final snapshot slabs differ between interpreted and compiled"
+
+let test_random_topologies () =
+  Prop.check ~count:60 ~name:"compiled engine = interpreted pipeline on random topologies"
+    tcase_arb compile_equiv
+
+(* --- checkpoint interchange ------------------------------------------------------ *)
+
+let fuzz_records length =
+  List.map
+    (fun (b : Fuzz.branch) ->
+      {
+        Btrace.b_pc = b.Fuzz.br_pc;
+        b_taken = b.Fuzz.br_taken;
+        b_kind = b.Fuzz.br_kind;
+        b_target = b.Fuzz.br_target;
+        b_gap = 2;
+      })
+    (Fuzz.branches { Fuzz.seed; shape = Fuzz.Mixed; length })
+
+let with_trace length f =
+  let path = Filename.temp_file "cobra_compile_test" ".cobt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Writer.save ~format:Btrace.Binary path (fuzz_records length);
+      f path)
+
+(* Slabs interchange between engines: a warm checkpoint taken by one engine,
+   restored into the other, must reproduce the continuous-replay oracle
+   window bit-for-bit. *)
+let test_checkpoint_interchange () =
+  let d = Designs.tourney in
+  let name = d.Designs.name in
+  let len = 400 and warm = 250 in
+  with_trace len (fun path ->
+      let oracle =
+        Reader.with_file path (fun rd ->
+            let pl = Designs.pipeline d in
+            let _ck, _w = Replay.warmup ~branches:warm ~design:name ~trace:path pl rd in
+            let _ck, r =
+              Replay.warmup ~branches:(len - warm) ~design:name ~trace:path pl rd
+            in
+            r)
+      in
+      (* interpreted warm checkpoint -> compiled engine *)
+      let ck_i =
+        Reader.with_file path (fun rd ->
+            let pl = Designs.pipeline d in
+            let ck, _w = Replay.warmup ~branches:warm ~design:name ~trace:path pl rd in
+            ck)
+      in
+      Reader.with_file path (fun rd ->
+          let eng = Replay.compiled d in
+          Replay.restore_compiled eng rd ck_i;
+          let _ck, r =
+            Replay.warmup_compiled ~branches:(len - warm) ~design:name ~trace:path eng rd
+          in
+          check Alcotest.bool "interpreted checkpoint drives the compiled engine" true
+            (Replay.counters_equal r oracle));
+      (* compiled warm checkpoint -> interpreted pipeline *)
+      let ck_c =
+        Reader.with_file path (fun rd ->
+            let eng = Replay.compiled d in
+            let ck, _w =
+              Replay.warmup_compiled ~branches:warm ~design:name ~trace:path eng rd
+            in
+            ck)
+      in
+      Reader.with_file path (fun rd ->
+          let pl = Designs.pipeline d in
+          Replay.restore pl rd ck_c;
+          let _ck, r =
+            Replay.warmup ~branches:(len - warm) ~design:name ~trace:path pl rd
+          in
+          check Alcotest.bool "compiled checkpoint drives the interpreted pipeline" true
+            (Replay.counters_equal r oracle)))
+
+(* run_sliced itself raises if any compiled slice diverges from the compiled
+   serial boundary pass; comparing its total against a plain interpreted
+   replay closes the loop across engines. *)
+let test_run_sliced_compiled () =
+  let d = Designs.tourney in
+  with_trace 350 (fun path ->
+      let whole = Replay.run_design d ~path in
+      let sliced = Replay.run_sliced ~jobs:2 ~slice_branches:100 ~engine:`Compiled d ~path in
+      check Alcotest.int "slice count" 4 (List.length sliced.Replay.sl_slices);
+      check Alcotest.bool "compiled sliced totals equal the interpreted single pass" true
+        (Replay.counters_equal sliced.Replay.sl_total whole))
+
+(* --- windowed serve sweeps on the compiled engine -------------------------------- *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let check_contains what haystack needle =
+  if not (contains haystack needle) then
+    Alcotest.failf "%s: expected %S inside %S" what needle haystack
+
+let collect_handle cfg line =
+  let out = ref [] in
+  let status = Serve.handle_line cfg (fun s -> out := s :: !out) line in
+  (status, List.rev !out)
+
+let serve_cfg () = { (Serve.default_config ~socket:"/tmp/unused.sock") with Serve.jobs = 2 }
+
+let count_events out needle =
+  List.length (List.filter (fun l -> contains l needle) out)
+
+let test_serve_windowed_compiled () =
+  with_trace 300 (fun path ->
+      let cfg = serve_cfg () in
+      let req =
+        Printf.sprintf
+          {|{"op": "sweep", "designs": ["Tourney"], "traces": ["%s"], "warmup_branches": 120, "window_branches": 60, "windows": 3, "verify": true, "engine": "compiled", "no_cache": true}|}
+          path
+      in
+      let status, out = collect_handle cfg req in
+      check Alcotest.bool "continue" true (status = `Continue);
+      let all = String.concat "\n" out in
+      check Alcotest.int "no error events" 0 (count_events out {|"event": "error"|});
+      check Alcotest.int "one result per window" 3 (count_events out {|"event": "result"|});
+      check_contains "windows verified against the interpreted oracle" all
+        {|"verified": true|};
+      check_contains "results carry the engine" all {|"engine": "compiled"|};
+      check_contains "summary reports warm telemetry" all {|"warm_entries"|};
+      check_contains "terminator" all {|"event": "done"|};
+      (* repeat: the warm checkpoint is reused across requests (restore
+         instead of re-warm), still verified and error-free *)
+      let _, out2 = collect_handle cfg req in
+      let all2 = String.concat "\n" out2 in
+      check Alcotest.int "repeat has no errors" 0 (count_events out2 {|"event": "error"|});
+      check_contains "warm checkpoint reused" all2 {|"warm_cached": true|})
+
+let test_serve_unknown_engine () =
+  with_trace 50 (fun path ->
+      let cfg = serve_cfg () in
+      let status, out =
+        collect_handle cfg
+          (Printf.sprintf
+             {|{"op": "replay", "design": "Tourney", "trace": "%s", "engine": "warp"}|} path)
+      in
+      check Alcotest.bool "daemon survives" true (status = `Continue);
+      let all = String.concat "\n" out in
+      check_contains "error names the engine" all "unknown engine";
+      check_contains "terminator still sent" all {|"event": "done"|})
+
+(* --- warm-cache LRU regression ---------------------------------------------------- *)
+
+(* The warm cache used to grow without bound — one entry per distinct
+   (design, trace, warmup) forever. With COBRA_WARM_CACHE=2, three distinct
+   warm regions must leave at most 2 entries and bump the eviction
+   counter. *)
+let test_warm_cache_lru () =
+  Unix.putenv "COBRA_WARM_CACHE" "2";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "COBRA_WARM_CACHE" "")
+    (fun () ->
+      with_trace 300 (fun path ->
+          let cfg = serve_cfg () in
+          let _, evictions0 = Serve.warm_cache_stats () in
+          List.iter
+            (fun warm ->
+              let req =
+                Printf.sprintf
+                  {|{"op": "sweep", "designs": ["Tourney"], "traces": ["%s"], "warmup_branches": %d, "window_branches": 40, "no_cache": true}|}
+                  path warm
+              in
+              let _, out = collect_handle cfg req in
+              check Alcotest.int
+                (Printf.sprintf "warmup %d runs clean" warm)
+                0
+                (count_events out {|"event": "error"|}))
+            [ 60; 80; 100 ];
+          let entries, evictions = Serve.warm_cache_stats () in
+          check Alcotest.bool "entries capped at COBRA_WARM_CACHE" true (entries <= 2);
+          check Alcotest.bool "evictions counted" true (evictions > evictions0)))
+
+(* --- registration ----------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "compile"
+    [
+      ( "property",
+        [
+          Alcotest.test_case "random topology compile/interpret equivalence" `Quick
+            test_random_topologies;
+        ] );
+      ( "checkpoints",
+        [
+          Alcotest.test_case "checkpoint interchange across engines" `Quick
+            test_checkpoint_interchange;
+          Alcotest.test_case "time-sliced compiled replay" `Quick test_run_sliced_compiled;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "windowed sweep on the compiled engine" `Quick
+            test_serve_windowed_compiled;
+          Alcotest.test_case "unknown engine is an error event" `Quick
+            test_serve_unknown_engine;
+          Alcotest.test_case "warm cache LRU cap" `Quick test_warm_cache_lru;
+        ] );
+    ]
